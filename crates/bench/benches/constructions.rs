@@ -1,0 +1,66 @@
+//! Criterion benches for the graph constructions: how long it takes to build
+//! the paper's explicit objects and the expander substrates (experiments
+//! E4/E5/E6's setup cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wx_core::prelude::*;
+
+fn bench_core_graphs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_core_graph");
+    for &s in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| CoreGraph::new(s).unwrap().graph.num_edges())
+        });
+    }
+    group.finish();
+}
+
+fn bench_generalized_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_generalized_core");
+    group.sample_size(20);
+    for &(d, beta) in &[(64usize, 4.0f64), (256, 16.0), (256, 0.25)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}-b{beta}")),
+            &(d, beta),
+            |b, &(d, beta)| {
+                b.iter(|| GeneralizedCoreGraph::from_targets(d, beta).unwrap().graph.num_edges())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_random_regular(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_random_regular");
+    group.sample_size(10);
+    for &(n, d) in &[(1024usize, 8usize), (1024, 64), (8192, 8)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}-d{d}")),
+            &(n, d),
+            |b, &(n, d)| b.iter(|| random_regular_graph(n, d, 3).unwrap().num_edges()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_broadcast_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_broadcast_chain");
+    group.sample_size(10);
+    for &(s, stages) in &[(64usize, 4usize), (256, 8)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("s{s}-stages{stages}")),
+            &(s, stages),
+            |b, &(s, stages)| b.iter(|| BroadcastChain::new(s, stages, 1).unwrap().num_vertices()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_core_graphs,
+    bench_generalized_core,
+    bench_random_regular,
+    bench_broadcast_chain
+);
+criterion_main!(benches);

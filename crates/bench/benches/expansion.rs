@@ -1,0 +1,72 @@
+//! Criterion benches for the expansion machinery: neighborhood operators,
+//! candidate-set generation, per-set wireless certificates and the spectral
+//! solver — the building blocks behind experiments E1/E3/E9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wx_core::prelude::*;
+
+fn bench_neighborhoods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighborhood");
+    for &(n, d) in &[(256usize, 8usize), (2048, 8)] {
+        let g = random_regular_graph(n, d, 3).unwrap();
+        let s = g.vertex_set(0..n / 4);
+        group.bench_with_input(BenchmarkId::new("gamma_minus", n), &g, |b, g| {
+            b.iter(|| wx_core::graph::neighborhood::external_neighborhood(g, &s).len())
+        });
+        group.bench_with_input(BenchmarkId::new("gamma_unique", n), &g, |b, g| {
+            b.iter(|| wx_core::graph::neighborhood::unique_neighborhood(g, &s).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_candidate_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_sets");
+    group.sample_size(20);
+    for &n in &[256usize, 1024] {
+        let g = random_regular_graph(n, 6, 5).unwrap();
+        group.bench_with_input(BenchmarkId::new("generate_light", n), &g, |b, g| {
+            b.iter(|| CandidateSets::generate(g, &SamplerConfig::light(0.5), 1).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_wireless_certificate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wireless_certificate");
+    group.sample_size(20);
+    for &n in &[256usize, 1024] {
+        let g = random_regular_graph(n, 8, 7).unwrap();
+        let s = g.vertex_set(0..n / 4);
+        let portfolio = PortfolioSolver::fast();
+        group.bench_with_input(BenchmarkId::new("portfolio_lower_bound", n), &g, |b, g| {
+            b.iter(|| {
+                wx_core::expansion::wireless::of_set_lower_bound(g, &s, &portfolio, 1).0
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral");
+    group.sample_size(10);
+    let small = random_regular_graph(256, 6, 9).unwrap();
+    group.bench_function("dense_lambda2_n256", |b| {
+        b.iter(|| wx_core::expansion::spectral::adjacency_spectrum_dense(&small)[1])
+    });
+    let large = random_regular_graph(4096, 6, 9).unwrap();
+    group.bench_function("power_iteration_lambda2_n4096", |b| {
+        b.iter(|| wx_core::expansion::spectral::power_iteration_top_two(&large, 3).1)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_neighborhoods,
+    bench_candidate_sets,
+    bench_wireless_certificate,
+    bench_spectral
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches for the radio-network simulator and the broadcast
+//! protocols (experiment E8's runtime cost and the simulator's round
+//! throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wx_core::prelude::*;
+
+fn bench_single_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_step");
+    for &(n, d) in &[(1024usize, 8usize), (8192, 8)] {
+        let g = random_regular_graph(n, d, 5).unwrap();
+        let transmitters = g.vertex_set((0..n).step_by(3));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| RadioSimulator::step(g, &transmitters).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocols_to_completion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_to_completion");
+    group.sample_size(10);
+    let expander = random_regular_graph(512, 6, 7).unwrap();
+    let chain = BroadcastChain::new(32, 4, 7).unwrap();
+    let cases: Vec<(&str, &Graph, usize)> = vec![
+        ("expander-512", &expander, 0),
+        ("chain-s32-4", &chain.graph, chain.root),
+    ];
+    for (name, g, source) in cases {
+        group.bench_with_input(BenchmarkId::new("decay", name), &g, |b, g| {
+            b.iter(|| {
+                RadioSimulator::new(g, source, SimulatorConfig::default())
+                    .run(&mut DecayProtocol::default(), 3)
+                    .completed_at
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("spokesman", name), &g, |b, g| {
+            b.iter(|| {
+                RadioSimulator::new(g, source, SimulatorConfig::default())
+                    .run(&mut SpokesmanBroadcast::default(), 3)
+                    .completed_at
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("round-robin", name), &g, |b, g| {
+            b.iter(|| {
+                RadioSimulator::new(g, source, SimulatorConfig::default())
+                    .run(&mut RoundRobin::skipping(), 3)
+                    .completed_at
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_round, bench_protocols_to_completion);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches for the Spokesman Election solvers (experiment E7's
+//! runtime column, measured properly).
+//!
+//! Benchmarks every polynomial-time solver on three instance shapes — a
+//! random left-regular bipartite graph, the Lemma 4.4 core graph, and a
+//! skewed hub instance — at two sizes each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wx_core::prelude::*;
+
+fn instances() -> Vec<(String, BipartiteGraph)> {
+    let mut out = Vec::new();
+    for &(s, n, d) in &[(64usize, 128usize, 4usize), (256, 512, 6)] {
+        out.push((
+            format!("random-{s}x{n}-d{d}"),
+            random_left_regular_bipartite(s, n, d, 7).unwrap(),
+        ));
+    }
+    for &s in &[64usize, 256] {
+        out.push((format!("core-{s}"), CoreGraph::new(s).unwrap().graph));
+    }
+    for &s in &[64usize, 256] {
+        let mut b = BipartiteBuilder::new(s, s + 1);
+        for u in 0..s {
+            b.add_edge(u, 0).unwrap();
+            b.add_edge(u, 1 + u).unwrap();
+        }
+        out.push((format!("skewed-{s}"), b.build()));
+    }
+    out
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spokesman");
+    for (name, g) in instances() {
+        let solvers: Vec<(&str, Box<dyn SpokesmanSolver>)> = vec![
+            ("greedy", Box::new(GreedyMinDegreeSolver)),
+            ("partition", Box::new(PartitionSolver::default())),
+            ("decay", Box::new(RandomDecaySolver::fast())),
+            ("degree-class", Box::new(DegreeClassSolver::default())),
+            ("cw-baseline", Box::new(ChlamtacWeinsteinSolver { trials_per_level: 2 })),
+        ];
+        for (label, solver) in solvers {
+            group.bench_with_input(
+                BenchmarkId::new(label, &name),
+                &g,
+                |b, g| b.iter(|| solver.solve(g, 3).unique_coverage),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

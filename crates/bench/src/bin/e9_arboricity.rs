@@ -1,0 +1,7 @@
+//! Experiment harness binary. Run with `cargo run -p wx-bench --release --bin e9_arboricity [--quick] [--seed N]`.
+//! See `DESIGN.md` §4 and `EXPERIMENTS.md` for what this experiment reproduces.
+
+fn main() {
+    let opts = wx_bench::ExperimentOptions::from_args();
+    println!("{}", wx_bench::experiments::e9::run(&opts));
+}

@@ -1,0 +1,13 @@
+//! Regenerates every experiment report in one go (the source of the numbers
+//! recorded in `EXPERIMENTS.md`). Run with
+//! `cargo run -p wx-bench --release --bin run_all_experiments [--quick]`.
+
+fn main() {
+    let opts = wx_bench::ExperimentOptions::from_args();
+    for (name, report) in wx_bench::experiments::run_all(&opts) {
+        println!("################################################################");
+        println!("# {name}");
+        println!("################################################################");
+        println!("{report}");
+    }
+}

@@ -1,0 +1,111 @@
+//! E10 — Appendix A: the deterministic solvers and their guarantees, plus the
+//! combined `MG(δ)` profile (Corollary A.16 / Observation A.17).
+//!
+//! Part 1 reports, for each instance and each deterministic solver, the
+//! achieved coverage next to every Appendix-A guarantee evaluated on that
+//! instance. Part 2 tabulates the `MG(δ)` profile itself.
+
+use crate::ExperimentOptions;
+use wx_core::prelude::*;
+use wx_core::report::{fmt_f64, render_table, TableRow};
+use wx_core::spokesman::bounds;
+
+/// Runs the experiment and returns the report text.
+pub fn run(opts: &ExperimentOptions) -> String {
+    let mut instances: Vec<(String, BipartiteGraph)> = vec![
+        (
+            "random d=3 24x48".to_string(),
+            random_left_regular_bipartite(24, 48, 3, opts.seed).unwrap(),
+        ),
+        ("core s=32".to_string(), CoreGraph::new(32).unwrap().graph),
+        (
+            "gadget Δ=8 β=6".to_string(),
+            BadUniqueExpander::new(20, 8, 6).unwrap().graph,
+        ),
+    ];
+    if !opts.quick {
+        instances.push((
+            "random d=6 100x300".to_string(),
+            random_left_regular_bipartite(100, 300, 6, opts.seed ^ 9).unwrap(),
+        ));
+        instances.push(("core s=256".to_string(), CoreGraph::new(256).unwrap().graph));
+    }
+
+    let mut rows = Vec::new();
+    for (name, g) in &instances {
+        let gamma = (0..g.num_right()).filter(|&w| g.right_degree(w) > 0).count();
+        let delta_n = g.num_edges() as f64 / gamma.max(1) as f64;
+        let delta = g.max_degree();
+        let results: Vec<(&str, usize)> = vec![
+            (
+                "greedy (A.1)",
+                GreedyMinDegreeSolver.solve(g, opts.seed).unique_coverage,
+            ),
+            (
+                "partition once (A.3)",
+                PartitionSolver::low_degree_once().solve(g, opts.seed).unique_coverage,
+            ),
+            (
+                "partition recursive (A.13)",
+                PartitionSolver::default().solve(g, opts.seed).unique_coverage,
+            ),
+            (
+                "degree-class (A.7)",
+                DegreeClassSolver::default().solve(g, opts.seed).unique_coverage,
+            ),
+        ];
+        for (label, covered) in results {
+            rows.push(TableRow::new(
+                format!("{name} / {label}"),
+                vec![
+                    covered.to_string(),
+                    fmt_f64(bounds::lemma_a_1_guarantee(gamma, g.max_left_degree())),
+                    fmt_f64(bounds::lemma_a_3_guarantee(gamma, delta_n)),
+                    fmt_f64(bounds::lemma_a_13_guarantee(gamma, delta_n)),
+                    fmt_f64(bounds::corollary_a_7_guarantee(gamma, delta)),
+                    fmt_f64(gamma as f64 * bounds::mg_profile(delta_n)),
+                ],
+            ));
+        }
+    }
+    let mut out = render_table(
+        "E10a: deterministic solvers vs Appendix-A guarantees (counts of N covered)",
+        &[
+            "instance / solver",
+            "covered",
+            "A.1 γ/Δ_S",
+            "A.3 γ/8δ",
+            "A.13 γ/9log2δ",
+            "A.7 0.2γ/logΔ",
+            "A.16 γ·MG(δ)",
+        ],
+        &rows,
+    );
+
+    // Part 2: the MG(δ) profile.
+    let mut mg_rows = Vec::new();
+    for &delta in &[1.0f64, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0, 1024.0, 4096.0] {
+        mg_rows.push(TableRow::new(
+            format!("δ = {delta}"),
+            vec![
+                fmt_f64(1.0 / (9.0 * (2.0 * delta).log2().max(1.0))),
+                fmt_f64((1.0 / (9.0 * delta.log2().max(1e-9))).min(1.0 / 20.0)),
+                fmt_f64(bounds::corollary_a_8_guarantee(1_000_000, delta, 3.59112) / 1e6),
+                fmt_f64(bounds::mg_profile(delta)),
+            ],
+        ));
+    }
+    out.push('\n');
+    out.push_str(&render_table(
+        "E10b: the MG(δ) profile (guaranteed coverable fraction of N)",
+        &["average degree", "A.13 term", "A.15 term", "A.8 term", "MG(δ)"],
+        &mg_rows,
+    ));
+    out.push_str(
+        "\nExpected: every solver's coverage is at least every guarantee that applies\n\
+         to it (and in particular at least γ·MG(δ)); MG(δ) decays like 1/log δ and\n\
+         is dominated by the A.15 1/20 floor in the middle band, matching\n\
+         Observation A.17.\n",
+    );
+    out
+}

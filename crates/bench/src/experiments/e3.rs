@@ -1,0 +1,109 @@
+//! E3 — Lemma 3.1: the spectral relation between unique-neighbor expansion
+//! and ordinary expansion on regular graphs.
+//!
+//! For a battery of `d`-regular graphs we measure `λ₂`, the unique expansion
+//! `β̂u` and the ordinary expansion `β̂` (exact for small graphs, sampled
+//! estimates otherwise), evaluate the Lemma 3.1 right-hand side
+//! `(1 − 1/d)·β̂u + (d − λ₂)(1 − α)/d`, and report the slack `β̂ − rhs`
+//! (which the lemma says is non-negative).
+
+use crate::ExperimentOptions;
+use wx_core::prelude::*;
+use wx_core::report::{fmt_f64, render_table, TableRow};
+
+fn petersen() -> Graph {
+    Graph::from_edges(
+        10,
+        [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            (0, 5),
+            (1, 6),
+            (2, 7),
+            (3, 8),
+            (4, 9),
+            (5, 7),
+            (7, 9),
+            (9, 6),
+            (6, 8),
+            (8, 5),
+        ],
+    )
+    .unwrap()
+}
+
+/// Runs the experiment and returns the report text.
+pub fn run(opts: &ExperimentOptions) -> String {
+    let alpha = 0.2;
+    let mut graphs: Vec<(String, Graph)> = vec![
+        ("petersen".to_string(), petersen()),
+        ("hypercube d=4".to_string(), hypercube_graph(4).unwrap()),
+        (
+            "cycle n=12".to_string(),
+            Graph::from_edges(12, (0..12).map(|i| (i, (i + 1) % 12))).unwrap(),
+        ),
+    ];
+    if !opts.quick {
+        for &(n, d) in &[(64usize, 4usize), (128, 6), (256, 8)] {
+            graphs.push((
+                format!("random-regular n={n} d={d}"),
+                random_regular_graph(n, d, opts.seed ^ n as u64).unwrap(),
+            ));
+        }
+        graphs.push(("hypercube d=7".to_string(), hypercube_graph(7).unwrap()));
+    }
+
+    let mut rows = Vec::new();
+    for (name, g) in &graphs {
+        let d = g.max_degree();
+        let lambda2 = wx_core::expansion::spectral::second_eigenvalue(g, opts.seed);
+        let (beta_u, beta, exact) = if g.num_vertices() <= 14 {
+            (
+                wx_core::expansion::unique::exact(g, alpha).unwrap().value,
+                wx_core::expansion::ordinary::exact(g, alpha).unwrap().value,
+                true,
+            )
+        } else {
+            let cfg = SamplerConfig {
+                alpha,
+                ..SamplerConfig::light(alpha)
+            };
+            let pool = CandidateSets::generate(g, &cfg, opts.seed);
+            (
+                wx_core::expansion::unique::estimate(g, &pool).unwrap().value,
+                wx_core::expansion::ordinary::estimate(g, &pool).unwrap().value,
+                false,
+            )
+        };
+        let rhs =
+            wx_core::spokesman::bounds::lemma_3_1_expansion_bound(d, lambda2, alpha, beta_u);
+        rows.push(TableRow::new(
+            name.clone(),
+            vec![
+                d.to_string(),
+                fmt_f64(lambda2),
+                fmt_f64(beta_u),
+                fmt_f64(beta),
+                fmt_f64(rhs),
+                fmt_f64(beta - rhs),
+                if exact { "exact" } else { "sampled" }.to_string(),
+            ],
+        ));
+    }
+
+    let mut out = render_table(
+        "E3: Lemma 3.1 spectral bound on d-regular graphs (α = 0.2)",
+        &["graph", "d", "λ₂", "β̂u", "β̂", "Lemma 3.1 rhs", "slack", "mode"],
+        &rows,
+    );
+    out.push_str(
+        "\nExpected: the slack column is non-negative — the measured ordinary\n\
+         expansion always dominates (1−1/d)·βu + (d−λ₂)(1−α)/d. (Sampled rows\n\
+         report an upper-bound estimate of β, so slack could in principle dip\n\
+         slightly negative there; exact rows cannot.)\n",
+    );
+    out
+}

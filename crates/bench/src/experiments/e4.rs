@@ -1,0 +1,75 @@
+//! E4 — Figure 2 / Lemma 4.4: the core graph.
+//!
+//! For a sweep of core sizes `s` we re-verify the structural assertions
+//! (sizes, degrees) and measure the best unique coverage any solver finds
+//! (exactly for small `s`), comparing it to the structural cap `2s` and to
+//! the coverable fraction `2/log₂(2s)` of `N` — the logarithmic gap that
+//! drives Theorem 1.2 and the Section-5 lower bound.
+
+use crate::ExperimentOptions;
+use wx_core::prelude::*;
+use wx_core::report::{fmt_f64, render_table, TableRow};
+
+/// Runs the experiment and returns the report text.
+pub fn run(opts: &ExperimentOptions) -> String {
+    let sizes: &[usize] = if opts.quick {
+        &[4, 8, 16]
+    } else {
+        &[4, 8, 16, 32, 64, 128, 256]
+    };
+    let mut rows = Vec::new();
+    for &s in sizes {
+        let core = CoreGraph::new(s).expect("power of two");
+        // structural verification on random subsets
+        let mut subsets = vec![VertexSet::full(s)];
+        let mut rng = wx_core::graph::random::rng_from_seed(opts.seed);
+        for _ in 0..20 {
+            use rand::Rng;
+            let k = rng.gen_range(1..=s);
+            subsets.push(wx_core::graph::random::random_subset_of_size(&mut rng, s, k));
+        }
+        core.verify_lemma_4_4(&subsets).expect("Lemma 4.4 assertions hold");
+
+        let log2s = (core.levels + 1) as f64;
+        let best_cov = if s <= 16 {
+            ExactSolver::optimum(&core.graph).0
+        } else {
+            PortfolioSolver::default()
+                .solve(&core.graph, opts.seed)
+                .unique_coverage
+        };
+        let fraction = best_cov as f64 / core.num_right() as f64;
+        rows.push(TableRow::new(
+            format!("core s={s}"),
+            vec![
+                core.num_right().to_string(),
+                fmt_f64(log2s),
+                best_cov.to_string(),
+                (2 * s).to_string(),
+                fmt_f64(fraction),
+                fmt_f64(2.0 / log2s),
+                if s <= 16 { "exact" } else { "portfolio" }.to_string(),
+            ],
+        ));
+    }
+    let mut out = render_table(
+        "E4: the Lemma 4.4 core graph — coverage cap 2s and fraction 2/log(2s)",
+        &[
+            "instance",
+            "|N| = s·log2s",
+            "β ≥ log 2s",
+            "best |Γ¹_S(S')|",
+            "cap 2s",
+            "fraction of N",
+            "cap 2/log 2s",
+            "mode",
+        ],
+        &rows,
+    );
+    out.push_str(
+        "\nExpected: the best coverage never exceeds 2s, so the coverable fraction\n\
+         of N decays like 2/log₂(2s) while the ordinary expansion grows like\n\
+         log₂(2s) — the wireless loss of this family is genuinely logarithmic.\n",
+    );
+    out
+}

@@ -1,0 +1,33 @@
+//! One module per reproduced paper statement. See the crate docs for the
+//! index and `DESIGN.md` §4 for the full experiment table.
+
+pub mod e1;
+pub mod e10;
+pub mod e11;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+
+use crate::ExperimentOptions;
+
+/// Runs every experiment and returns `(name, report)` pairs in order.
+pub fn run_all(opts: &ExperimentOptions) -> Vec<(&'static str, String)> {
+    vec![
+        ("E1 (Theorem 1.1)", e1::run(opts)),
+        ("E2 (Lemmas 3.2-3.3)", e2::run(opts)),
+        ("E3 (Lemma 3.1)", e3::run(opts)),
+        ("E4 (Lemma 4.4)", e4::run(opts)),
+        ("E5 (Lemmas 4.6-4.8)", e5::run(opts)),
+        ("E6 (Theorem 1.2)", e6::run(opts)),
+        ("E7 (Section 4.2.1)", e7::run(opts)),
+        ("E8 (Section 5)", e8::run(opts)),
+        ("E9 (arboricity corollary)", e9::run(opts)),
+        ("E10 (Appendix A)", e10::run(opts)),
+        ("E11 (C+ example)", e11::run(opts)),
+    ]
+}

@@ -1,0 +1,98 @@
+//! # wx-bench
+//!
+//! Experiment harnesses for the *Wireless Expanders* reproduction.
+//!
+//! The paper is a theory paper: its "evaluation" is a collection of theorems,
+//! explicit constructions and worked examples rather than measured tables.
+//! Each module in [`experiments`] therefore regenerates the empirical content
+//! of one paper statement (the mapping is recorded in `DESIGN.md` §4 and the
+//! outputs in `EXPERIMENTS.md`):
+//!
+//! | Module | Paper statement |
+//! |--------|-----------------|
+//! | [`experiments::e1`]  | Theorem 1.1 — ordinary expanders are good wireless expanders |
+//! | [`experiments::e2`]  | Figure 1 / Lemmas 3.2–3.3 — the unique-expansion gap |
+//! | [`experiments::e3`]  | Lemma 3.1 — the spectral relation |
+//! | [`experiments::e4`]  | Figure 2 / Lemma 4.4 — the core graph |
+//! | [`experiments::e5`]  | Lemmas 4.6–4.8 — generalized core graphs |
+//! | [`experiments::e6`]  | Theorem 1.2 / Corollary 4.11 — worst-case expanders |
+//! | [`experiments::e7`]  | Section 4.2.1 — Spokesman Election solver comparison |
+//! | [`experiments::e8`]  | Section 5 — the broadcast-time lower bound |
+//! | [`experiments::e9`]  | Arboricity corollary — low-arboricity graphs lose only a constant |
+//! | [`experiments::e10`] | Appendix A — deterministic bounds and the MG(δ) profile |
+//! | [`experiments::e11`] | Introduction — the `C⁺` example end to end |
+//!
+//! Every experiment has a `run(quick)` entry point returning the printed
+//! report; the `e*` binaries are thin wrappers, `run_all_experiments`
+//! regenerates everything for `EXPERIMENTS.md`, and the Criterion benches in
+//! `benches/` measure the runtime of the underlying algorithms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+/// Common options for experiment harnesses.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentOptions {
+    /// Smaller sweeps for smoke tests and CI.
+    pub quick: bool,
+    /// Base seed for all randomized components.
+    pub seed: u64,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            quick: false,
+            seed: 0xE0,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Parses options from command-line arguments: `--quick` and
+    /// `--seed <u64>` are recognized.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let seed = args
+            .iter()
+            .position(|a| a == "--seed")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xE0);
+        ExperimentOptions { quick, seed }
+    }
+
+    /// The quick variant of these options.
+    pub fn quick(self) -> Self {
+        ExperimentOptions {
+            quick: true,
+            ..self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke-run every experiment in quick mode; this keeps the harnesses
+    /// from bit-rotting and pins their qualitative claims.
+    #[test]
+    fn all_experiments_run_in_quick_mode() {
+        let opts = ExperimentOptions {
+            quick: true,
+            seed: 0xE0,
+        };
+        let reports = experiments::run_all(&opts);
+        assert_eq!(reports.len(), 11);
+        for (name, report) in &reports {
+            assert!(
+                report.contains("##"),
+                "experiment {name} produced no table:\n{report}"
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Random left-regular bipartite graphs — the generic Spokesman-Election
+//! workload for experiments E7 and E10.
+
+use rand::seq::SliceRandom;
+use wx_graph::random::rng_from_seed;
+use wx_graph::{BipartiteBuilder, BipartiteGraph, GraphError, Result};
+
+/// Builds a bipartite graph with `num_left` left vertices, `num_right` right
+/// vertices, where every left vertex picks `d` distinct random right
+/// neighbors.
+pub fn random_left_regular_bipartite(
+    num_left: usize,
+    num_right: usize,
+    d: usize,
+    seed: u64,
+) -> Result<BipartiteGraph> {
+    if d > num_right {
+        return Err(GraphError::invalid(format!(
+            "left degree {d} exceeds the number of right vertices {num_right}"
+        )));
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut b = BipartiteBuilder::new(num_left, num_right);
+    let mut targets: Vec<usize> = (0..num_right).collect();
+    for u in 0..num_left {
+        targets.shuffle(&mut rng);
+        for &w in targets.iter().take(d) {
+            b.add_edge(u, w)?;
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wx_spokesman::SpokesmanSolver;
+
+    #[test]
+    fn left_degrees_are_exact() {
+        let g = random_left_regular_bipartite(20, 40, 5, 1).unwrap();
+        assert_eq!(g.num_left(), 20);
+        assert_eq!(g.num_right(), 40);
+        for u in 0..20 {
+            assert_eq!(g.left_degree(u), 5);
+        }
+        assert_eq!(g.num_edges(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_left_regular_bipartite(10, 20, 3, 7).unwrap();
+        let b = random_left_regular_bipartite(10, 20, 3, 7).unwrap();
+        assert_eq!(a, b);
+        let c = random_left_regular_bipartite(10, 20, 3, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rejects_excess_degree() {
+        assert!(random_left_regular_bipartite(5, 3, 4, 0).is_err());
+        assert!(random_left_regular_bipartite(5, 3, 3, 0).is_ok());
+    }
+
+    #[test]
+    fn spokesman_portfolio_covers_a_decent_fraction() {
+        let g = random_left_regular_bipartite(30, 90, 4, 5).unwrap();
+        let res = wx_spokesman::PortfolioSolver::default().solve(&g, 3);
+        // δ_N = 120/90 ≈ 1.33: the Lemma 4.2 bound says Ω(|N|/log 2δ_N)
+        // which is a large constant fraction; demand at least a third.
+        let covered_fraction = res.unique_coverage as f64 / 90.0;
+        assert!(covered_fraction > 0.33, "fraction {covered_fraction}");
+    }
+
+    #[test]
+    fn zero_degree_graph() {
+        let g = random_left_regular_bipartite(4, 4, 0, 0).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # wx-constructions
+//!
+//! Explicit graph constructions from the *Wireless Expanders* paper, plus the
+//! standard expander families the paper's results are evaluated against.
+//!
+//! Paper constructions:
+//!
+//! * [`bad_unique`] — the Lemma 3.3 bipartite gadget `G_bad` whose unique
+//!   expansion collapses to `2β − Δ` despite ordinary expansion `β`
+//!   (Figure 1).
+//! * [`core_graph`] — the Lemma 4.4 tree-structured bipartite core graph
+//!   with ordinary expansion `≥ log 2s` but wireless coverage `≤ 2s`
+//!   (Figure 2); the technical heart of Theorem 1.2 and of the Section-5
+//!   broadcast lower bound.
+//! * [`generalized_core`] — the Lemma 4.6/4.7/4.8 rescalings of the core
+//!   graph to arbitrary expansion `β*` and maximum degree `Δ*`.
+//! * [`worst_case`] — the Section 4.3.3 worst-case expander: a generalized
+//!   core graph plugged on top of an arbitrary expander (Corollary 4.11,
+//!   i.e. Theorem 1.2).
+//! * [`broadcast_chain`] — the Section 5 chain of `D/2` core graphs used to
+//!   prove the `Ω(D·log(n/D))` broadcast-time lower bound.
+//!
+//! Expander families (the "ordinary expanders" the positive results apply
+//! to, and the substrates the worst-case construction plugs into):
+//!
+//! * [`families::random_regular`] — random `d`-regular graphs via the
+//!   configuration model with rejection (near-Ramanujan w.h.p.).
+//! * [`families::hypercube`] — the Boolean hypercube.
+//! * [`families::margulis`] — the Margulis–Gabber–Galil 8-regular expander
+//!   on `Z_m × Z_m`.
+//! * [`families::complete_plus`] — the `C⁺` motivating example from the
+//!   introduction.
+//! * [`families::grid`] — grids and tori (low-arboricity family for the
+//!   arboricity corollary).
+//! * [`families::tree`] — complete and random trees (arboricity 1).
+//! * [`families::random_bipartite`] — random left-regular bipartite graphs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bad_unique;
+pub mod broadcast_chain;
+pub mod core_graph;
+pub mod families;
+pub mod generalized_core;
+pub mod worst_case;
+
+pub use bad_unique::BadUniqueExpander;
+pub use broadcast_chain::BroadcastChain;
+pub use core_graph::CoreGraph;
+pub use generalized_core::GeneralizedCoreGraph;
+pub use worst_case::WorstCaseExpander;

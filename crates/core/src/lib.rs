@@ -1,0 +1,44 @@
+//! # wx-core — the `wireless-expanders` facade
+//!
+//! One-stop entry point for the *Wireless Expanders* (SPAA 2018)
+//! reproduction. It re-exports the workspace crates and adds:
+//!
+//! * [`prelude`] — the `use wx_core::prelude::*` import that brings the
+//!   common types (graphs, expansion profiles, solvers, protocols,
+//!   constructions) into scope;
+//! * [`analysis`] — an end-to-end [`analysis::GraphAnalysis`] pipeline that
+//!   measures a graph's three expansions, checks the paper's inequalities,
+//!   and optionally runs a quick broadcast comparison;
+//! * [`report`] — plain-text table rendering and JSON export for experiment
+//!   harnesses.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wx_core::prelude::*;
+//!
+//! // Build the paper's motivating example C⁺ and analyze it.
+//! let (graph, _source) = complete_plus_graph(8).unwrap();
+//! let analysis = GraphAnalysis::run(&graph, &AnalysisConfig::default());
+//! // Ordinary expansion is high, unique-neighbor expansion collapses to 0,
+//! // wireless expansion stays positive — the paper's headline phenomenon.
+//! assert!(analysis.profile.unique.value < analysis.profile.wireless.value);
+//! assert!(analysis.observation_2_1_holds);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod prelude;
+pub mod report;
+
+pub use analysis::{AnalysisConfig, GraphAnalysis};
+pub use report::{render_table, TableRow};
+
+// Re-export the component crates under stable names.
+pub use wx_constructions as constructions;
+pub use wx_expansion as expansion;
+pub use wx_graph as graph;
+pub use wx_radio as radio;
+pub use wx_spokesman as spokesman;

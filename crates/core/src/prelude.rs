@@ -1,0 +1,51 @@
+//! The convenience prelude: `use wx_core::prelude::*;`.
+
+pub use crate::analysis::{AnalysisConfig, GraphAnalysis};
+pub use crate::report::{render_table, TableRow};
+
+pub use wx_graph::{
+    BipartiteBuilder, BipartiteGraph, Graph, GraphBuilder, GraphError, Vertex, VertexSet,
+};
+
+pub use wx_expansion::{
+    profile::{ExpansionProfile, ProfileConfig},
+    sampling::{CandidateSets, SamplerConfig},
+};
+
+pub use wx_spokesman::{
+    ChlamtacWeinsteinSolver, DegreeClassSolver, ExactSolver, GreedyMinDegreeSolver,
+    PartitionSolver, PortfolioSolver, RandomDecaySolver, SolverKind, SpokesmanResult,
+    SpokesmanSolver,
+};
+
+pub use wx_constructions::{
+    families::{
+        complete_plus_graph, complete_k_ary_tree, grid_graph, hypercube_graph, margulis_graph,
+        random_left_regular_bipartite, random_regular_graph, random_tree, torus_graph,
+    },
+    BadUniqueExpander, BroadcastChain, CoreGraph, GeneralizedCoreGraph, WorstCaseExpander,
+};
+
+pub use wx_radio::{
+    protocols::{
+        decay::DecayProtocol, naive::NaiveFlooding, round_robin::RoundRobin,
+        spokesman::SpokesmanBroadcast,
+    },
+    BroadcastOutcome, BroadcastProtocol, RadioSimulator, SimulatorConfig,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelude_compiles_and_names_resolve() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        let _cfg = ProfileConfig::default();
+        let _solver = PortfolioSolver::default();
+        let _proto = DecayProtocol::default();
+        let core = CoreGraph::new(4).unwrap();
+        assert_eq!(core.graph.num_left(), 4);
+    }
+}

@@ -1,0 +1,142 @@
+//! Plain-text tables and JSON export for experiment harnesses.
+//!
+//! The experiment binaries in `wx-bench` print the same kind of rows the
+//! paper's statements describe (per-instance measured quantities next to the
+//! theoretical references). This module keeps that formatting in one place so
+//! every harness produces consistently aligned, diffable output.
+
+use serde::Serialize;
+
+/// One row of a report table: a label plus a list of cell strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableRow {
+    /// The row label (first column).
+    pub label: String,
+    /// The remaining cells.
+    pub cells: Vec<String>,
+}
+
+impl TableRow {
+    /// Builds a row from a label and anything displayable.
+    pub fn new(label: impl Into<String>, cells: Vec<String>) -> Self {
+        TableRow {
+            label: label.into(),
+            cells,
+        }
+    }
+}
+
+/// Formats a floating-point cell with 3 decimals, using `-` for NaN/∞.
+pub fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else if x.is_infinite() && x > 0.0 {
+        "inf".to_string()
+    } else {
+        "-".to_string()
+    }
+}
+
+/// Formats an optional round count.
+pub fn fmt_opt(x: Option<usize>) -> String {
+    match x {
+        Some(v) => v.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders a fixed-width text table with the given header and rows.
+/// All columns are padded to their widest cell; the header is underlined.
+pub fn render_table(title: &str, header: &[&str], rows: &[TableRow]) -> String {
+    let ncols = header.len();
+    // column widths
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        widths[0] = widths[0].max(row.label.len());
+        for (i, cell) in row.cells.iter().enumerate() {
+            let col = i + 1;
+            if col < ncols {
+                widths[col] = widths[col].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let mut head_line = String::new();
+    for (i, h) in header.iter().enumerate() {
+        head_line.push_str(&format!("{:<width$}  ", h, width = widths[i]));
+    }
+    out.push_str(head_line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        line.push_str(&format!("{:<width$}  ", row.label, width = widths[0]));
+        for (i, cell) in row.cells.iter().enumerate() {
+            let col = i + 1;
+            if col < ncols {
+                line.push_str(&format!("{:<width$}  ", cell, width = widths[col]));
+            } else {
+                line.push_str(cell);
+                line.push_str("  ");
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes any serializable record collection to pretty JSON (used by the
+/// harnesses' `--json` output paths).
+pub fn to_json_pretty<T: Serialize>(records: &T) -> String {
+    serde_json::to_string_pretty(records).expect("records serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let rows = vec![
+            TableRow::new("core-8", vec!["4.000".into(), "1.333".into()]),
+            TableRow::new("hypercube-64", vec!["1.000".into(), "0.900".into()]),
+        ];
+        let table = render_table("E1", &["instance", "beta", "beta_w"], &rows);
+        assert!(table.contains("## E1"));
+        assert!(table.contains("instance"));
+        assert!(table.contains("core-8"));
+        assert!(table.contains("hypercube-64"));
+        // the header and each row appear on separate lines
+        assert_eq!(table.lines().count(), 2 + 2 + 1);
+    }
+
+    #[test]
+    fn cell_formatters() {
+        assert_eq!(fmt_f64(1.23456), "1.235");
+        assert_eq!(fmt_f64(f64::INFINITY), "inf");
+        assert_eq!(fmt_f64(f64::NAN), "-");
+        assert_eq!(fmt_opt(Some(12)), "12");
+        assert_eq!(fmt_opt(None), "-");
+    }
+
+    #[test]
+    fn json_export_roundtrips() {
+        #[derive(serde::Serialize)]
+        struct Rec {
+            name: &'static str,
+            value: f64,
+        }
+        let json = to_json_pretty(&vec![Rec { name: "a", value: 1.0 }]);
+        assert!(json.contains("\"name\": \"a\""));
+    }
+
+    #[test]
+    fn rows_with_more_cells_than_header_do_not_panic() {
+        let rows = vec![TableRow::new("x", vec!["1".into(), "2".into(), "3".into()])];
+        let table = render_table("t", &["a", "b"], &rows);
+        assert!(table.contains('3'));
+    }
+}

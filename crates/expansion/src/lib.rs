@@ -1,0 +1,66 @@
+//! # wx-expansion
+//!
+//! Expansion metrics for the *Wireless Expanders* reproduction.
+//!
+//! The paper studies three expansion notions for a graph `G = (V, E)` and a
+//! size bound `α`:
+//!
+//! * **ordinary** expansion `β(G)` — the minimum of `|Γ⁻(S)|/|S|` over all
+//!   non-empty `S` with `|S| ≤ α·n` ([`ordinary`]);
+//! * **unique-neighbor** expansion `βu(G)` — the minimum of `|Γ¹(S)|/|S|`
+//!   ([`unique`]);
+//! * **wireless** expansion `βw(G)` — the minimum over `S` of the *maximum*
+//!   over `S' ⊆ S` of `|Γ¹_S(S')|/|S|` ([`wireless`]).
+//!
+//! Exact values require enumerating every candidate set `S` (and, for the
+//! wireless case, every subset `S' ⊆ S`), which is only feasible for small
+//! graphs; the [`sampling`] module provides random, BFS-ball and adversarial
+//! candidate-set generators for estimating the minima on larger graphs, and
+//! the [`wireless`] module uses the `wx-spokesman` portfolio to certify lower
+//! bounds on the wireless expansion of each candidate set.
+//!
+//! The [`spectral`] module computes the second adjacency eigenvalue `λ₂`
+//! needed by Lemma 3.1, and [`relations`] packages the paper's inequalities
+//! (Observation 2.1, Lemmas 3.1/3.2, Theorems 1.1/1.2) as checkable
+//! predicates. [`profile`] ties everything together into a single
+//! [`profile::ExpansionProfile`] report for a graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ordinary;
+pub mod profile;
+pub mod relations;
+pub mod sampling;
+pub mod spectral;
+pub mod unique;
+pub mod wireless;
+
+pub use profile::{ExpansionProfile, ProfileConfig};
+pub use sampling::{CandidateSets, SamplerConfig};
+
+/// A measured expansion value together with the witness set that attains it.
+#[derive(Clone, Debug)]
+pub struct ExpansionWitness {
+    /// The measured expansion ratio.
+    pub value: f64,
+    /// The vertex set attaining it.
+    pub witness: wx_graph::VertexSet,
+}
+
+impl ExpansionWitness {
+    /// Creates a witness record.
+    pub fn new(value: f64, witness: wx_graph::VertexSet) -> Self {
+        ExpansionWitness { value, witness }
+    }
+
+    /// Keeps whichever of the two witnesses has the *smaller* value
+    /// (expansion minima are what all three notions care about).
+    pub fn min(self, other: ExpansionWitness) -> ExpansionWitness {
+        if other.value < self.value {
+            other
+        } else {
+            self
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! End-to-end expansion profiling of a graph.
+//!
+//! [`ExpansionProfile::measure`] computes, in one pass over a shared
+//! candidate-set pool, everything the experiments need to compare a graph
+//! against the paper's bounds: the (estimated or exact) ordinary, unique and
+//! wireless expansions with witnesses, degree statistics, arboricity bounds,
+//! the spectral gap (when affordable), and the Theorem 1.1 / Theorem 1.2
+//! reference values.
+
+use crate::sampling::{CandidateSets, SamplerConfig};
+use crate::ExpansionWitness;
+use serde::{Deserialize, Serialize};
+use wx_graph::arboricity::{arboricity_bounds, ArboricityBounds};
+use wx_graph::degree::DegreeStats;
+use wx_graph::Graph;
+use wx_spokesman::PortfolioSolver;
+
+/// How the expansion minima should be computed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProfileConfig {
+    /// The `α` bound on candidate-set sizes (fraction of `n`).
+    pub alpha: f64,
+    /// Use exact enumeration when the graph has at most this many vertices.
+    pub exact_up_to: usize,
+    /// Sampler settings used above the exact threshold.
+    pub random_sets_per_size: usize,
+    /// Number of BFS-ball centers in the sampler.
+    pub ball_centers: usize,
+    /// Number of adversarial greedy growths in the sampler.
+    pub greedy_growths: usize,
+    /// Compute the dense spectral gap when the graph is regular and at most
+    /// this large.
+    pub spectral_up_to: usize,
+    /// Seed for all randomized components.
+    pub seed: u64,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            alpha: 0.5,
+            exact_up_to: 14,
+            random_sets_per_size: 16,
+            ball_centers: 8,
+            greedy_growths: 4,
+            spectral_up_to: 1024,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl ProfileConfig {
+    /// A faster configuration for benches and sweeps over many graphs.
+    pub fn light(alpha: f64) -> Self {
+        ProfileConfig {
+            alpha,
+            exact_up_to: 10,
+            random_sets_per_size: 4,
+            ball_centers: 3,
+            greedy_growths: 2,
+            spectral_up_to: 256,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    fn sampler(&self) -> SamplerConfig {
+        SamplerConfig {
+            alpha: self.alpha,
+            random_sets_per_size: self.random_sets_per_size,
+            size_fractions: vec![0.1, 0.25, 0.5, 0.75, 1.0],
+            ball_centers: self.ball_centers,
+            greedy_growths: self.greedy_growths,
+            include_singletons: true,
+        }
+    }
+}
+
+/// A single measured expansion quantity (value + witness size), serializable
+/// for experiment reports.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MeasuredExpansion {
+    /// The measured ratio.
+    pub value: f64,
+    /// Size of the witness set attaining it.
+    pub witness_size: usize,
+    /// Whether the value is exact (exhaustive enumeration) or an estimate.
+    pub exact: bool,
+}
+
+impl MeasuredExpansion {
+    fn from_witness(w: &ExpansionWitness, exact: bool) -> Self {
+        MeasuredExpansion {
+            value: w.value,
+            witness_size: w.witness.len(),
+            exact,
+        }
+    }
+}
+
+/// The complete expansion profile of a graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExpansionProfile {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Maximum degree `Δ`.
+    pub max_degree: usize,
+    /// Degree statistics of the whole graph.
+    pub degree_stats: DegreeStats,
+    /// Arboricity bounds (degeneracy sandwich).
+    pub arboricity: ArboricityBounds,
+    /// The `α` used for all three expansion minima.
+    pub alpha: f64,
+    /// Ordinary expansion `β`.
+    pub ordinary: MeasuredExpansion,
+    /// Unique-neighbor expansion `βu`.
+    pub unique: MeasuredExpansion,
+    /// Wireless expansion `βw` (portfolio-certified when not exact).
+    pub wireless: MeasuredExpansion,
+    /// Second adjacency eigenvalue, when computed (regular graphs only).
+    pub lambda2: Option<f64>,
+    /// Theorem 1.1 reference value `β/log₂(2·min{Δ/β, Δβ})` evaluated at the
+    /// measured `β`.
+    pub theorem_1_1_reference: f64,
+    /// Lemma 3.2 reference value `2β − Δ` evaluated at the measured `β`.
+    pub lemma_3_2_reference: f64,
+    /// The ratio `β / βw` (the "wireless loss"); 1.0 means no loss.
+    pub wireless_loss: f64,
+}
+
+impl ExpansionProfile {
+    /// Measures the full profile of `g` under `config`.
+    pub fn measure(g: &Graph, config: &ProfileConfig) -> Self {
+        let n = g.num_vertices();
+        let use_exact = n <= config.exact_up_to && n > 0;
+
+        let (ordinary, unique, wireless) = if use_exact {
+            let o = crate::ordinary::exact(g, config.alpha).expect("non-empty graph");
+            let u = crate::unique::exact(g, config.alpha).expect("non-empty graph");
+            let w = crate::wireless::exact(g, config.alpha).expect("non-empty graph");
+            (
+                MeasuredExpansion::from_witness(&o, true),
+                MeasuredExpansion::from_witness(&u, true),
+                MeasuredExpansion::from_witness(&w, true),
+            )
+        } else {
+            let pool = CandidateSets::generate(g, &config.sampler(), config.seed);
+            let fallback = ExpansionWitness::new(0.0, g.empty_vertex_set());
+            let o = crate::ordinary::estimate(g, &pool).unwrap_or_else(|| fallback.clone());
+            let u = crate::unique::estimate(g, &pool).unwrap_or_else(|| fallback.clone());
+            let w = crate::wireless::estimate(g, &pool, &PortfolioSolver::default(), config.seed)
+                .unwrap_or(fallback);
+            (
+                MeasuredExpansion::from_witness(&o, false),
+                MeasuredExpansion::from_witness(&u, false),
+                MeasuredExpansion::from_witness(&w, false),
+            )
+        };
+
+        let max_degree = g.max_degree();
+        let lambda2 = if n > 0 && n <= config.spectral_up_to && g.is_regular(max_degree) {
+            Some(crate::spectral::second_eigenvalue(g, config.seed))
+        } else {
+            None
+        };
+
+        let beta = ordinary.value;
+        let theorem_1_1_reference =
+            wx_spokesman::bounds::theorem_1_1_lower_bound(max_degree, beta);
+        let lemma_3_2_reference = wx_spokesman::bounds::lemma_3_2_unique_bound(max_degree, beta);
+        let wireless_loss = if wireless.value > 0.0 {
+            beta / wireless.value
+        } else {
+            f64::INFINITY
+        };
+
+        ExpansionProfile {
+            num_vertices: n,
+            num_edges: g.num_edges(),
+            max_degree,
+            degree_stats: DegreeStats::of_graph(g),
+            arboricity: arboricity_bounds(g),
+            alpha: config.alpha,
+            ordinary,
+            unique,
+            wireless,
+            lambda2,
+            theorem_1_1_reference,
+            lemma_3_2_reference,
+            wireless_loss,
+        }
+    }
+
+    /// `true` if the measured values satisfy Observation 2.1
+    /// (`β ≥ βw ≥ βu`), within a small tolerance.
+    pub fn satisfies_observation_2_1(&self) -> bool {
+        self.ordinary.value + 1e-9 >= self.wireless.value
+            && self.wireless.value + 1e-9 >= self.unique.value
+    }
+
+    /// `true` if the measured wireless expansion clears the Theorem 1.1
+    /// reference value scaled by `constant` (e.g. 0.25 for a conservative
+    /// constant in small-instance tests).
+    pub fn satisfies_theorem_1_1(&self, constant: f64) -> bool {
+        self.wireless.value + 1e-9 >= constant * self.theorem_1_1_reference
+    }
+
+    /// One-line textual summary for logs and example programs.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} m={} Δ={} | β={:.3} βu={:.3} βw={:.3} (loss {:.2}x) | thm1.1 ref {:.3}",
+            self.num_vertices,
+            self.num_edges,
+            self.max_degree,
+            self.ordinary.value,
+            self.unique.value,
+            self.wireless.value,
+            self.wireless_loss,
+            self.theorem_1_1_reference
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wx_graph::GraphBuilder;
+
+    fn complete_plus(k: usize) -> Graph {
+        let mut b = GraphBuilder::new(k + 1);
+        for i in 0..k {
+            for j in (i + 1)..k {
+                b.add_edge(i, j).unwrap();
+            }
+        }
+        b.add_edge(k, 0).unwrap();
+        b.add_edge(k, 1).unwrap();
+        b.build()
+    }
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap()
+    }
+
+    #[test]
+    fn exact_profile_of_small_graph() {
+        let g = complete_plus(6);
+        let p = ExpansionProfile::measure(&g, &ProfileConfig::default());
+        assert!(p.ordinary.exact && p.unique.exact && p.wireless.exact);
+        assert!(p.satisfies_observation_2_1());
+        // C⁺: unique expansion collapses to zero but wireless stays positive.
+        assert_eq!(p.unique.value, 0.0);
+        assert!(p.wireless.value > 0.0);
+        assert!(p.wireless_loss.is_finite());
+        assert!(p.summary().contains("βw"));
+    }
+
+    #[test]
+    fn sampled_profile_of_larger_graph() {
+        let g = cycle(40);
+        let cfg = ProfileConfig {
+            exact_up_to: 10,
+            ..ProfileConfig::light(0.5)
+        };
+        let p = ExpansionProfile::measure(&g, &cfg);
+        assert!(!p.ordinary.exact);
+        assert!(p.satisfies_observation_2_1());
+        // a cycle's expansion estimate should find an arc: β ≈ 2/|arc| ≤ 0.5
+        assert!(p.ordinary.value <= 0.6);
+        assert!(p.wireless.value > 0.0);
+    }
+
+    #[test]
+    fn profile_detects_regular_graph_spectrum() {
+        let g = cycle(12);
+        let p = ExpansionProfile::measure(&g, &ProfileConfig::default());
+        let l2 = p.lambda2.expect("cycle is regular and small");
+        assert!((l2 - 2.0 * (2.0 * std::f64::consts::PI / 12.0).cos()).abs() < 1e-6);
+        // irregular graph: no λ₂
+        let g2 = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 2)]).unwrap();
+        let p2 = ExpansionProfile::measure(&g2, &ProfileConfig::default());
+        assert!(p2.lambda2.is_none());
+    }
+
+    #[test]
+    fn profile_serializes() {
+        let g = cycle(8);
+        let p = ExpansionProfile::measure(&g, &ProfileConfig::default());
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(json.contains("wireless"));
+        let back: ExpansionProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_vertices, 8);
+    }
+
+    #[test]
+    fn theorem_1_1_satisfied_on_small_expander() {
+        let g = complete_plus(6);
+        let p = ExpansionProfile::measure(&g, &ProfileConfig::default());
+        assert!(p.satisfies_theorem_1_1(1.0), "profile: {}", p.summary());
+    }
+}

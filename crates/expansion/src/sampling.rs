@@ -1,0 +1,308 @@
+//! Candidate-set generation for expansion estimation.
+//!
+//! The expansion notions are minima over exponentially many sets, so on
+//! graphs too large for exact enumeration we estimate them by evaluating the
+//! per-set quantity on a pool of candidate sets. Three generators are
+//! combined:
+//!
+//! * **uniform random** subsets of each target size — unbiased but rarely
+//!   close to the true minimizer;
+//! * **BFS balls** around each (sampled) center — localized sets that tend to
+//!   have small boundaries, a classic low-expansion family;
+//! * **adversarial greedy growth** — starting from a vertex, repeatedly add
+//!   the outside vertex that *minimizes* the resulting boundary, a local
+//!   search towards the minimizing set.
+//!
+//! All generators are deterministic given the seed, and the pool of candidate
+//! sets is shared by the ordinary / unique / wireless estimators so their
+//! results are directly comparable (Observation 2.1 must hold set-by-set).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use wx_graph::random::{derive_seed, rng_from_seed};
+use wx_graph::traversal::bfs;
+use wx_graph::{Graph, VertexSet};
+
+/// Configuration for the candidate-set sampler.
+#[derive(Clone, Debug)]
+pub struct SamplerConfig {
+    /// Maximum fraction of vertices a candidate set may contain (the `α` of
+    /// the expansion definitions).
+    pub alpha: f64,
+    /// Number of uniform random sets per target size.
+    pub random_sets_per_size: usize,
+    /// Target sizes as fractions of `α·n` (e.g. `[0.25, 0.5, 1.0]`).
+    pub size_fractions: Vec<f64>,
+    /// Number of BFS-ball centers to sample.
+    pub ball_centers: usize,
+    /// Number of adversarial greedy growths to run.
+    pub greedy_growths: usize,
+    /// Include every singleton set (cheap, catches degree-based minima).
+    pub include_singletons: bool,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            alpha: 0.5,
+            random_sets_per_size: 16,
+            size_fractions: vec![0.1, 0.25, 0.5, 0.75, 1.0],
+            ball_centers: 8,
+            greedy_growths: 4,
+            include_singletons: true,
+        }
+    }
+}
+
+impl SamplerConfig {
+    /// A lighter configuration for inner loops and benches.
+    pub fn light(alpha: f64) -> Self {
+        SamplerConfig {
+            alpha,
+            random_sets_per_size: 4,
+            size_fractions: vec![0.25, 0.5, 1.0],
+            ball_centers: 3,
+            greedy_growths: 2,
+            include_singletons: true,
+        }
+    }
+
+    /// The maximum candidate-set size for a graph on `n` vertices:
+    /// `⌊α·n⌋`, but at least 1 so that the estimators always have candidates.
+    pub fn max_set_size(&self, n: usize) -> usize {
+        ((self.alpha * n as f64).floor() as usize).clamp(1, n)
+    }
+}
+
+/// A pool of candidate sets for expansion estimation.
+#[derive(Clone, Debug)]
+pub struct CandidateSets {
+    /// The candidate sets (each non-empty and of size at most `⌊α·n⌋`).
+    pub sets: Vec<VertexSet>,
+    /// The `α` used to generate them.
+    pub alpha: f64,
+}
+
+impl CandidateSets {
+    /// Generates the candidate pool for `g` under `config`, seeded by `seed`.
+    pub fn generate(g: &Graph, config: &SamplerConfig, seed: u64) -> Self {
+        let n = g.num_vertices();
+        let mut sets: Vec<VertexSet> = Vec::new();
+        if n == 0 {
+            return CandidateSets {
+                sets,
+                alpha: config.alpha,
+            };
+        }
+        let max_size = config.max_set_size(n);
+        let mut rng = rng_from_seed(derive_seed(seed, 0));
+
+        // Singletons.
+        if config.include_singletons {
+            for v in 0..n {
+                sets.push(g.vertex_set([v]));
+            }
+        }
+
+        // Uniform random sets per target size.
+        for (fi, &frac) in config.size_fractions.iter().enumerate() {
+            let k = ((frac * max_size as f64).round() as usize).clamp(1, max_size);
+            for t in 0..config.random_sets_per_size {
+                let mut trial_rng =
+                    rng_from_seed(derive_seed(seed, 1000 + (fi as u64) * 131 + t as u64));
+                sets.push(wx_graph::random::random_subset_of_size(&mut trial_rng, n, k));
+            }
+        }
+
+        // BFS balls around sampled centers, truncated to the size cap.
+        let mut centers: Vec<usize> = (0..n).collect();
+        centers.shuffle(&mut rng);
+        for &c in centers.iter().take(config.ball_centers) {
+            let res = bfs(g, c);
+            let mut ball: Vec<usize> = Vec::new();
+            // grow layer by layer until the cap is hit
+            let mut r = 0usize;
+            'outer: loop {
+                let layer = res.layer(r);
+                if layer.is_empty() {
+                    break;
+                }
+                for v in layer {
+                    if ball.len() >= max_size {
+                        break 'outer;
+                    }
+                    ball.push(v);
+                }
+                // record the prefix ball at every radius (nested candidates)
+                if !ball.is_empty() {
+                    sets.push(g.vertex_set(ball.iter().copied()));
+                }
+                r += 1;
+            }
+        }
+
+        // Adversarial greedy growth: repeatedly add the boundary vertex whose
+        // inclusion minimizes the new external boundary. The marginal effect
+        // of adding `v` is computed in O(deg v): the boundary loses `v`
+        // itself and gains `v`'s neighbors that are in neither the current
+        // set nor the current boundary, so we only need to count the latter.
+        for t in 0..config.greedy_growths {
+            let mut grow_rng = rng_from_seed(derive_seed(seed, 5000 + t as u64));
+            let start = grow_rng.gen_range(0..n);
+            let mut current = g.vertex_set([start]);
+            let mut boundary =
+                wx_graph::neighborhood::external_neighborhood(g, &current);
+            sets.push(current.clone());
+            while current.len() < max_size && !boundary.is_empty() {
+                let mut best: Option<(usize, usize)> = None;
+                for v in boundary.iter() {
+                    let fresh = g
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&u| !current.contains(u) && !boundary.contains(u))
+                        .count();
+                    match best {
+                        None => best = Some((v, fresh)),
+                        Some((_, bb)) if fresh < bb => best = Some((v, fresh)),
+                        _ => {}
+                    }
+                }
+                let (v, _) = best.expect("non-empty boundary");
+                current.insert(v);
+                boundary.remove(v);
+                for &u in g.neighbors(v) {
+                    if !current.contains(u) {
+                        boundary.insert(u);
+                    }
+                }
+                // Record prefixes at geometrically spaced sizes (plus the
+                // final set) so the candidate pool stays small even when the
+                // growth runs to thousands of vertices.
+                if current.len().is_power_of_two() || current.len() == max_size {
+                    sets.push(current.clone());
+                }
+            }
+        }
+
+        // Drop any accidental empties or over-cap sets, dedup by member list.
+        sets.retain(|s| !s.is_empty() && s.len() <= max_size);
+        sets.sort_by(|a, b| a.to_vec().cmp(&b.to_vec()));
+        sets.dedup_by(|a, b| a.to_vec() == b.to_vec());
+
+        CandidateSets {
+            sets,
+            alpha: config.alpha,
+        }
+    }
+
+    /// Number of candidate sets in the pool.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `true` if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+/// Enumerates *every* non-empty subset of `0..n` with size at most
+/// `max_size`, for exact expansion computation on small graphs.
+///
+/// # Panics
+/// Panics if `n > 22`.
+pub fn all_small_sets(n: usize, max_size: usize) -> Vec<VertexSet> {
+    assert!(n <= 22, "exact enumeration limited to 22 vertices, got {n}");
+    let mut sets = Vec::new();
+    for mask in 1u32..(1u32 << n) {
+        let size = mask.count_ones() as usize;
+        if size > max_size {
+            continue;
+        }
+        sets.push(VertexSet::from_iter(
+            n,
+            (0..n).filter(|&v| (mask >> v) & 1 == 1),
+        ));
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap()
+    }
+
+    #[test]
+    fn generated_sets_respect_size_cap() {
+        let g = cycle(20);
+        let cfg = SamplerConfig::default();
+        let pool = CandidateSets::generate(&g, &cfg, 1);
+        let cap = cfg.max_set_size(20);
+        assert!(!pool.is_empty());
+        for s in &pool.sets {
+            assert!(!s.is_empty());
+            assert!(s.len() <= cap, "set of size {} exceeds cap {cap}", s.len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = cycle(16);
+        let cfg = SamplerConfig::light(0.4);
+        let a = CandidateSets::generate(&g, &cfg, 7);
+        let b = CandidateSets::generate(&g, &cfg, 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.sets.iter().zip(b.sets.iter()) {
+            assert_eq!(x.to_vec(), y.to_vec());
+        }
+    }
+
+    #[test]
+    fn includes_singletons_when_requested() {
+        let g = cycle(10);
+        let pool = CandidateSets::generate(&g, &SamplerConfig::default(), 3);
+        for v in 0..10 {
+            assert!(
+                pool.sets.iter().any(|s| s.len() == 1 && s.contains(v)),
+                "singleton {{{v}}} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_pool() {
+        let g = Graph::empty(0);
+        let pool = CandidateSets::generate(&g, &SamplerConfig::default(), 0);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn max_set_size_is_at_least_one() {
+        let cfg = SamplerConfig {
+            alpha: 0.01,
+            ..SamplerConfig::default()
+        };
+        assert_eq!(cfg.max_set_size(10), 1);
+        assert_eq!(cfg.max_set_size(1000), 10);
+    }
+
+    #[test]
+    fn all_small_sets_counts() {
+        let sets = all_small_sets(4, 4);
+        assert_eq!(sets.len(), 15);
+        let sets = all_small_sets(4, 2);
+        assert_eq!(sets.len(), 4 + 6);
+        for s in &sets {
+            assert!(s.len() <= 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 22")]
+    fn all_small_sets_rejects_large_n() {
+        all_small_sets(30, 2);
+    }
+}

@@ -1,0 +1,280 @@
+//! Spectral quantities of the adjacency matrix (Lemma 3.1).
+//!
+//! Lemma 3.1 relates the unique-neighbor expansion of a `d`-regular graph to
+//! its ordinary expansion through the spectral gap `d − λ₂`, where `λ₂` is
+//! the second-largest adjacency eigenvalue. This module computes adjacency
+//! spectra two ways:
+//!
+//! * a dense symmetric eigendecomposition via `nalgebra` for graphs up to a
+//!   few thousand vertices ([`adjacency_spectrum_dense`]);
+//! * deflated power iteration for larger graphs
+//!   ([`second_eigenvalue_power_iteration`]), which only touches the CSR
+//!   adjacency lists and never materializes the matrix.
+
+use nalgebra::{DMatrix, DVector};
+use wx_graph::Graph;
+
+/// Largest practical size for the dense eigendecomposition.
+pub const DENSE_LIMIT: usize = 2048;
+
+/// The full adjacency spectrum (eigenvalues sorted in decreasing order) via a
+/// dense symmetric eigendecomposition.
+///
+/// # Panics
+/// Panics if the graph has more than [`DENSE_LIMIT`] vertices.
+pub fn adjacency_spectrum_dense(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices();
+    assert!(
+        n <= DENSE_LIMIT,
+        "dense spectrum limited to {DENSE_LIMIT} vertices, got {n}"
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut m = DMatrix::<f64>::zeros(n, n);
+    for (u, v) in g.edges() {
+        m[(u, v)] = 1.0;
+        m[(v, u)] = 1.0;
+    }
+    let eig = m.symmetric_eigen();
+    let mut vals: Vec<f64> = eig.eigenvalues.iter().copied().collect();
+    vals.sort_by(|a, b| b.partial_cmp(a).expect("adjacency eigenvalues are finite"));
+    vals
+}
+
+/// The two largest adjacency eigenvalues `(λ₁, λ₂)` via the dense solver for
+/// small graphs and deflated power iteration otherwise.
+pub fn top_two_eigenvalues(g: &Graph, seed: u64) -> (f64, f64) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    if n <= DENSE_LIMIT {
+        let vals = adjacency_spectrum_dense(g);
+        let l1 = vals.first().copied().unwrap_or(0.0);
+        let l2 = vals.get(1).copied().unwrap_or(0.0);
+        (l1, l2)
+    } else {
+        power_iteration_top_two(g, seed)
+    }
+}
+
+/// The second-largest adjacency eigenvalue `λ₂`.
+pub fn second_eigenvalue(g: &Graph, seed: u64) -> f64 {
+    top_two_eigenvalues(g, seed).1
+}
+
+/// Deflated power iteration for `(λ₁, λ₂)` on graphs of any size.
+/// Exposed for testing against the dense solver.
+pub fn power_iteration_top_two(g: &Graph, seed: u64) -> (f64, f64) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let iters = 400usize;
+    let mut rng = wx_graph::random::rng_from_seed(seed);
+    let random_vec = |rng: &mut wx_graph::random::WxRng| {
+        use rand::Rng;
+        DVector::<f64>::from_iterator(n, (0..n).map(|_| rng.gen_range(-1.0..1.0)))
+    };
+    let mat_vec = |x: &DVector<f64>| -> DVector<f64> {
+        let mut y = DVector::<f64>::zeros(n);
+        for v in 0..n {
+            let mut acc = 0.0;
+            for &u in g.neighbors(v) {
+                acc += x[u];
+            }
+            y[v] = acc;
+        }
+        y
+    };
+
+    // Both stages iterate on the shifted matrix A + Δ·I: adjacency spectra
+    // lie in [−Δ, Δ], so the shift makes the matrix positive semidefinite and
+    // power iteration converges to the *algebraically* largest eigenvalues
+    // even on bipartite graphs where |λ_min| = λ₁ would otherwise cause the
+    // unshifted iteration to oscillate.
+    let shift = g.max_degree() as f64;
+
+    // λ₁ via power iteration on A + Δ·I.
+    let mut x = random_vec(&mut rng);
+    if x.norm() == 0.0 {
+        x = DVector::from_element(n, 1.0);
+    }
+    x /= x.norm();
+    let mut lambda1_shifted = 0.0;
+    for _ in 0..iters {
+        let mut y = mat_vec(&x);
+        y += &x * shift;
+        let norm = y.norm();
+        if norm < 1e-14 {
+            lambda1_shifted = 0.0;
+            break;
+        }
+        lambda1_shifted = x.dot(&y);
+        x = y / norm;
+    }
+    let lambda1 = lambda1_shifted - shift;
+    let v1 = x.clone();
+
+    // λ₂ via power iteration on A + Δ·I orthogonal to v1 (deflation).
+    let mut y = random_vec(&mut rng);
+    y -= &v1 * v1.dot(&y);
+    if y.norm() < 1e-12 {
+        y = DVector::from_element(n, 1.0);
+        y -= &v1 * v1.dot(&y);
+    }
+    if y.norm() < 1e-12 {
+        return (lambda1, 0.0);
+    }
+    y /= y.norm();
+    let mut lambda2_shifted = 0.0;
+    for _ in 0..iters {
+        let mut z = mat_vec(&y);
+        z += &y * shift;
+        // re-orthogonalize against v1 to fight numerical drift
+        z -= &v1 * v1.dot(&z);
+        let norm = z.norm();
+        if norm < 1e-14 {
+            lambda2_shifted = 0.0;
+            break;
+        }
+        lambda2_shifted = y.dot(&z);
+        y = z / norm;
+    }
+    (lambda1, lambda2_shifted - shift)
+}
+
+/// The spectral gap `d − λ₂` of a `d`-regular graph; `None` if the graph is
+/// not regular.
+pub fn spectral_gap_regular(g: &Graph, seed: u64) -> Option<f64> {
+    let d = g.max_degree();
+    if !g.is_regular(d) {
+        return None;
+    }
+    Some(d as f64 - second_eigenvalue(g, seed))
+}
+
+/// Evaluates the Lemma 3.1 lower bound on the ordinary expansion of a
+/// `d`-regular `(αu, βu)`-unique expander:
+/// `β ≥ (1 − 1/d)·βu + (d − λ₂)(1 − αu)/d`.
+/// Returns `None` if the graph is not regular.
+pub fn lemma_3_1_bound(g: &Graph, alpha_u: f64, beta_u: f64, seed: u64) -> Option<f64> {
+    let d = g.max_degree();
+    if d == 0 || !g.is_regular(d) {
+        return None;
+    }
+    let lambda2 = second_eigenvalue(g, seed);
+    Some(wx_spokesman::bounds::lemma_3_1_expansion_bound(
+        d, lambda2, alpha_u, beta_u,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wx_graph::GraphBuilder;
+
+    fn complete(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                b.add_edge(i, j).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap()
+    }
+
+    #[test]
+    fn spectrum_of_complete_graph() {
+        // K_n has eigenvalues n-1 (once) and -1 (n-1 times).
+        let g = complete(6);
+        let vals = adjacency_spectrum_dense(&g);
+        assert!((vals[0] - 5.0).abs() < 1e-9);
+        assert!((vals[1] + 1.0).abs() < 1e-9);
+        assert!((vals[5] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectrum_of_cycle() {
+        // C_n eigenvalues are 2cos(2πk/n); λ₁ = 2, λ₂ = 2cos(2π/n).
+        let n = 8;
+        let g = cycle(n);
+        let (l1, l2) = top_two_eigenvalues(&g, 1);
+        assert!((l1 - 2.0).abs() < 1e-9);
+        let expected = 2.0 * (2.0 * std::f64::consts::PI / n as f64).cos();
+        assert!((l2 - expected).abs() < 1e-6, "λ₂ = {l2}, expected {expected}");
+    }
+
+    #[test]
+    fn power_iteration_agrees_with_dense() {
+        let g = complete(10);
+        let (l1d, l2d) = top_two_eigenvalues(&g, 3);
+        let (l1p, l2p) = power_iteration_top_two(&g, 3);
+        assert!((l1d - l1p).abs() < 1e-6, "λ₁ dense {l1d} vs power {l1p}");
+        assert!((l2d - l2p).abs() < 1e-4, "λ₂ dense {l2d} vs power {l2p}");
+
+        let g = cycle(16);
+        let (l1d, l2d) = {
+            let v = adjacency_spectrum_dense(&g);
+            (v[0], v[1])
+        };
+        let (l1p, l2p) = power_iteration_top_two(&g, 5);
+        assert!((l1d - l1p).abs() < 1e-4);
+        assert!((l2d - l2p).abs() < 1e-3);
+    }
+
+    #[test]
+    fn spectral_gap_of_complete_graph() {
+        let g = complete(8);
+        let gap = spectral_gap_regular(&g, 0).unwrap();
+        assert!((gap - 8.0).abs() < 1e-6); // d - λ₂ = 7 - (-1) = 8
+    }
+
+    #[test]
+    fn spectral_gap_requires_regularity() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(spectral_gap_regular(&g, 0).is_none());
+        assert!(lemma_3_1_bound(&g, 0.1, 1.0, 0).is_none());
+    }
+
+    #[test]
+    fn lemma_3_1_bound_on_complete_graph() {
+        // K8: d = 7, λ₂ = -1. With αu = 1/8 and βu = 0 the bound is
+        // (d - λ₂)(1 - αu)/d = 8·(7/8)/7 = 1.
+        let g = complete(8);
+        let b = lemma_3_1_bound(&g, 1.0 / 8.0, 0.0, 0).unwrap();
+        assert!((b - 1.0).abs() < 1e-6);
+        // And the true expansion for sets of size ≤ 1 is 7 ≥ 1: bound holds.
+        let measured = crate::ordinary::exact(&g, 1.0 / 8.0).unwrap().value;
+        assert!(measured + 1e-9 >= b);
+    }
+
+    #[test]
+    fn empty_graph_spectrum() {
+        let g = Graph::empty(0);
+        assert!(adjacency_spectrum_dense(&g).is_empty());
+        assert_eq!(top_two_eigenvalues(&g, 0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn bipartite_negative_eigenvalue_does_not_confuse_lambda2() {
+        // Complete bipartite K_{3,3}: eigenvalues 3, 0 (x4), -3.
+        let mut b = GraphBuilder::new(6);
+        for i in 0..3 {
+            for j in 3..6 {
+                b.add_edge(i, j).unwrap();
+            }
+        }
+        let g = b.build();
+        let vals = adjacency_spectrum_dense(&g);
+        assert!((vals[0] - 3.0).abs() < 1e-9);
+        assert!(vals[1].abs() < 1e-9);
+        let (_, l2p) = power_iteration_top_two(&g, 11);
+        assert!(l2p.abs() < 1e-3, "power iteration λ₂ = {l2p}, expected ≈ 0");
+    }
+}

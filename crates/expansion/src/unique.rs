@@ -1,0 +1,121 @@
+//! Unique-neighbor expansion `βu(G)` (Section 2.2).
+//!
+//! `βu(G) = min { |Γ¹(S)|/|S| : S ⊆ V, 1 ≤ |S| ≤ α·n }`. Unlike ordinary
+//! expansion, `βu` can collapse to zero on excellent expanders (Lemma 3.3 and
+//! the `C⁺` example), which is exactly the phenomenon wireless expansion is
+//! designed to sidestep.
+
+use crate::sampling::{all_small_sets, CandidateSets, SamplerConfig};
+use crate::ExpansionWitness;
+use rayon::prelude::*;
+use wx_graph::neighborhood::unique_expansion_of_set;
+use wx_graph::{Graph, VertexSet};
+
+/// The unique-neighbor expansion of a single set, `|Γ¹(S)|/|S|`.
+pub fn of_set(g: &Graph, s: &VertexSet) -> f64 {
+    unique_expansion_of_set(g, s)
+}
+
+/// Exact unique-neighbor expansion by enumeration (graphs of ≤ 22 vertices).
+pub fn exact(g: &Graph, alpha: f64) -> Option<ExpansionWitness> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return None;
+    }
+    let max_size = ((alpha * n as f64).floor() as usize).clamp(1, n);
+    let sets = all_small_sets(n, max_size);
+    sets.into_par_iter()
+        .map(|s| {
+            let v = unique_expansion_of_set(g, &s);
+            ExpansionWitness::new(v, s)
+        })
+        .reduce_with(|a, b| a.min(b))
+}
+
+/// Estimated unique-neighbor expansion over a candidate pool (an upper bound
+/// on the true `βu(G)`).
+pub fn estimate(g: &Graph, candidates: &CandidateSets) -> Option<ExpansionWitness> {
+    candidates
+        .sets
+        .par_iter()
+        .map(|s| ExpansionWitness::new(unique_expansion_of_set(g, s), s.clone()))
+        .reduce_with(|a, b| a.min(b))
+}
+
+/// Convenience: generate a candidate pool with `config` and estimate.
+pub fn estimate_with_config(
+    g: &Graph,
+    config: &SamplerConfig,
+    seed: u64,
+) -> Option<ExpansionWitness> {
+    let pool = CandidateSets::generate(g, config, seed);
+    estimate(g, &pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wx_graph::GraphBuilder;
+
+    fn complete_plus(k: usize) -> Graph {
+        // complete graph on k vertices + source s0 = vertex k adjacent to 0, 1
+        let mut b = GraphBuilder::new(k + 1);
+        for i in 0..k {
+            for j in (i + 1)..k {
+                b.add_edge(i, j).unwrap();
+            }
+        }
+        b.add_edge(k, 0).unwrap();
+        b.add_edge(k, 1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn unique_expansion_can_vanish_on_good_expanders() {
+        // The C⁺ example: the set {x, y, s0} has no unique neighbors.
+        let g = complete_plus(6);
+        let w = exact(&g, 0.5).unwrap();
+        assert_eq!(w.value, 0.0);
+        // the witness must indeed have zero unique neighbors
+        assert_eq!(
+            wx_graph::neighborhood::unique_neighborhood(&g, &w.witness).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn unique_vs_ordinary_ordering_per_set() {
+        // Observation 2.1 (per set): |Γ¹(S)| ≤ |Γ⁻(S)|.
+        let g = complete_plus(5);
+        let pool = CandidateSets::generate(&g, &SamplerConfig::default(), 2);
+        for s in &pool.sets {
+            assert!(of_set(&g, s) <= crate::ordinary::of_set(&g, s) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn estimate_upper_bounds_exact() {
+        let g = complete_plus(5);
+        let ex = exact(&g, 0.5).unwrap();
+        let est = estimate_with_config(&g, &SamplerConfig::default(), 9).unwrap();
+        assert!(est.value >= ex.value - 1e-12);
+    }
+
+    #[test]
+    fn unique_expansion_of_perfect_matching() {
+        let g = Graph::from_edges(6, [(0, 3), (1, 4), (2, 5)]).unwrap();
+        // Singletons each have exactly one (unique) external neighbor.
+        let w = exact(&g, 1.0 / 6.0).unwrap();
+        assert!((w.value - 1.0).abs() < 1e-12);
+        // But once whole matched pairs fit under the size cap, a pair like
+        // {0, 3} has an empty external neighborhood, so βu collapses to 0.
+        let w = exact(&g, 0.5).unwrap();
+        assert_eq!(w.value, 0.0);
+        assert_eq!(w.witness.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(exact(&Graph::empty(0), 0.5).is_none());
+    }
+}

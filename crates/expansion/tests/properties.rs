@@ -1,0 +1,110 @@
+//! Property-based tests for the expansion metrics: per-set definitions,
+//! the Observation 2.1 sandwich, estimator soundness, and spectral bounds.
+
+use proptest::prelude::*;
+use wx_graph::{Graph, VertexSet};
+
+fn edge_list(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..n, 0..n), 0..(n * 3).max(1)).prop_map(move |pairs| {
+        pairs.into_iter().filter(|(u, v)| u != v).collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Per-set quantities match brute-force recomputation from the
+    /// neighborhood definitions, and the Observation 2.1 sandwich holds with
+    /// the exact wireless value.
+    #[test]
+    fn per_set_quantities_are_consistent(edges in edge_list(10),
+                                         members in prop::collection::btree_set(0usize..10, 1..6)) {
+        let g = Graph::from_edges(10, edges).unwrap();
+        let s = VertexSet::from_iter(10, members.iter().copied());
+
+        let beta = wx_expansion::ordinary::of_set(&g, &s);
+        let beta_u = wx_expansion::unique::of_set(&g, &s);
+        let (beta_w, witness) = wx_expansion::wireless::of_set_exact(&g, &s);
+
+        let boundary = wx_graph::neighborhood::external_neighborhood(&g, &s).len() as f64;
+        let unique = wx_graph::neighborhood::unique_neighborhood(&g, &s).len() as f64;
+        prop_assert!((beta - boundary / s.len() as f64).abs() < 1e-12);
+        prop_assert!((beta_u - unique / s.len() as f64).abs() < 1e-12);
+        prop_assert!(beta + 1e-12 >= beta_w && beta_w + 1e-12 >= beta_u);
+        // the wireless witness really achieves the claimed value
+        let achieved = wx_graph::neighborhood::s_excluding_unique_coverage(&g, &s, &witness) as f64
+            / s.len() as f64;
+        prop_assert!((achieved - beta_w).abs() < 1e-12);
+    }
+
+    /// Exact minima are never larger than the value of any particular set
+    /// (estimator soundness), and candidate pools never produce sets above
+    /// the size cap.
+    #[test]
+    fn exact_minimum_is_a_lower_envelope(edges in edge_list(9), alpha in 0.2f64..0.9) {
+        let g = Graph::from_edges(9, edges).unwrap();
+        let max_size = ((alpha * 9.0).floor() as usize).clamp(1, 9);
+        let exact = wx_expansion::ordinary::exact(&g, alpha).unwrap();
+        let exact_u = wx_expansion::unique::exact(&g, alpha).unwrap();
+        let exact_w = wx_expansion::wireless::exact(&g, alpha).unwrap();
+        prop_assert!(exact.witness.len() <= max_size);
+        // every candidate set in a generated pool dominates the exact minima
+        let pool = wx_expansion::sampling::CandidateSets::generate(
+            &g,
+            &wx_expansion::sampling::SamplerConfig::light(alpha),
+            3,
+        );
+        for s in &pool.sets {
+            prop_assert!(s.len() <= max_size);
+            prop_assert!(wx_expansion::ordinary::of_set(&g, s) + 1e-12 >= exact.value);
+            prop_assert!(wx_expansion::unique::of_set(&g, s) + 1e-12 >= exact_u.value);
+            prop_assert!(wx_expansion::wireless::of_set_exact(&g, s).0 + 1e-12 >= exact_w.value);
+        }
+        // and the graph-level sandwich holds
+        prop_assert!(exact.value + 1e-12 >= exact_w.value);
+        prop_assert!(exact_w.value + 1e-12 >= exact_u.value);
+    }
+
+    /// Spectral sanity on arbitrary graphs: λ₁ is at most Δ and at least the
+    /// average degree, λ₂ ≤ λ₁, and both agree between the dense solver and
+    /// power iteration.
+    #[test]
+    fn spectral_bounds_and_agreement(edges in edge_list(12), seed in 0u64..50) {
+        let g = Graph::from_edges(12, edges).unwrap();
+        if g.num_edges() == 0 {
+            return Ok(());
+        }
+        let spectrum = wx_expansion::spectral::adjacency_spectrum_dense(&g);
+        let l1 = spectrum[0];
+        let l2 = spectrum.get(1).copied().unwrap_or(0.0);
+        prop_assert!(l1 <= g.max_degree() as f64 + 1e-9);
+        prop_assert!(l1 + 1e-9 >= g.average_degree());
+        prop_assert!(l2 <= l1 + 1e-9);
+        let (p1, p2) = wx_expansion::spectral::power_iteration_top_two(&g, seed);
+        prop_assert!((p1 - l1).abs() < 1e-3, "λ₁ dense {l1} vs power {p1}");
+        // power iteration can undershoot λ₂ when eigenvalues are clustered;
+        // it must never overshoot λ₁ nor exceed the true λ₂ by more than noise
+        prop_assert!(p2 <= l2 + 1e-3, "λ₂ power {p2} exceeds dense {l2}");
+    }
+
+    /// The MeasuredExpansion profile is internally consistent on arbitrary
+    /// small graphs (exact mode).
+    #[test]
+    fn profile_internal_consistency(edges in edge_list(9)) {
+        let g = Graph::from_edges(9, edges).unwrap();
+        if g.num_vertices() == 0 {
+            return Ok(());
+        }
+        let p = wx_expansion::profile::ExpansionProfile::measure(
+            &g,
+            &wx_expansion::profile::ProfileConfig::default(),
+        );
+        prop_assert!(p.ordinary.exact && p.wireless.exact);
+        prop_assert!(p.satisfies_observation_2_1());
+        prop_assert_eq!(p.max_degree, g.max_degree());
+        prop_assert_eq!(p.num_edges, g.num_edges());
+        if p.wireless.value > 0.0 {
+            prop_assert!((p.wireless_loss - p.ordinary.value / p.wireless.value).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! The core immutable undirected graph type in compressed-sparse-row form.
+
+use crate::{GraphError, Result, Vertex, VertexSet};
+use serde::{Deserialize, Serialize};
+
+/// An immutable undirected graph on vertices `0..n`, stored in compressed
+/// sparse row (CSR) form.
+///
+/// Each undirected edge `{u, v}` appears in the adjacency list of both `u`
+/// and `v`. Adjacency lists are sorted, enabling `O(log deg)` membership
+/// tests via [`Graph::has_edge`]. Self-loops are not permitted; parallel
+/// edges are collapsed at construction time by [`crate::GraphBuilder`].
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-vertex sorted adjacency lists.
+    neighbors: Vec<Vertex>,
+    /// Number of undirected edges.
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Constructs a graph directly from an edge list over `n` vertices.
+    ///
+    /// Duplicate edges are collapsed and self-loops rejected. This is a
+    /// convenience wrapper over [`crate::GraphBuilder`].
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (Vertex, Vertex)>) -> Result<Self> {
+        let mut b = crate::GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Internal constructor used by the builder. `adj` must contain, for each
+    /// vertex, a sorted, deduplicated adjacency list with no self-loops.
+    pub(crate) fn from_sorted_adjacency(adj: Vec<Vec<Vertex>>) -> Self {
+        let n = adj.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for list in &adj {
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len());
+        }
+        let num_edges = neighbors.len() / 2;
+        Graph {
+            offsets,
+            neighbors,
+            num_edges,
+        }
+    }
+
+    /// An empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+            num_edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Checks that `v` is a valid vertex of this graph.
+    pub fn check_vertex(&self, v: Vertex) -> Result<()> {
+        if v < self.num_vertices() {
+            Ok(())
+        } else {
+            Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.num_vertices(),
+            })
+        }
+    }
+
+    /// The sorted adjacency list of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The maximum degree `Δ(G)` (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// The minimum degree (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        (0..self.num_vertices()).map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// The average degree `2|E|/|V|` (0.0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// `true` if every vertex has degree exactly `d`.
+    pub fn is_regular(&self, d: usize) -> bool {
+        (0..self.num_vertices()).all(|v| self.degree(v) == d)
+    }
+
+    /// `true` iff the edge `{u, v}` exists (binary search on `u`'s list).
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        if u >= self.num_vertices() || v >= self.num_vertices() {
+            return false;
+        }
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over each undirected edge exactly once as `(u, v)` with
+    /// `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+        (0..self.num_vertices()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterates over all vertices `0..n`.
+    pub fn vertices(&self) -> std::ops::Range<Vertex> {
+        0..self.num_vertices()
+    }
+
+    /// The number of neighbors of `v` inside the set `S`, i.e. `deg(v, S)`
+    /// from Section 2.1 of the paper.
+    pub fn degree_in(&self, v: Vertex, s: &VertexSet) -> usize {
+        self.neighbors(v).iter().filter(|&&u| s.contains(u)).count()
+    }
+
+    /// The number of edges with both endpoints in `U`, i.e. `|E(U)|` from the
+    /// arboricity definition in Section 2.1.
+    pub fn edges_within(&self, u: &VertexSet) -> usize {
+        u.iter()
+            .map(|v| self.neighbors(v).iter().filter(|&&w| w > v && u.contains(w)).count())
+            .sum()
+    }
+
+    /// The number of edges between the disjoint sets `S` and `T`, i.e.
+    /// `|e(S, T)|` from Section 2.1. Edges with both endpoints in the
+    /// intersection (if the sets are not disjoint) are counted once per
+    /// ordered crossing, matching the paper's use for disjoint sets.
+    pub fn edges_between(&self, s: &VertexSet, t: &VertexSet) -> usize {
+        s.iter()
+            .map(|v| self.neighbors(v).iter().filter(|&&w| t.contains(w)).count())
+            .sum()
+    }
+
+    /// The induced subgraph on `U`, together with the mapping from new vertex
+    /// indices `0..|U|` back to the original vertex ids.
+    pub fn induced_subgraph(&self, u: &VertexSet) -> (Graph, Vec<Vertex>) {
+        let vertices: Vec<Vertex> = u.to_vec();
+        let mut index_of = vec![usize::MAX; self.num_vertices()];
+        for (i, &v) in vertices.iter().enumerate() {
+            index_of[v] = i;
+        }
+        let mut adj: Vec<Vec<Vertex>> = vec![Vec::new(); vertices.len()];
+        for (i, &v) in vertices.iter().enumerate() {
+            for &w in self.neighbors(v) {
+                if u.contains(w) {
+                    adj[i].push(index_of[w]);
+                }
+            }
+            adj[i].sort_unstable();
+            adj[i].dedup();
+        }
+        (Graph::from_sorted_adjacency(adj), vertices)
+    }
+
+    /// Returns a new graph that is the disjoint union of `self` and `other`;
+    /// vertices of `other` are shifted by `self.num_vertices()`.
+    pub fn disjoint_union(&self, other: &Graph) -> Graph {
+        let shift = self.num_vertices();
+        let n = shift + other.num_vertices();
+        let mut b = crate::GraphBuilder::new(n);
+        for (u, v) in self.edges() {
+            b.add_edge(u, v).expect("edges of a valid graph are valid");
+        }
+        for (u, v) in other.edges() {
+            b.add_edge(u + shift, v + shift)
+                .expect("shifted edges remain valid");
+        }
+        b.build()
+    }
+
+    /// A full vertex set over this graph's universe.
+    pub fn full_vertex_set(&self) -> VertexSet {
+        VertexSet::full(self.num_vertices())
+    }
+
+    /// An empty vertex set over this graph's universe.
+    pub fn empty_vertex_set(&self) -> VertexSet {
+        VertexSet::empty(self.num_vertices())
+    }
+
+    /// Builds a vertex set over this graph's universe from an iterator.
+    pub fn vertex_set(&self, vs: impl IntoIterator<Item = Vertex>) -> VertexSet {
+        VertexSet::from_iter(self.num_vertices(), vs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        // 0 - 1 - 2 - 3
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = path4();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 1);
+        assert!((g.average_degree() - 1.5).abs() < 1e-12);
+        assert!(!g.is_regular(2));
+    }
+
+    #[test]
+    fn neighbors_sorted_and_has_edge() {
+        let g = Graph::from_edges(5, [(4, 0), (4, 2), (4, 1), (0, 2)]).unwrap();
+        assert_eq!(g.neighbors(4), &[0, 1, 2]);
+        assert!(g.has_edge(0, 4));
+        assert!(g.has_edge(4, 0));
+        assert!(!g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 99));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = path4();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn degree_in_and_edge_counts() {
+        let g = Graph::from_edges(6, [(0, 1), (0, 2), (0, 3), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let s = g.vertex_set([0, 1, 2]);
+        let t = g.vertex_set([3, 4, 5]);
+        assert_eq!(g.degree_in(0, &s), 2);
+        assert_eq!(g.degree_in(0, &t), 1);
+        assert_eq!(g.edges_within(&s), 3); // triangle 0-1, 0-2, 1-2
+        assert_eq!(g.edges_within(&t), 2);
+        assert_eq!(g.edges_between(&s, &t), 1); // only 0-3
+        assert_eq!(g.edges_between(&t, &s), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        let (h, map) = g.induced_subgraph(&g.vertex_set([0, 1, 2, 3]));
+        assert_eq!(h.num_vertices(), 4);
+        assert_eq!(h.num_edges(), 3); // path 0-1-2-3 survives; 5-0 and 3-4 cut
+        assert_eq!(map, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn disjoint_union_shifts_labels() {
+        let a = path4();
+        let b = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let u = a.disjoint_union(&b);
+        assert_eq!(u.num_vertices(), 6);
+        assert_eq!(u.num_edges(), 4);
+        assert!(u.has_edge(4, 5));
+        assert!(!u.has_edge(3, 4));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(3);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        let g0 = Graph::empty(0);
+        assert_eq!(g0.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn check_vertex_errors() {
+        let g = path4();
+        assert!(g.check_vertex(3).is_ok());
+        assert!(matches!(
+            g.check_vertex(4),
+            Err(GraphError::VertexOutOfRange { vertex: 4, n: 4 })
+        ));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = path4();
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for the graph substrate.
+
+use thiserror::Error;
+
+/// Errors produced by graph construction and graph queries.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex index was outside the range `0..n`.
+    #[error("vertex {vertex} out of range for graph with {n} vertices")]
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+
+    /// A self-loop was supplied where the construction forbids it.
+    #[error("self-loop on vertex {0} is not allowed here")]
+    SelfLoop(usize),
+
+    /// A parameter combination was invalid (message explains the constraint).
+    #[error("invalid parameter: {0}")]
+    InvalidParameter(String),
+
+    /// A construction that requires a particular structural property
+    /// (e.g. bipartiteness, regularity) was given a graph without it.
+    #[error("structural requirement violated: {0}")]
+    StructureViolation(String),
+
+    /// A randomized construction failed to converge within its retry budget.
+    #[error("randomized construction did not converge: {0}")]
+    DidNotConverge(String),
+}
+
+impl GraphError {
+    /// Helper for building [`GraphError::InvalidParameter`] from anything
+    /// displayable.
+    pub fn invalid(msg: impl std::fmt::Display) -> Self {
+        GraphError::InvalidParameter(msg.to_string())
+    }
+
+    /// Helper for building [`GraphError::StructureViolation`].
+    pub fn structure(msg: impl std::fmt::Display) -> Self {
+        GraphError::StructureViolation(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 7, n: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+
+        let e = GraphError::SelfLoop(2);
+        assert!(e.to_string().contains('2'));
+
+        let e = GraphError::invalid("beta must be positive");
+        assert!(e.to_string().contains("beta"));
+
+        let e = GraphError::structure("graph must be d-regular");
+        assert!(e.to_string().contains("regular"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(GraphError::SelfLoop(1), GraphError::SelfLoop(1));
+        assert_ne!(GraphError::SelfLoop(1), GraphError::SelfLoop(2));
+    }
+}

@@ -1,0 +1,60 @@
+//! # wx-graph
+//!
+//! Graph substrate for the *Wireless Expanders* (SPAA 2018) reproduction.
+//!
+//! This crate provides the data structures and primitive graph operations that
+//! every other crate in the workspace builds on:
+//!
+//! * [`Graph`] — an immutable, compressed-sparse-row undirected graph.
+//! * [`GraphBuilder`] — incremental construction with duplicate-edge and
+//!   self-loop handling.
+//! * [`BipartiteGraph`] — an explicit two-sided graph `G_S = (S, N, E_S)` as
+//!   used throughout Section 4 and Appendix A of the paper.
+//! * [`VertexSet`] — a hybrid bitset + list representation of vertex subsets,
+//!   the object all expansion notions quantify over.
+//! * [`neighborhood`] — the neighborhood operators `Γ(S)`, `Γ⁻(S)`, `Γ¹(S)`
+//!   and the `S`-excluding unique neighborhood `Γ¹_S(S')` (Section 2.1).
+//! * [`degree`] — degree statistics (maximum degree `Δ`, average degrees
+//!   `δ_S`, `δ_N`, degree histograms).
+//! * [`arboricity`] — arboricity / maximum-average-degree estimation
+//!   (Section 2.1), used for the low-arboricity corollary.
+//! * [`traversal`] — BFS, connected components, distances, diameter.
+//! * [`parallel`] — rayon-parallel sweeps over vertices and vertex sets.
+//! * [`random`] — reproducible random number utilities shared by the
+//!   workspace (every randomized routine takes an explicit `u64` seed).
+//! * [`petgraph_compat`] — conversions to and from [`petgraph`] for interop.
+//!
+//! The representation is deliberately simple: vertices are dense indices
+//! `0..n`, edges are undirected and stored once per endpoint in a CSR layout.
+//! This keeps neighborhood queries cache-friendly, which matters because the
+//! expansion computations in `wx-expansion` evaluate `Γ(S)` over very many
+//! candidate sets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arboricity;
+pub mod bipartite;
+pub mod builder;
+pub mod csr;
+pub mod degree;
+pub mod error;
+pub mod neighborhood;
+pub mod parallel;
+pub mod petgraph_compat;
+pub mod random;
+pub mod traversal;
+pub mod vertex_set;
+
+pub use bipartite::{BipartiteBuilder, BipartiteGraph, Side};
+pub use builder::GraphBuilder;
+pub use csr::Graph;
+pub use error::GraphError;
+pub use vertex_set::VertexSet;
+
+/// A vertex identifier. Vertices of a [`Graph`] with `n` vertices are the
+/// dense range `0..n`.
+pub type Vertex = usize;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;

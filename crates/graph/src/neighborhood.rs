@@ -1,0 +1,215 @@
+//! Neighborhood operators from Section 2.1 of the paper.
+//!
+//! For a graph `G = (V, E)`, a set `S ⊆ V` and a subset `S' ⊆ S`:
+//!
+//! * `Γ(S)`   — all neighbors of vertices of `S` (may intersect `S`);
+//! * `Γ⁻(S)`  — external neighbors, `Γ(S) \ S`;
+//! * `Γ¹(S)`  — vertices outside `S` with *exactly one* neighbor in `S`;
+//! * `Γ_S(S')` — vertices outside `S` with at least one neighbor in `S'`
+//!   (the `S`-excluding neighborhood);
+//! * `Γ¹_S(S')` — vertices outside `S` with exactly one neighbor in `S'`
+//!   (the `S`-excluding unique neighborhood). Note `Γ¹(S) = Γ¹_S(S)`.
+//!
+//! These are the primitives from which ordinary, unique-neighbor and wireless
+//! expansion are all defined.
+
+use crate::{Graph, Vertex, VertexSet};
+
+/// `Γ(v)` as a [`VertexSet`].
+pub fn neighbors_of_vertex(g: &Graph, v: Vertex) -> VertexSet {
+    VertexSet::from_iter(g.num_vertices(), g.neighbors(v).iter().copied())
+}
+
+/// `Γ(S)`: the union of neighborhoods of the vertices of `S` (which may
+/// include vertices of `S` itself).
+pub fn neighborhood(g: &Graph, s: &VertexSet) -> VertexSet {
+    let mut out = VertexSet::empty(g.num_vertices());
+    for v in s.iter() {
+        for &u in g.neighbors(v) {
+            out.insert(u);
+        }
+    }
+    out
+}
+
+/// `Γ⁻(S) = Γ(S) \ S`: the external neighborhood of `S`.
+pub fn external_neighborhood(g: &Graph, s: &VertexSet) -> VertexSet {
+    let mut out = VertexSet::empty(g.num_vertices());
+    for v in s.iter() {
+        for &u in g.neighbors(v) {
+            if !s.contains(u) {
+                out.insert(u);
+            }
+        }
+    }
+    out
+}
+
+/// `Γ¹(S)`: vertices outside `S` adjacent to exactly one vertex of `S`.
+pub fn unique_neighborhood(g: &Graph, s: &VertexSet) -> VertexSet {
+    s_excluding_unique_neighborhood(g, s, s)
+}
+
+/// `Γ_S(S')`: vertices outside `S` adjacent to at least one vertex of `S'`.
+///
+/// `s_prime` must be a subset of `s`; this is debug-asserted.
+pub fn s_excluding_neighborhood(g: &Graph, s: &VertexSet, s_prime: &VertexSet) -> VertexSet {
+    debug_assert!(s_prime.is_subset_of(s), "S' must be a subset of S");
+    let mut out = VertexSet::empty(g.num_vertices());
+    for v in s_prime.iter() {
+        for &u in g.neighbors(v) {
+            if !s.contains(u) {
+                out.insert(u);
+            }
+        }
+    }
+    out
+}
+
+/// `Γ¹_S(S')`: vertices outside `S` adjacent to exactly one vertex of `S'`.
+///
+/// `s_prime` must be a subset of `s`; this is debug-asserted.
+pub fn s_excluding_unique_neighborhood(g: &Graph, s: &VertexSet, s_prime: &VertexSet) -> VertexSet {
+    debug_assert!(s_prime.is_subset_of(s), "S' must be a subset of S");
+    let mut count: Vec<u32> = vec![0; g.num_vertices()];
+    for v in s_prime.iter() {
+        for &u in g.neighbors(v) {
+            if !s.contains(u) {
+                count[u] = count[u].saturating_add(1);
+            }
+        }
+    }
+    VertexSet::from_iter(
+        g.num_vertices(),
+        count
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == 1)
+            .map(|(u, _)| u),
+    )
+}
+
+/// `|Γ¹_S(S')|` without materializing the set.
+pub fn s_excluding_unique_coverage(g: &Graph, s: &VertexSet, s_prime: &VertexSet) -> usize {
+    debug_assert!(s_prime.is_subset_of(s), "S' must be a subset of S");
+    let mut count: Vec<u32> = vec![0; g.num_vertices()];
+    for v in s_prime.iter() {
+        for &u in g.neighbors(v) {
+            if !s.contains(u) {
+                count[u] = count[u].saturating_add(1);
+            }
+        }
+    }
+    count.iter().filter(|&&c| c == 1).count()
+}
+
+/// The ordinary expansion of a single set, `|Γ⁻(S)| / |S|` (Section 2.1).
+/// Returns `f64::INFINITY` for the empty set, matching the convention that
+/// the minimum over non-empty sets is what matters.
+pub fn expansion_of_set(g: &Graph, s: &VertexSet) -> f64 {
+    if s.is_empty() {
+        return f64::INFINITY;
+    }
+    external_neighborhood(g, s).len() as f64 / s.len() as f64
+}
+
+/// The unique-neighbor expansion of a single set, `|Γ¹(S)| / |S|`.
+pub fn unique_expansion_of_set(g: &Graph, s: &VertexSet) -> f64 {
+    if s.is_empty() {
+        return f64::INFINITY;
+    }
+    unique_neighborhood(g, s).len() as f64 / s.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The `C⁺` example of the introduction: a complete graph on `k` vertices
+    /// plus an extra source `s0` (vertex index `k`) attached to vertices 0, 1.
+    fn c_plus(k: usize) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                edges.push((i, j));
+            }
+        }
+        edges.push((k, 0));
+        edges.push((k, 1));
+        Graph::from_edges(k + 1, edges).unwrap()
+    }
+
+    #[test]
+    fn gamma_of_vertex_and_set() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(neighbors_of_vertex(&g, 2).to_vec(), vec![1, 3]);
+        let s = g.vertex_set([1, 2]);
+        // Γ(S) includes internal neighbors 1, 2 as well as 0 and 3.
+        assert_eq!(neighborhood(&g, &s).to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(external_neighborhood(&g, &s).to_vec(), vec![0, 3]);
+    }
+
+    #[test]
+    fn unique_neighborhood_on_path() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let s = g.vertex_set([1, 3]);
+        // 0 has one neighbor in S (1), 2 has two (1 and 3), 4 has one (3).
+        assert_eq!(unique_neighborhood(&g, &s).to_vec(), vec![0, 4]);
+        assert_eq!(external_neighborhood(&g, &s).to_vec(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn c_plus_has_good_expansion_but_zero_unique_expansion() {
+        // The motivating example: S = {x, y, s0} has unique expansion 0 in C⁺
+        // because every vertex of the clique sees both x and y.
+        let k = 6;
+        let g = c_plus(k);
+        let s = g.vertex_set([0, 1, k]);
+        assert!(expansion_of_set(&g, &s) > 1.0);
+        assert_eq!(unique_neighborhood(&g, &s).len(), 0);
+        assert_eq!(unique_expansion_of_set(&g, &s), 0.0);
+
+        // but a subset S' = {x} uniquely covers the rest of the clique:
+        let s_prime = g.vertex_set([0]);
+        let w = s_excluding_unique_neighborhood(&g, &s, &s_prime);
+        assert_eq!(w.len(), k - 2);
+    }
+
+    #[test]
+    fn s_excluding_operators_ignore_vertices_inside_s() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)]).unwrap();
+        let s = g.vertex_set([0, 1, 2]);
+        let s_prime = g.vertex_set([2]);
+        // vertex 3 is the only vertex outside S; it neighbors 2 exactly once.
+        assert_eq!(s_excluding_neighborhood(&g, &s, &s_prime).to_vec(), vec![3]);
+        assert_eq!(s_excluding_unique_neighborhood(&g, &s, &s_prime).to_vec(), vec![3]);
+        assert_eq!(s_excluding_unique_coverage(&g, &s, &s_prime), 1);
+    }
+
+    #[test]
+    fn gamma1_of_s_equals_s_excluding_of_full_s() {
+        let g = c_plus(5);
+        let s = g.vertex_set([0, 1, 5]);
+        assert_eq!(
+            unique_neighborhood(&g, &s).to_vec(),
+            s_excluding_unique_neighborhood(&g, &s, &s).to_vec()
+        );
+    }
+
+    #[test]
+    fn empty_set_conventions() {
+        let g = c_plus(4);
+        let empty = g.empty_vertex_set();
+        assert!(expansion_of_set(&g, &empty).is_infinite());
+        assert!(unique_expansion_of_set(&g, &empty).is_infinite());
+        assert_eq!(neighborhood(&g, &empty).len(), 0);
+    }
+
+    #[test]
+    fn expansion_of_single_vertex() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        let s = g.vertex_set([0]);
+        assert_eq!(expansion_of_set(&g, &s), 3.0);
+        assert_eq!(unique_expansion_of_set(&g, &s), 3.0);
+    }
+}

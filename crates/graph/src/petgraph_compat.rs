@@ -1,0 +1,86 @@
+//! Conversions to and from [`petgraph`] graphs.
+//!
+//! Downstream users often already have graph data in `petgraph` structures;
+//! these helpers translate between `petgraph::graph::UnGraph` and our CSR
+//! [`Graph`] so the expansion machinery can be applied directly.
+
+use crate::{Graph, GraphBuilder, Result};
+use petgraph::graph::{NodeIndex, UnGraph};
+use petgraph::visit::EdgeRef;
+
+/// Converts a `petgraph` undirected graph into a [`Graph`], discarding node
+/// and edge weights. Node indices are preserved (petgraph node `i` becomes
+/// vertex `i`). Self-loops in the input are skipped; parallel edges collapse.
+pub fn from_petgraph<N, E>(g: &UnGraph<N, E>) -> Graph {
+    let n = g.node_count();
+    let mut b = GraphBuilder::new(n);
+    for e in g.edge_references() {
+        let u = e.source().index();
+        let v = e.target().index();
+        if u != v {
+            b.add_edge(u, v).expect("petgraph node indices are dense");
+        }
+    }
+    b.build()
+}
+
+/// Converts a [`Graph`] into a `petgraph` undirected graph with unit node and
+/// edge weights.
+pub fn to_petgraph(g: &Graph) -> UnGraph<(), ()> {
+    let mut pg = UnGraph::<(), ()>::default();
+    let nodes: Vec<NodeIndex> = (0..g.num_vertices()).map(|_| pg.add_node(())).collect();
+    for (u, v) in g.edges() {
+        pg.add_edge(nodes[u], nodes[v], ());
+    }
+    pg
+}
+
+/// Builds a [`Graph`] from an explicit petgraph-style edge list with `usize`
+/// endpoints, validating ranges.
+pub fn from_edge_list(n: usize, edges: &[(usize, usize)]) -> Result<Graph> {
+    Graph::from_edges(n, edges.iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_petgraph() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let pg = to_petgraph(&g);
+        assert_eq!(pg.node_count(), 5);
+        assert_eq!(pg.edge_count(), 5);
+        let back = from_petgraph(&pg);
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn petgraph_self_loops_are_dropped() {
+        let mut pg = UnGraph::<(), ()>::default();
+        let a = pg.add_node(());
+        let b = pg.add_node(());
+        pg.add_edge(a, a, ());
+        pg.add_edge(a, b, ());
+        let g = from_petgraph(&pg);
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn petgraph_parallel_edges_collapse() {
+        let mut pg = UnGraph::<(), ()>::default();
+        let a = pg.add_node(());
+        let b = pg.add_node(());
+        pg.add_edge(a, b, ());
+        pg.add_edge(a, b, ());
+        let g = from_petgraph(&pg);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn from_edge_list_validates() {
+        assert!(from_edge_list(2, &[(0, 1)]).is_ok());
+        assert!(from_edge_list(2, &[(0, 2)]).is_err());
+    }
+}

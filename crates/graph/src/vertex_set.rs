@@ -1,0 +1,351 @@
+//! Vertex subsets.
+//!
+//! Every expansion notion in the paper quantifies over vertex subsets
+//! `S ⊆ V`: ordinary expansion looks at `Γ⁻(S)`, unique-neighbor expansion at
+//! `Γ¹(S)`, and wireless expansion additionally quantifies over subsets
+//! `S' ⊆ S`. [`VertexSet`] is the workhorse representation for these sets: a
+//! bitset (for O(1) membership tests) paired with a sorted member list (for
+//! fast iteration proportional to `|S|` rather than `n`).
+
+use std::fmt;
+
+/// A subset of the vertices `0..n` of a graph.
+///
+/// Internally a `VertexSet` stores both a bitset over the universe and a
+/// sorted vector of members, so membership queries are O(1) and iteration is
+/// O(|S|). The universe size is fixed at construction; all vertices passed to
+/// mutating methods must lie in `0..universe`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct VertexSet {
+    universe: usize,
+    words: Vec<u64>,
+    members: Vec<usize>,
+}
+
+const WORD_BITS: usize = 64;
+
+impl VertexSet {
+    /// Creates an empty set over the universe `0..universe`.
+    pub fn empty(universe: usize) -> Self {
+        VertexSet {
+            universe,
+            words: vec![0u64; universe.div_ceil(WORD_BITS)],
+            members: Vec::new(),
+        }
+    }
+
+    /// Creates the full set `{0, 1, …, universe-1}`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = Self::empty(universe);
+        for v in 0..universe {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Creates a set from an iterator of vertices. Duplicates are ignored.
+    ///
+    /// # Panics
+    /// Panics if any vertex is `>= universe`.
+    pub fn from_iter(universe: usize, vertices: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::empty(universe);
+        for v in vertices {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// The size of the underlying universe (the graph's vertex count).
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The number of vertices in the set.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the set contains no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Membership test in O(1).
+    #[inline]
+    pub fn contains(&self, v: usize) -> bool {
+        if v >= self.universe {
+            return false;
+        }
+        (self.words[v / WORD_BITS] >> (v % WORD_BITS)) & 1 == 1
+    }
+
+    /// Inserts a vertex. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `v >= universe`.
+    pub fn insert(&mut self, v: usize) -> bool {
+        assert!(
+            v < self.universe,
+            "vertex {v} out of range for universe {}",
+            self.universe
+        );
+        if self.contains(v) {
+            return false;
+        }
+        self.words[v / WORD_BITS] |= 1u64 << (v % WORD_BITS);
+        // keep members sorted by inserting at the right position
+        let pos = self.members.partition_point(|&m| m < v);
+        self.members.insert(pos, v);
+        true
+    }
+
+    /// Removes a vertex. Returns `true` if it was present.
+    pub fn remove(&mut self, v: usize) -> bool {
+        if !self.contains(v) {
+            return false;
+        }
+        self.words[v / WORD_BITS] &= !(1u64 << (v % WORD_BITS));
+        if let Ok(pos) = self.members.binary_search(&v) {
+            self.members.remove(pos);
+        }
+        true
+    }
+
+    /// Removes all vertices.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+        self.members.clear();
+    }
+
+    /// Iterates over the members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Returns the members as a sorted slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Returns the members as a sorted `Vec`.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.members.clone()
+    }
+
+    /// Set union (both operands must share the same universe).
+    pub fn union(&self, other: &VertexSet) -> VertexSet {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mut out = self.clone();
+        for v in other.iter() {
+            out.insert(v);
+        }
+        out
+    }
+
+    /// Set intersection (both operands must share the same universe).
+    pub fn intersection(&self, other: &VertexSet) -> VertexSet {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let (small, big) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        VertexSet::from_iter(self.universe, small.iter().filter(|&v| big.contains(v)))
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &VertexSet) -> VertexSet {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        VertexSet::from_iter(self.universe, self.iter().filter(|&v| !other.contains(v)))
+    }
+
+    /// Complement with respect to the universe.
+    pub fn complement(&self) -> VertexSet {
+        VertexSet::from_iter(self.universe, (0..self.universe).filter(|&v| !self.contains(v)))
+    }
+
+    /// `true` if `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &VertexSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.iter().all(|v| other.contains(v))
+    }
+
+    /// `true` if the two sets have no common vertex.
+    pub fn is_disjoint_from(&self, other: &VertexSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let (small, big) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.iter().all(|v| !big.contains(v))
+    }
+
+    /// Enumerates all `2^|S|` subsets of this set, invoking `f` on each.
+    ///
+    /// Intended for exact (small-instance) expansion computations; the caller
+    /// is responsible for keeping `|S|` small (≲ 20). The empty subset is
+    /// included.
+    pub fn for_each_subset(&self, mut f: impl FnMut(&VertexSet)) {
+        let k = self.len();
+        assert!(k <= 25, "subset enumeration limited to 25 elements, got {k}");
+        let members = &self.members;
+        for mask in 0u64..(1u64 << k) {
+            let subset = VertexSet::from_iter(
+                self.universe,
+                (0..k).filter(|i| (mask >> i) & 1 == 1).map(|i| members[i]),
+            );
+            f(&subset);
+        }
+    }
+
+    /// Enumerates the non-empty subsets only.
+    pub fn for_each_nonempty_subset(&self, mut f: impl FnMut(&VertexSet)) {
+        self.for_each_subset(|s| {
+            if !s.is_empty() {
+                f(s)
+            }
+        });
+    }
+}
+
+impl serde::Serialize for VertexSet {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("VertexSet", 2)?;
+        st.serialize_field("universe", &self.universe)?;
+        st.serialize_field("members", &self.members)?;
+        st.end()
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for VertexSet {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+        #[derive(serde::Deserialize)]
+        struct Raw {
+            universe: usize,
+            members: Vec<usize>,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        if let Some(&bad) = raw.members.iter().find(|&&v| v >= raw.universe) {
+            return Err(serde::de::Error::custom(format!(
+                "member {bad} out of range for universe {}",
+                raw.universe
+            )));
+        }
+        Ok(VertexSet::from_iter(raw.universe, raw.members))
+    }
+}
+
+impl Default for VertexSet {
+    /// The empty set over the empty universe. Mainly useful for
+    /// `#[serde(skip)]` fields and placeholder values.
+    fn default() -> Self {
+        VertexSet::empty(0)
+    }
+}
+
+impl fmt::Debug for VertexSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VertexSet{{n={}, S={:?}}}", self.universe, self.members)
+    }
+}
+
+impl<'a> IntoIterator for &'a VertexSet {
+    type Item = usize;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, usize>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.members.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = VertexSet::empty(10);
+        assert_eq!(e.len(), 0);
+        assert!(e.is_empty());
+        assert!(!e.contains(3));
+
+        let f = VertexSet::full(10);
+        assert_eq!(f.len(), 10);
+        assert!((0..10).all(|v| f.contains(v)));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = VertexSet::empty(100);
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.insert(90));
+        assert!(s.contains(5));
+        assert!(s.contains(90));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert_eq!(s.to_vec(), vec![90]);
+    }
+
+    #[test]
+    fn members_stay_sorted() {
+        let mut s = VertexSet::empty(50);
+        for v in [40, 3, 17, 9, 25, 1] {
+            s.insert(v);
+        }
+        assert_eq!(s.to_vec(), vec![1, 3, 9, 17, 25, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        let mut s = VertexSet::empty(4);
+        s.insert(4);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = VertexSet::from_iter(10, [1, 2, 3, 4]);
+        let b = VertexSet::from_iter(10, [3, 4, 5, 6]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![3, 4]);
+        assert_eq!(a.difference(&b).to_vec(), vec![1, 2]);
+        assert_eq!(b.difference(&a).to_vec(), vec![5, 6]);
+        assert_eq!(a.complement().len(), 6);
+        assert!(VertexSet::from_iter(10, [1, 2]).is_subset_of(&a));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_disjoint_from(&VertexSet::from_iter(10, [7, 8])));
+        assert!(!a.is_disjoint_from(&b));
+    }
+
+    #[test]
+    fn subset_enumeration_counts() {
+        let s = VertexSet::from_iter(10, [2, 5, 7]);
+        let mut count = 0usize;
+        let mut nonempty = 0usize;
+        s.for_each_subset(|_| count += 1);
+        s.for_each_nonempty_subset(|x| {
+            nonempty += 1;
+            assert!(x.is_subset_of(&s));
+            assert!(!x.is_empty());
+        });
+        assert_eq!(count, 8);
+        assert_eq!(nonempty, 7);
+    }
+
+    #[test]
+    fn contains_out_of_universe_is_false() {
+        let s = VertexSet::from_iter(4, [0, 1]);
+        assert!(!s.contains(100));
+    }
+
+    #[test]
+    fn from_iter_ignores_duplicates() {
+        let s = VertexSet::from_iter(8, [3, 3, 3, 4]);
+        assert_eq!(s.len(), 2);
+    }
+}

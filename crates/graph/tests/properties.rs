@@ -1,0 +1,175 @@
+//! Property-based tests for the graph substrate.
+//!
+//! These tests pin the substrate against simple reference models: `VertexSet`
+//! against `std::collections::BTreeSet`, the CSR graph against its edge list,
+//! and the neighborhood operators against their set-theoretic definitions.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use wx_graph::{BipartiteGraph, Graph, VertexSet};
+
+/// Strategy: a small random edge list over `n` vertices.
+fn edge_list(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..n, 0..n), 0..(n * 3).max(1))
+        .prop_map(move |pairs| {
+            pairs
+                .into_iter()
+                .filter(|(u, v)| u != v)
+                .collect::<Vec<_>>()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// VertexSet behaves exactly like a BTreeSet under insert/remove.
+    #[test]
+    fn vertex_set_models_a_btreeset(ops in prop::collection::vec((0usize..40, prop::bool::ANY), 0..120)) {
+        let mut vs = VertexSet::empty(40);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for (v, insert) in ops {
+            if insert {
+                prop_assert_eq!(vs.insert(v), model.insert(v));
+            } else {
+                prop_assert_eq!(vs.remove(v), model.remove(&v));
+            }
+        }
+        prop_assert_eq!(vs.len(), model.len());
+        prop_assert_eq!(vs.to_vec(), model.iter().copied().collect::<Vec<_>>());
+        for v in 0..40 {
+            prop_assert_eq!(vs.contains(v), model.contains(&v));
+        }
+    }
+
+    /// Set algebra laws: sizes of union/intersection/difference are consistent
+    /// and complement is an involution.
+    #[test]
+    fn vertex_set_algebra(a in prop::collection::btree_set(0usize..30, 0..30),
+                          b in prop::collection::btree_set(0usize..30, 0..30)) {
+        let sa = VertexSet::from_iter(30, a.iter().copied());
+        let sb = VertexSet::from_iter(30, b.iter().copied());
+        let union = sa.union(&sb);
+        let inter = sa.intersection(&sb);
+        let diff = sa.difference(&sb);
+        prop_assert_eq!(union.len() + inter.len(), sa.len() + sb.len());
+        prop_assert_eq!(diff.len(), sa.len() - inter.len());
+        prop_assert!(inter.is_subset_of(&sa) && inter.is_subset_of(&sb));
+        prop_assert!(sa.is_subset_of(&union) && sb.is_subset_of(&union));
+        prop_assert_eq!(sa.complement().complement(), sa.clone());
+        prop_assert!(diff.is_disjoint_from(&sb));
+    }
+
+    /// Graph construction: degrees sum to 2m, adjacency is symmetric and
+    /// deduplicated, has_edge agrees with the edge list.
+    #[test]
+    fn graph_invariants(edges in edge_list(16)) {
+        let g = Graph::from_edges(16, edges.iter().copied()).unwrap();
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        let edge_set: BTreeSet<(usize, usize)> = edges
+            .iter()
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        prop_assert_eq!(g.num_edges(), edge_set.len());
+        for &(u, v) in &edge_set {
+            prop_assert!(g.has_edge(u, v) && g.has_edge(v, u));
+        }
+        for v in g.vertices() {
+            let nbrs = g.neighbors(v);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted & deduped");
+            prop_assert!(!nbrs.contains(&v), "no self-loops");
+        }
+        // serde round-trip preserves equality
+        let json = serde_json::to_string(&g).unwrap();
+        prop_assert_eq!(serde_json::from_str::<Graph>(&json).unwrap(), g);
+    }
+
+    /// Neighborhood operators match their set-theoretic definitions.
+    #[test]
+    fn neighborhood_definitions(edges in edge_list(12),
+                                 members in prop::collection::btree_set(0usize..12, 1..8),
+                                 sub in prop::collection::btree_set(0usize..12, 0..8)) {
+        let g = Graph::from_edges(12, edges).unwrap();
+        let s = VertexSet::from_iter(12, members.iter().copied());
+        let s_prime = VertexSet::from_iter(12, sub.iter().copied().filter(|v| s.contains(*v)));
+
+        let gamma = wx_graph::neighborhood::neighborhood(&g, &s);
+        let gamma_minus = wx_graph::neighborhood::external_neighborhood(&g, &s);
+        let gamma_one = wx_graph::neighborhood::unique_neighborhood(&g, &s);
+
+        for v in 0..12 {
+            let nbrs_in_s = g.neighbors(v).iter().filter(|&&u| s.contains(u)).count();
+            prop_assert_eq!(gamma.contains(v), nbrs_in_s > 0);
+            prop_assert_eq!(gamma_minus.contains(v), nbrs_in_s > 0 && !s.contains(v));
+            prop_assert_eq!(gamma_one.contains(v), nbrs_in_s == 1 && !s.contains(v));
+        }
+        // S-excluding operators with S' ⊆ S
+        let ex = wx_graph::neighborhood::s_excluding_unique_neighborhood(&g, &s, &s_prime);
+        for v in 0..12 {
+            let nbrs_in_sp = g.neighbors(v).iter().filter(|&&u| s_prime.contains(u)).count();
+            prop_assert_eq!(ex.contains(v), nbrs_in_sp == 1 && !s.contains(v));
+        }
+        prop_assert_eq!(
+            wx_graph::neighborhood::s_excluding_unique_coverage(&g, &s, &s_prime),
+            ex.len()
+        );
+    }
+
+    /// The bipartite view of a set matches the direct operators on the graph.
+    #[test]
+    fn bipartite_view_is_consistent(edges in edge_list(12),
+                                    members in prop::collection::btree_set(0usize..12, 1..7)) {
+        let g = Graph::from_edges(12, edges).unwrap();
+        let s = VertexSet::from_iter(12, members.iter().copied());
+        let (bip, left_ids, right_ids) = BipartiteGraph::from_set_in_graph(&g, &s);
+        prop_assert_eq!(left_ids.len(), s.len());
+        prop_assert_eq!(right_ids.len(),
+            wx_graph::neighborhood::external_neighborhood(&g, &s).len());
+        // total edges = sum over S of external degree
+        let expected_edges: usize = s.iter()
+            .map(|v| g.neighbors(v).iter().filter(|&&u| !s.contains(u)).count())
+            .sum();
+        prop_assert_eq!(bip.num_edges(), expected_edges);
+        // unique coverage of the full left side equals |Γ¹(S)|
+        let full = VertexSet::full(bip.num_left());
+        prop_assert_eq!(
+            bip.unique_coverage(&full),
+            wx_graph::neighborhood::unique_neighborhood(&g, &s).len()
+        );
+    }
+
+    /// Degeneracy and arboricity bounds sandwich the exact arboricity.
+    #[test]
+    fn arboricity_sandwich(edges in edge_list(10)) {
+        let g = Graph::from_edges(10, edges).unwrap();
+        let bounds = wx_graph::arboricity::arboricity_bounds(&g);
+        let exact = wx_graph::arboricity::exact_arboricity_small(&g);
+        prop_assert!(bounds.lower <= exact, "lower {} > exact {exact}", bounds.lower);
+        prop_assert!(exact <= bounds.upper.max(1) || g.num_edges() == 0,
+            "exact {exact} > upper {}", bounds.upper);
+        // degeneracy peeling order is a permutation
+        let (_, order) = wx_graph::arboricity::degeneracy(&g);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+
+    /// BFS distances satisfy the triangle-style consistency: every edge spans
+    /// at most one BFS layer, and layer counts sum to the reachable count.
+    #[test]
+    fn bfs_layering(edges in edge_list(14)) {
+        let g = Graph::from_edges(14, edges).unwrap();
+        let res = wx_graph::traversal::bfs(&g, 0);
+        for (u, v) in g.edges() {
+            let du = res.dist[u];
+            let dv = res.dist[v];
+            if du != usize::MAX && dv != usize::MAX {
+                prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}) spans layers {du},{dv}");
+            } else {
+                prop_assert_eq!(du == usize::MAX, dv == usize::MAX);
+            }
+        }
+        let reachable = res.dist.iter().filter(|&&d| d != usize::MAX).count();
+        prop_assert_eq!(res.order.len(), reachable);
+    }
+}

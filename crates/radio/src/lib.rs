@@ -1,0 +1,34 @@
+//! # wx-radio
+//!
+//! A synchronous radio-network simulator implementing the collision model of
+//! the *Wireless Expanders* paper (and the classical radio-broadcast
+//! literature it builds on):
+//!
+//! * time proceeds in synchronous rounds;
+//! * in each round every processor either transmits or stays silent;
+//! * a silent processor **receives** a message iff *exactly one* of its
+//!   neighbors transmits in that round;
+//! * collisions (two or more transmitting neighbors) are indistinguishable
+//!   from silence.
+//!
+//! On top of the simulator ([`simulator`]) the crate provides the broadcast
+//! protocols the paper discusses or compares against ([`protocols`]): naive
+//! flooding, deterministic round-robin, the Bar-Yehuda–Goldreich–Itai decay
+//! protocol, and a centralized spokesman-schedule broadcast that transmits
+//! from the subset `S' ⊆ S` a Spokesman-Election solver selects (the
+//! algorithmic content of wireless expansion). [`trials`] runs Monte-Carlo
+//! ensembles in parallel, and [`lower_bound`] packages the Section-5
+//! experiment measuring broadcast time on the chain of core graphs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lower_bound;
+pub mod metrics;
+pub mod protocols;
+pub mod simulator;
+pub mod trials;
+
+pub use metrics::BroadcastOutcome;
+pub use protocols::{BroadcastProtocol, ProtocolKind};
+pub use simulator::{RadioSimulator, RoundView, SimulatorConfig};

@@ -1,0 +1,103 @@
+//! Broadcast protocols for the radio collision model.
+//!
+//! | Protocol | Knowledge | Paper role |
+//! |----------|-----------|------------|
+//! | [`naive::NaiveFlooding`] | local | the strawman the introduction rules out (stalls on `C⁺`) |
+//! | [`round_robin::RoundRobin`] | ids + `n` | slow but collision-free deterministic baseline |
+//! | [`decay::DecayProtocol`] | `n` (or a degree bound) | the Bar-Yehuda–Goldreich–Itai decay protocol [5], the classical `O(D·log n + log² n)`-style randomized broadcast |
+//! | [`spokesman::SpokesmanBroadcast`] | centralized | transmits from the subset a Spokesman-Election solver picks — the algorithmic content of wireless expansion (and of the Chlamtac–Weinstein broadcast framework [7]) |
+
+pub mod decay;
+pub mod naive;
+pub mod round_robin;
+pub mod spokesman;
+
+use crate::simulator::RoundView;
+use serde::{Deserialize, Serialize};
+use wx_graph::random::WxRng;
+use wx_graph::{Graph, Vertex, VertexSet};
+
+/// Identifies a protocol in reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Every informed vertex transmits every round.
+    NaiveFlooding,
+    /// Vertex `v` transmits only in rounds `≡ v (mod n)`.
+    RoundRobin,
+    /// The randomized decay protocol.
+    Decay,
+    /// Centralized spokesman-schedule broadcast.
+    Spokesman,
+}
+
+/// The interface every broadcast protocol implements.
+pub trait BroadcastProtocol {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Called once before a simulation starts; protocols may precompute
+    /// whatever they need from the topology (centralized protocols) or just
+    /// reset their per-run state.
+    fn reset(&mut self, _graph: &Graph, _source: Vertex) {}
+
+    /// Chooses which informed vertices transmit this round. The returned set
+    /// must be a subset of `view.informed`.
+    fn transmitters(&mut self, view: &RoundView<'_>, rng: &mut WxRng) -> VertexSet;
+}
+
+/// Helper shared by protocols: the subset of informed vertices that still
+/// have at least one uninformed neighbor (transmitting from anywhere else is
+/// pointless).
+pub fn useful_transmitters(view: &RoundView<'_>) -> VertexSet {
+    VertexSet::from_iter(
+        view.graph.num_vertices(),
+        view.informed.iter().filter(|&v| {
+            view.graph
+                .neighbors(v)
+                .iter()
+                .any(|&u| !view.informed.contains(u))
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{RadioSimulator, SimulatorConfig};
+
+    #[test]
+    fn useful_transmitters_excludes_interior_vertices() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let informed = g.vertex_set([0, 1, 2]);
+        let newly = g.vertex_set([2]);
+        let view = RoundView {
+            graph: &g,
+            round: 3,
+            source: 0,
+            informed: &informed,
+            newly_informed: &newly,
+        };
+        // only vertex 2 has an uninformed neighbor (3)
+        assert_eq!(useful_transmitters(&view).to_vec(), vec![2]);
+    }
+
+    #[test]
+    fn all_protocols_complete_on_a_small_tree() {
+        let g = wx_constructions::families::complete_k_ary_tree(2, 4).unwrap();
+        let sim = RadioSimulator::new(&g, 0, SimulatorConfig::default());
+        let mut protos: Vec<Box<dyn BroadcastProtocol>> = vec![
+            Box::new(naive::NaiveFlooding),
+            Box::new(round_robin::RoundRobin::default()),
+            Box::new(decay::DecayProtocol::default()),
+            Box::new(spokesman::SpokesmanBroadcast::default()),
+        ];
+        for p in protos.iter_mut() {
+            let outcome = sim.run(p.as_mut(), 42);
+            assert!(
+                outcome.completed_at.is_some(),
+                "{} did not complete on the binary tree",
+                p.name()
+            );
+        }
+    }
+}

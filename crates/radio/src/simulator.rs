@@ -1,0 +1,239 @@
+//! The synchronous collision-model simulator.
+
+use crate::metrics::BroadcastOutcome;
+use crate::protocols::BroadcastProtocol;
+use wx_graph::random::{rng_from_seed, WxRng};
+use wx_graph::{Graph, Vertex, VertexSet};
+
+/// Read-only view of the simulation state handed to protocols each round.
+///
+/// Distributed protocols should only consult fields a real processor would
+/// know (its own informed status, the round number, global parameters `n`
+/// and `D`); centralized schedules (the spokesman broadcast) may use the
+/// whole view. The simulator does not police this — the distinction is
+/// documented per protocol.
+#[derive(Debug)]
+pub struct RoundView<'a> {
+    /// The underlying network.
+    pub graph: &'a Graph,
+    /// The current round number (the first round is 0).
+    pub round: usize,
+    /// The broadcast source.
+    pub source: Vertex,
+    /// Vertices that currently hold the message.
+    pub informed: &'a VertexSet,
+    /// Vertices that first received the message in the previous round.
+    pub newly_informed: &'a VertexSet,
+}
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimulatorConfig {
+    /// Hard cap on the number of rounds simulated.
+    pub max_rounds: usize,
+    /// Stop as soon as every vertex reachable from the source is informed.
+    pub stop_when_complete: bool,
+}
+
+impl Default for SimulatorConfig {
+    fn default() -> Self {
+        SimulatorConfig {
+            max_rounds: 10_000,
+            stop_when_complete: true,
+        }
+    }
+}
+
+/// The radio-network simulator.
+pub struct RadioSimulator<'a> {
+    graph: &'a Graph,
+    source: Vertex,
+    config: SimulatorConfig,
+}
+
+impl<'a> RadioSimulator<'a> {
+    /// Creates a simulator for broadcasting from `source` on `graph`.
+    pub fn new(graph: &'a Graph, source: Vertex, config: SimulatorConfig) -> Self {
+        assert!(source < graph.num_vertices(), "source out of range");
+        RadioSimulator {
+            graph,
+            source,
+            config,
+        }
+    }
+
+    /// The number of vertices reachable from the source (the completion
+    /// target).
+    pub fn reachable_count(&self) -> usize {
+        wx_graph::traversal::bfs(self.graph, self.source)
+            .dist
+            .iter()
+            .filter(|&&d| d != usize::MAX)
+            .count()
+    }
+
+    /// Executes one round given the set of transmitters; returns the set of
+    /// vertices that receive the message this round (whether or not they
+    /// were already informed).
+    ///
+    /// The collision rule is applied literally: a vertex receives iff it is
+    /// not itself transmitting and exactly one neighbor transmits.
+    pub fn step(graph: &Graph, transmitters: &VertexSet) -> VertexSet {
+        let mut heard_from: Vec<u32> = vec![0; graph.num_vertices()];
+        for t in transmitters.iter() {
+            for &u in graph.neighbors(t) {
+                heard_from[u] = heard_from[u].saturating_add(1);
+            }
+        }
+        VertexSet::from_iter(
+            graph.num_vertices(),
+            (0..graph.num_vertices())
+                .filter(|&v| heard_from[v] == 1 && !transmitters.contains(v)),
+        )
+    }
+
+    /// Runs the protocol until completion or the round cap, returning the
+    /// full outcome. `seed` drives both the protocol's randomness and nothing
+    /// else (the simulator itself is deterministic).
+    pub fn run(&self, protocol: &mut dyn BroadcastProtocol, seed: u64) -> BroadcastOutcome {
+        let n = self.graph.num_vertices();
+        let mut rng: WxRng = rng_from_seed(seed);
+        let mut informed = VertexSet::empty(n);
+        informed.insert(self.source);
+        let mut newly_informed = informed.clone();
+        let mut first_informed_round: Vec<Option<usize>> = vec![None; n];
+        first_informed_round[self.source] = Some(0);
+        let mut informed_per_round = vec![1usize];
+        let target = self.reachable_count();
+        let mut completed_at = None;
+
+        protocol.reset(self.graph, self.source);
+
+        for round in 0..self.config.max_rounds {
+            let view = RoundView {
+                graph: self.graph,
+                round,
+                source: self.source,
+                informed: &informed,
+                newly_informed: &newly_informed,
+            };
+            let transmitters = protocol.transmitters(&view, &mut rng);
+            debug_assert!(
+                transmitters.is_subset_of(&informed),
+                "protocol {} transmitted from uninformed vertices",
+                protocol.name()
+            );
+            let receivers = Self::step(self.graph, &transmitters);
+            let mut fresh = VertexSet::empty(n);
+            for v in receivers.iter() {
+                if informed.insert(v) {
+                    fresh.insert(v);
+                    first_informed_round[v] = Some(round + 1);
+                }
+            }
+            newly_informed = fresh;
+            informed_per_round.push(informed.len());
+            if informed.len() == target {
+                completed_at = Some(round + 1);
+                if self.config.stop_when_complete {
+                    break;
+                }
+            }
+        }
+
+        BroadcastOutcome {
+            protocol: protocol.name().to_string(),
+            num_vertices: n,
+            reachable: target,
+            completed_at,
+            rounds_simulated: informed_per_round.len() - 1,
+            informed_per_round,
+            first_informed_round,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::naive::NaiveFlooding;
+    use crate::protocols::round_robin::RoundRobin;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn step_applies_collision_rule() {
+        // star: center 0 with leaves 1..=3
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        // single transmitter: all neighbors receive
+        let recv = RadioSimulator::step(&g, &g.vertex_set([0]));
+        assert_eq!(recv.to_vec(), vec![1, 2, 3]);
+        // two leaves transmit: the center hears a collision, nothing received
+        let recv = RadioSimulator::step(&g, &g.vertex_set([1, 2]));
+        assert!(recv.is_empty());
+        // one leaf transmits: only the center receives
+        let recv = RadioSimulator::step(&g, &g.vertex_set([1]));
+        assert_eq!(recv.to_vec(), vec![0]);
+        // a transmitter does not receive even if a neighbor transmits
+        let recv = RadioSimulator::step(&g, &g.vertex_set([0, 1]));
+        assert_eq!(recv.to_vec(), vec![2, 3]);
+    }
+
+    #[test]
+    fn naive_flooding_completes_on_a_path() {
+        // On a path there are never two informed neighbors of the frontier
+        // vertex, so naive flooding advances one hop per round.
+        let g = path(6);
+        let sim = RadioSimulator::new(&g, 0, SimulatorConfig::default());
+        let outcome = sim.run(&mut NaiveFlooding, 1);
+        assert_eq!(outcome.completed_at, Some(5));
+        assert_eq!(outcome.first_informed_round[5], Some(5));
+    }
+
+    #[test]
+    fn naive_flooding_stalls_on_c_plus() {
+        // The introduction's example: after round 1 the informed set is
+        // {s0, x, y}; from round 2 on every clique vertex hears ≥ 2
+        // transmitters, so naive flooding never finishes.
+        let (g, src) = wx_constructions::families::complete_plus_graph(6).unwrap();
+        let sim = RadioSimulator::new(
+            &g,
+            src,
+            SimulatorConfig {
+                max_rounds: 50,
+                stop_when_complete: true,
+            },
+        );
+        let outcome = sim.run(&mut NaiveFlooding, 1);
+        assert_eq!(outcome.completed_at, None);
+        assert_eq!(outcome.informed_per_round.last().copied(), Some(3));
+    }
+
+    #[test]
+    fn round_robin_always_completes() {
+        let (g, src) = wx_constructions::families::complete_plus_graph(6).unwrap();
+        let sim = RadioSimulator::new(&g, src, SimulatorConfig::default());
+        let outcome = sim.run(&mut RoundRobin::default(), 1);
+        assert!(outcome.completed_at.is_some());
+        assert_eq!(outcome.informed_per_round.last().copied(), Some(7));
+    }
+
+    #[test]
+    fn unreachable_vertices_do_not_block_completion() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let sim = RadioSimulator::new(&g, 0, SimulatorConfig::default());
+        assert_eq!(sim.reachable_count(), 3);
+        let outcome = sim.run(&mut NaiveFlooding, 0);
+        assert_eq!(outcome.completed_at, Some(2));
+        assert!(outcome.first_informed_round[3].is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn source_must_be_valid() {
+        let g = path(3);
+        RadioSimulator::new(&g, 3, SimulatorConfig::default());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the radio simulator: the collision rule and the
+//! simulation bookkeeping, pinned against their definitions on random graphs
+//! and random transmitter sets.
+
+use proptest::prelude::*;
+use wx_graph::{Graph, VertexSet};
+use wx_radio::protocols::decay::DecayProtocol;
+use wx_radio::protocols::naive::NaiveFlooding;
+use wx_radio::protocols::round_robin::RoundRobin;
+use wx_radio::{BroadcastProtocol, RadioSimulator, SimulatorConfig};
+
+fn edge_list(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..n, 0..n), 0..(n * 3).max(1)).prop_map(move |pairs| {
+        pairs.into_iter().filter(|(u, v)| u != v).collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The collision rule, literally: a vertex receives iff it is silent and
+    /// exactly one neighbor transmits.
+    #[test]
+    fn step_matches_collision_rule(edges in edge_list(14),
+                                   tx in prop::collection::btree_set(0usize..14, 0..10)) {
+        let g = Graph::from_edges(14, edges).unwrap();
+        let transmitters = VertexSet::from_iter(14, tx.iter().copied());
+        let received = RadioSimulator::step(&g, &transmitters);
+        for v in 0..14 {
+            let transmitting_neighbors = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| transmitters.contains(u))
+                .count();
+            let should_receive = !transmitters.contains(v) && transmitting_neighbors == 1;
+            prop_assert_eq!(received.contains(v), should_receive,
+                "vertex {} (tx neighbors = {})", v, transmitting_neighbors);
+        }
+    }
+
+    /// Simulation bookkeeping: the informed count is monotone, matches the
+    /// first-informed-round records, never exceeds the reachable count, and
+    /// the source is informed at round 0.
+    #[test]
+    fn outcome_bookkeeping_is_consistent(edges in edge_list(12), seed in 0u64..100, proto_id in 0usize..3) {
+        let g = Graph::from_edges(12, edges).unwrap();
+        let sim = RadioSimulator::new(&g, 0, SimulatorConfig {
+            max_rounds: 200,
+            stop_when_complete: true,
+        });
+        let mut protocol: Box<dyn BroadcastProtocol> = match proto_id {
+            0 => Box::new(NaiveFlooding),
+            1 => Box::new(RoundRobin::default()),
+            _ => Box::new(DecayProtocol::default()),
+        };
+        let outcome = sim.run(protocol.as_mut(), seed);
+
+        prop_assert_eq!(outcome.first_informed_round[0], Some(0));
+        prop_assert!(outcome.informed_per_round.windows(2).all(|w| w[1] >= w[0]));
+        prop_assert!(outcome.informed_per_round.iter().all(|&c| c <= outcome.reachable));
+        let informed_total = outcome.first_informed_round.iter().filter(|r| r.is_some()).count();
+        prop_assert_eq!(informed_total, *outcome.informed_per_round.last().unwrap());
+        // every informed vertex (other than the source) is reachable and has
+        // an informed-round no larger than the number of simulated rounds
+        for (v, round) in outcome.first_informed_round.iter().enumerate() {
+            if let Some(r) = round {
+                prop_assert!(*r <= outcome.rounds_simulated);
+                if v != 0 {
+                    prop_assert!(wx_graph::traversal::distance(&g, 0, v).is_some());
+                    prop_assert!(*r >= wx_graph::traversal::distance(&g, 0, v).unwrap(),
+                        "vertex {} informed at round {} faster than its distance", v, r);
+                }
+            }
+        }
+        if let Some(done) = outcome.completed_at {
+            prop_assert_eq!(*outcome.informed_per_round.last().unwrap(), outcome.reachable);
+            prop_assert!(done <= outcome.rounds_simulated);
+        }
+    }
+
+    /// Round-robin and any single-transmitter schedule can never suffer a
+    /// collision: every round informs at most Δ new vertices.
+    #[test]
+    fn round_robin_has_no_collisions(edges in edge_list(12), seed in 0u64..20) {
+        let g = Graph::from_edges(12, edges).unwrap();
+        let sim = RadioSimulator::new(&g, 0, SimulatorConfig {
+            max_rounds: 400,
+            stop_when_complete: true,
+        });
+        let outcome = sim.run(&mut RoundRobin::default(), seed);
+        let delta = g.max_degree();
+        for w in outcome.informed_per_round.windows(2) {
+            prop_assert!(w[1] - w[0] <= delta.max(1));
+        }
+        // round-robin always completes on the source's component within n
+        // rounds per BFS layer
+        prop_assert!(outcome.completed_at.is_some());
+    }
+}

@@ -1,0 +1,284 @@
+//! The paper's bound formulas, collected in one place.
+//!
+//! These helpers evaluate the analytic expressions that the experiments
+//! compare measured quantities against: the positive bounds of Theorem 1.1
+//! and Appendix A, the negative bounds of Theorem 1.2 / Lemma 4.6 /
+//! Corollary 4.11, and the combined `MG(δ)` profile of Corollary A.16.
+//! All logarithms are base 2, matching the paper's `log`.
+
+/// `log₂(x)` clamped below at `min_value` (the paper's bounds divide by
+/// logarithms that are at least 1 in their stated parameter ranges; clamping
+/// keeps the formulas well-defined slightly outside those ranges).
+fn log2_clamped(x: f64, min_value: f64) -> f64 {
+    x.log2().max(min_value)
+}
+
+/// The quantity `min{Δ/β, Δ·β}` that appears in both Theorem 1.1 and
+/// Theorem 1.2 — a proxy for the average degree (and a lower bound on the
+/// arboricity, see Section 2.1).
+pub fn min_degree_ratio(max_degree: usize, beta: f64) -> f64 {
+    let d = max_degree as f64;
+    if beta <= 0.0 {
+        return 0.0;
+    }
+    (d / beta).min(d * beta)
+}
+
+/// Theorem 1.1 (positive result): a lower bound on the wireless expansion of
+/// an `(α, β)`-expander with maximum degree `Δ`:
+/// `βw ≥ β / log₂(2·min{Δ/β, Δ·β})`, stated without the `Ω`-constant
+/// (the reproduction treats the constant as 1 and verifies the *shape*).
+pub fn theorem_1_1_lower_bound(max_degree: usize, beta: f64) -> f64 {
+    if beta <= 0.0 {
+        return 0.0;
+    }
+    beta / log2_clamped(2.0 * min_degree_ratio(max_degree, beta), 1.0)
+}
+
+/// Lemma 4.2's bound for the regime `β ≥ 1`: `βw ≥ β / log₂(2·δ_N)` where
+/// `δ_N ≤ Δ/β` is the average degree of the neighborhood side.
+pub fn lemma_4_2_bound(beta: f64, delta_n: f64) -> f64 {
+    if beta <= 0.0 {
+        return 0.0;
+    }
+    beta / log2_clamped(2.0 * delta_n.max(1.0), 1.0)
+}
+
+/// Lemma 4.3's bound for the regime `1/Δ ≤ β < 1`: `βw ≥ β / log₂(2·δ_S)`
+/// where `δ_S ≤ Δ·β` is the average degree of the set side.
+pub fn lemma_4_3_bound(beta: f64, delta_s: f64) -> f64 {
+    lemma_4_2_bound(beta, delta_s)
+}
+
+/// Lemma 4.1 / Lemma 3.2: `βw ≥ βu ≥ 2β − Δ` (meaningful only for
+/// `β > Δ/2`). Returns the (possibly negative) value of `2β − Δ`.
+pub fn lemma_3_2_unique_bound(max_degree: usize, beta: f64) -> f64 {
+    2.0 * beta - max_degree as f64
+}
+
+/// Lemma 3.1: the ordinary-expansion lower bound implied by unique expansion
+/// `βu` on a `d`-regular graph with second adjacency eigenvalue `λ₂`:
+/// `β ≥ (1 − 1/d)·βu + (d − λ₂)·(1 − αu)/d`.
+pub fn lemma_3_1_expansion_bound(d: usize, lambda2: f64, alpha_u: f64, beta_u: f64) -> f64 {
+    if d == 0 {
+        return 0.0;
+    }
+    let d_f = d as f64;
+    (1.0 - 1.0 / d_f) * beta_u + (d_f - lambda2) * (1.0 - alpha_u) / d_f
+}
+
+/// Lemma 4.6 (negative result, generalized core graph): the wireless
+/// expansion of the generalized core graph is at most
+/// `β*·4 / log₂(min{Δ*/β*, Δ*·β*})`.
+pub fn lemma_4_6_upper_bound(max_degree: usize, beta: f64) -> f64 {
+    if beta <= 0.0 {
+        return 0.0;
+    }
+    4.0 * beta / log2_clamped(min_degree_ratio(max_degree, beta), 1.0)
+}
+
+/// Corollary 4.11 (worst-case expander): the wireless expansion of the
+/// plugged expander `G̃` is at most
+/// `24·β̃ / (ε³·log₂(min{Δ̃/β̃, Δ̃·β̃}))`.
+pub fn corollary_4_11_upper_bound(max_degree: usize, beta: f64, epsilon: f64) -> f64 {
+    if beta <= 0.0 || epsilon <= 0.0 {
+        return f64::INFINITY;
+    }
+    24.0 * beta / (epsilon.powi(3) * log2_clamped(min_degree_ratio(max_degree, beta), 1.0))
+}
+
+/// Lemma A.1: the naive deterministic coverage guarantee `γ/Δ_S` as a count.
+pub fn lemma_a_1_guarantee(gamma: usize, max_left_degree: usize) -> f64 {
+    if max_left_degree == 0 {
+        0.0
+    } else {
+        gamma as f64 / max_left_degree as f64
+    }
+}
+
+/// Lemma A.3: the single-pass Procedure-Partition guarantee `γ/(8·δ)` where
+/// `δ` is the average degree of the neighborhood side.
+pub fn lemma_a_3_guarantee(gamma: usize, delta: f64) -> f64 {
+    gamma as f64 / (8.0 * delta.max(1.0))
+}
+
+/// Corollary A.7: the degree-class guarantee `0.20087·γ / log₂Δ`.
+pub fn corollary_a_7_guarantee(gamma: usize, max_degree: usize) -> f64 {
+    let log_d = log2_clamped(max_degree.max(2) as f64, 1.0);
+    crate::degree_class::OPTIMAL_BASE_VALUE * gamma as f64 / log_d
+}
+
+/// Lemma A.13: the near-optimal deterministic guarantee `γ/(9·log₂(2δ))`.
+pub fn lemma_a_13_guarantee(gamma: usize, delta: f64) -> f64 {
+    gamma as f64 / (9.0 * log2_clamped(2.0 * delta.max(1.0), 1.0))
+}
+
+/// Corollary A.15: `γ · min{1/(9·log₂δ), 1/20}` (the variant that replaces
+/// `log 2δ` by `log δ` at the price of the `1/20` floor).
+pub fn corollary_a_15_guarantee(gamma: usize, delta: f64) -> f64 {
+    if delta <= 1.0 {
+        return gamma as f64 / 20.0;
+    }
+    let by_log = 1.0 / (9.0 * log2_clamped(delta, f64::MIN_POSITIVE));
+    gamma as f64 * by_log.min(1.0 / 20.0).max(0.0)
+}
+
+/// The Corollary A.8 family of guarantees
+/// `(1 − 1/t)·γ / (2(1+c)·log_c(t·δ))`, maximized numerically over `t > 1`
+/// for the given base `c`.
+pub fn corollary_a_8_guarantee(gamma: usize, delta: f64, c: f64) -> f64 {
+    assert!(c > 1.0, "base must exceed 1");
+    let delta = delta.max(1.0);
+    let mut best = 0.0f64;
+    // The optimum in t is interior and mild; a geometric sweep is plenty.
+    let mut t = 1.05f64;
+    while t <= 1024.0 {
+        // Clamp the logarithm at 1: Corollary A.8 is only stated for
+        // sufficiently large δ, and clamping keeps the guarantee conservative
+        // (never above the trivial 1/(2(1+c)) per-class fraction) outside
+        // that range.
+        let denom = 2.0 * (1.0 + c) * ((t * delta).ln() / c.ln()).max(1.0);
+        let val = (1.0 - 1.0 / t) * gamma as f64 / denom;
+        best = best.max(val);
+        t *= 1.1;
+    }
+    best
+}
+
+/// The combined profile `MG(δ)` of Corollary A.16: the best of the
+/// Lemma A.13, Corollary A.15 and Corollary A.8 guarantees (per unit of `γ`).
+/// Returns the guaranteed *fraction* of `γ`.
+pub fn mg_profile(delta: f64) -> f64 {
+    let delta = delta.max(1.0);
+    let a13 = 1.0 / (9.0 * log2_clamped(2.0 * delta, 1.0));
+    let a15 = if delta <= 1.0 {
+        1.0 / 20.0
+    } else {
+        (1.0 / (9.0 * log2_clamped(delta, f64::MIN_POSITIVE))).min(1.0 / 20.0)
+    };
+    let a8 = corollary_a_8_guarantee(1_000_000, delta, crate::degree_class::OPTIMAL_BASE) / 1_000_000.0;
+    a13.max(a15).max(a8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_degree_ratio_symmetry() {
+        // β and 1/β give the same value of min{Δ/β, Δβ}.
+        let d = 64;
+        for beta in [0.25f64, 0.5, 2.0, 4.0] {
+            let a = min_degree_ratio(d, beta);
+            let b = min_degree_ratio(d, 1.0 / beta);
+            assert!((a - b).abs() < 1e-9, "beta {beta}: {a} vs {b}");
+        }
+        assert_eq!(min_degree_ratio(10, 0.0), 0.0);
+    }
+
+    #[test]
+    fn theorem_1_1_bound_monotone_in_beta_for_fixed_degree() {
+        let d = 32;
+        let mut prev = 0.0;
+        for beta in [1.0f64, 2.0, 3.0, 4.0] {
+            let v = theorem_1_1_lower_bound(d, beta);
+            assert!(v >= prev, "bound must not decrease as beta grows");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn theorem_1_1_reduces_loss_for_low_arboricity() {
+        // When β is close to Δ (dense expansion) min{Δ/β, Δβ} is small, so
+        // the loss factor log(2·min{..}) is O(1) and βw ≈ β.
+        let d = 1024;
+        let beta = 512.0;
+        let bound = theorem_1_1_lower_bound(d, beta);
+        assert!(bound >= beta / 2.0);
+        // In the balanced regime β = √Δ the loss is ≈ log Δ / 2.
+        let beta = 32.0;
+        let bound = theorem_1_1_lower_bound(d, beta);
+        assert!(bound < beta);
+        assert!(bound > beta / 12.0);
+    }
+
+    #[test]
+    fn lemma_bounds_are_consistent() {
+        // Lemma 4.2 with δ_N = Δ/β equals the Δ/β branch of Theorem 1.1.
+        let d = 100;
+        let beta = 4.0;
+        let v1 = lemma_4_2_bound(beta, d as f64 / beta);
+        let v2 = beta / (2.0 * d as f64 / beta).log2();
+        assert!((v1 - v2).abs() < 1e-9);
+        assert!((lemma_4_3_bound(0.5, 8.0) - lemma_4_2_bound(0.5, 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma_3_2_and_3_1_formulas() {
+        assert_eq!(lemma_3_2_unique_bound(10, 7.0), 4.0);
+        assert_eq!(lemma_3_2_unique_bound(10, 4.0), -2.0);
+        let b = lemma_3_1_expansion_bound(4, 2.0, 0.1, 1.0);
+        // (1 - 1/4)·1 + (4-2)·0.9/4 = 0.75 + 0.45 = 1.2
+        assert!((b - 1.2).abs() < 1e-12);
+        assert_eq!(lemma_3_1_expansion_bound(0, 0.0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn negative_bounds_shrink_with_epsilon() {
+        let d = 256;
+        let beta = 8.0;
+        let loose = corollary_4_11_upper_bound(d, beta, 0.4);
+        let tight = corollary_4_11_upper_bound(d, beta, 0.1);
+        assert!(tight > loose, "smaller epsilon weakens (increases) the upper bound");
+        assert!(lemma_4_6_upper_bound(d, beta) > 0.0);
+        assert!(corollary_4_11_upper_bound(d, 0.0, 0.3).is_infinite());
+    }
+
+    #[test]
+    fn appendix_guarantees_ordering() {
+        // For moderate δ the near-optimal A.13 bound beats the naive A.3 one.
+        let gamma = 1000;
+        let delta = 16.0;
+        assert!(lemma_a_13_guarantee(gamma, delta) > lemma_a_3_guarantee(gamma, delta));
+        // And A.1 with max degree Δ ≥ δ is the weakest of the three for large Δ.
+        assert!(lemma_a_1_guarantee(gamma, 256) < lemma_a_13_guarantee(gamma, delta));
+        assert_eq!(lemma_a_1_guarantee(gamma, 0), 0.0);
+    }
+
+    #[test]
+    fn mg_profile_behaviour() {
+        // MG is non-increasing in δ and sits in (0, 1/9].
+        let mut prev = f64::INFINITY;
+        for delta in [1.0f64, 2.0, 4.0, 8.0, 32.0, 128.0, 1024.0] {
+            let v = mg_profile(delta);
+            assert!(v > 0.0 && v <= 1.0 / 9.0 + 1e-9, "MG({delta}) = {v}");
+            assert!(v <= prev + 1e-9, "MG must be non-increasing");
+            prev = v;
+        }
+        // Observation A.17 regime check: for small δ the 1/(9·log 2δ) branch
+        // dominates; for δ in the middle band the 1/20 floor wins.
+        let small = mg_profile(2.0);
+        assert!((small - 1.0 / (9.0 * 2.0f64.log2().max(1.0) - 0.0)).abs() < 0.06);
+        let mid = mg_profile(2.0f64.powf(15.0 / 9.0));
+        assert!(mid >= 1.0 / 20.0 - 1e-9);
+    }
+
+    #[test]
+    fn corollary_a8_improves_with_small_delta() {
+        let g1 = corollary_a_8_guarantee(100, 2.0, crate::degree_class::OPTIMAL_BASE);
+        let g2 = corollary_a_8_guarantee(100, 64.0, crate::degree_class::OPTIMAL_BASE);
+        assert!(g1 > g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "base must exceed 1")]
+    fn corollary_a8_rejects_bad_base() {
+        corollary_a_8_guarantee(10, 4.0, 1.0);
+    }
+
+    #[test]
+    fn corollary_a15_floor() {
+        assert!((corollary_a_15_guarantee(200, 1.0) - 10.0).abs() < 1e-9);
+        assert!(corollary_a_15_guarantee(200, 1_000_000.0) < 10.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! The common solver interface, result type and the best-of portfolio.
+
+use serde::{Deserialize, Serialize};
+use wx_graph::{BipartiteGraph, VertexSet};
+
+/// Identifies which algorithm produced a [`SpokesmanResult`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SolverKind {
+    /// Brute-force optimum over all subsets of `S`.
+    Exact,
+    /// The randomized decay-style sampler of Lemmas 4.2 / 4.3.
+    RandomDecay,
+    /// Procedure Partition (Appendix A.1.2) with the recursive refinement of
+    /// Lemma A.13.
+    Partition,
+    /// The naive minimum-degree greedy procedure of Lemma A.1.
+    GreedyMinDegree,
+    /// The degree-class solver of Lemmas A.5–A.7.
+    DegreeClass,
+    /// The Chlamtac–Weinstein-style baseline achieving `|N|/log|S|`.
+    ChlamtacWeinstein,
+    /// The best result among a portfolio of solvers.
+    Portfolio,
+}
+
+impl std::fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SolverKind::Exact => "exact",
+            SolverKind::RandomDecay => "random-decay",
+            SolverKind::Partition => "partition",
+            SolverKind::GreedyMinDegree => "greedy-min-degree",
+            SolverKind::DegreeClass => "degree-class",
+            SolverKind::ChlamtacWeinstein => "chlamtac-weinstein",
+            SolverKind::Portfolio => "portfolio",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The outcome of a spokesman-election solve: a subset `S' ⊆ S` and the size
+/// of its `S`-excluding unique neighborhood `|Γ¹_S(S')|`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpokesmanResult {
+    /// Which solver produced this result.
+    pub solver: SolverKind,
+    /// The chosen subset of the left side (indices into `0..g.num_left()`).
+    #[serde(skip)]
+    pub subset: VertexSet,
+    /// `|Γ¹_S(S')|`: number of right vertices with exactly one neighbor in
+    /// the subset.
+    pub unique_coverage: usize,
+    /// The size of the chosen subset.
+    pub subset_size: usize,
+}
+
+impl SpokesmanResult {
+    /// Builds a result from a subset, computing its unique coverage.
+    pub fn from_subset(solver: SolverKind, g: &BipartiteGraph, subset: VertexSet) -> Self {
+        let unique_coverage = g.unique_coverage(&subset);
+        let subset_size = subset.len();
+        SpokesmanResult {
+            solver,
+            subset,
+            unique_coverage,
+            subset_size,
+        }
+    }
+
+    /// The achieved fraction of `N` that is uniquely covered,
+    /// `|Γ¹_S(S')| / |N|` (0.0 when `N` is empty).
+    pub fn coverage_fraction(&self, g: &BipartiteGraph) -> f64 {
+        if g.num_right() == 0 {
+            0.0
+        } else {
+            self.unique_coverage as f64 / g.num_right() as f64
+        }
+    }
+
+    /// The wireless-expansion certificate this result provides for the
+    /// underlying set `S`: `|Γ¹_S(S')| / |S|` (infinity when `S` is empty).
+    pub fn expansion_certificate(&self, g: &BipartiteGraph) -> f64 {
+        if g.num_left() == 0 {
+            f64::INFINITY
+        } else {
+            self.unique_coverage as f64 / g.num_left() as f64
+        }
+    }
+
+    /// Returns whichever of two results has the larger unique coverage
+    /// (ties keep `self`).
+    pub fn better_of(self, other: SpokesmanResult) -> SpokesmanResult {
+        if other.unique_coverage > self.unique_coverage {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+/// The common interface implemented by every spokesman-election algorithm.
+pub trait SpokesmanSolver {
+    /// A short human-readable name for reports.
+    fn kind(&self) -> SolverKind;
+
+    /// Computes a subset `S' ⊆ S` of the left side of `g` together with its
+    /// unique coverage. `seed` drives any internal randomness; deterministic
+    /// solvers ignore it.
+    fn solve(&self, g: &BipartiteGraph, seed: u64) -> SpokesmanResult;
+}
+
+/// Runs several solvers and keeps the best result.
+///
+/// The default portfolio contains every polynomial-time solver in this crate
+/// (the exact solver is excluded because it is exponential); it is the
+/// recommended way to obtain a strong lower-bound certificate on the wireless
+/// expansion of a set.
+pub struct PortfolioSolver {
+    solvers: Vec<Box<dyn SpokesmanSolver + Send + Sync>>,
+}
+
+impl Default for PortfolioSolver {
+    fn default() -> Self {
+        PortfolioSolver {
+            solvers: vec![
+                Box::new(crate::random_decay::RandomDecaySolver::default()),
+                Box::new(crate::partition::PartitionSolver::default()),
+                Box::new(crate::greedy::GreedyMinDegreeSolver),
+                Box::new(crate::degree_class::DegreeClassSolver::default()),
+                Box::new(crate::chlamtac_weinstein::ChlamtacWeinsteinSolver::default()),
+                Box::new(crate::local_search::LocalSearchSolver::default()),
+            ],
+        }
+    }
+}
+
+impl PortfolioSolver {
+    /// A portfolio with an explicit solver list.
+    pub fn new(solvers: Vec<Box<dyn SpokesmanSolver + Send + Sync>>) -> Self {
+        PortfolioSolver { solvers }
+    }
+
+    /// A cheap portfolio (greedy + partition only) for inner loops where the
+    /// randomized solvers would dominate runtime.
+    pub fn fast() -> Self {
+        PortfolioSolver {
+            solvers: vec![
+                Box::new(crate::partition::PartitionSolver::default()),
+                Box::new(crate::greedy::GreedyMinDegreeSolver),
+            ],
+        }
+    }
+
+    /// Number of solvers in the portfolio.
+    pub fn len(&self) -> usize {
+        self.solvers.len()
+    }
+
+    /// `true` if the portfolio contains no solvers.
+    pub fn is_empty(&self) -> bool {
+        self.solvers.is_empty()
+    }
+
+    /// Runs every solver and returns all results (in portfolio order).
+    pub fn solve_all(&self, g: &BipartiteGraph, seed: u64) -> Vec<SpokesmanResult> {
+        self.solvers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.solve(g, wx_graph::random::derive_seed(seed, i as u64)))
+            .collect()
+    }
+}
+
+impl SpokesmanSolver for PortfolioSolver {
+    fn kind(&self) -> SolverKind {
+        SolverKind::Portfolio
+    }
+
+    fn solve(&self, g: &BipartiteGraph, seed: u64) -> SpokesmanResult {
+        let mut best: Option<SpokesmanResult> = None;
+        for r in self.solve_all(g, seed) {
+            best = Some(match best {
+                None => r,
+                Some(b) => b.better_of(r),
+            });
+        }
+        let mut best = best.unwrap_or_else(|| {
+            SpokesmanResult::from_subset(
+                SolverKind::Portfolio,
+                g,
+                VertexSet::empty(g.num_left()),
+            )
+        });
+        best.solver = SolverKind::Portfolio;
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star_instance() -> BipartiteGraph {
+        // one left vertex connected to 4 right vertices
+        BipartiteGraph::from_edges(1, 4, (0..4).map(|w| (0, w))).unwrap()
+    }
+
+    #[test]
+    fn result_from_subset_computes_coverage() {
+        let g = star_instance();
+        let r = SpokesmanResult::from_subset(SolverKind::Exact, &g, VertexSet::from_iter(1, [0]));
+        assert_eq!(r.unique_coverage, 4);
+        assert_eq!(r.subset_size, 1);
+        assert!((r.coverage_fraction(&g) - 1.0).abs() < 1e-12);
+        assert!((r.expansion_certificate(&g) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn better_of_prefers_larger_coverage() {
+        let g = star_instance();
+        let empty = SpokesmanResult::from_subset(SolverKind::Exact, &g, VertexSet::empty(1));
+        let full = SpokesmanResult::from_subset(SolverKind::Exact, &g, VertexSet::from_iter(1, [0]));
+        assert_eq!(empty.clone().better_of(full.clone()).unique_coverage, 4);
+        assert_eq!(full.clone().better_of(empty).unique_coverage, 4);
+    }
+
+    #[test]
+    fn portfolio_runs_and_labels_result() {
+        let g = star_instance();
+        let p = PortfolioSolver::default();
+        assert!(!p.is_empty());
+        let r = p.solve(&g, 1);
+        assert_eq!(r.solver, SolverKind::Portfolio);
+        assert_eq!(r.unique_coverage, 4);
+        let all = p.solve_all(&g, 1);
+        assert_eq!(all.len(), p.len());
+    }
+
+    #[test]
+    fn fast_portfolio_is_smaller() {
+        assert!(PortfolioSolver::fast().len() < PortfolioSolver::default().len());
+    }
+
+    #[test]
+    fn solver_kind_display_names() {
+        assert_eq!(SolverKind::RandomDecay.to_string(), "random-decay");
+        assert_eq!(SolverKind::Partition.to_string(), "partition");
+        assert_eq!(SolverKind::Exact.to_string(), "exact");
+    }
+
+    #[test]
+    fn coverage_fraction_of_empty_right_side() {
+        let g = BipartiteGraph::from_edges(1, 0, []).unwrap();
+        let r = SpokesmanResult::from_subset(SolverKind::Exact, &g, VertexSet::from_iter(1, [0]));
+        assert_eq!(r.coverage_fraction(&g), 0.0);
+    }
+}

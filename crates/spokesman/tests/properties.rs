@@ -1,0 +1,110 @@
+//! Property-based tests for the Spokesman Election solvers: validity of the
+//! returned subsets, honesty of the reported coverage, and the exact solver
+//! as ground truth on tiny instances.
+
+use proptest::prelude::*;
+use wx_graph::BipartiteGraph;
+use wx_spokesman::{
+    ChlamtacWeinsteinSolver, DegreeClassSolver, ExactSolver, GreedyMinDegreeSolver,
+    LocalSearchSolver, PartitionSolver, PortfolioSolver, RandomDecaySolver, SpokesmanSolver,
+};
+
+fn bipartite(s: usize, n: usize) -> impl Strategy<Value = BipartiteGraph> {
+    prop::collection::vec((0..s, 0..n), 0..(s * n / 2).max(1)).prop_map(move |edges| {
+        BipartiteGraph::from_edges(s, n, edges).expect("edges are in range")
+    })
+}
+
+fn all_solvers() -> Vec<Box<dyn SpokesmanSolver>> {
+    vec![
+        Box::new(ExactSolver),
+        Box::new(RandomDecaySolver::fast()),
+        Box::new(PartitionSolver::default()),
+        Box::new(PartitionSolver::low_degree_once()),
+        Box::new(GreedyMinDegreeSolver),
+        Box::new(DegreeClassSolver::default()),
+        Box::new(ChlamtacWeinsteinSolver { trials_per_level: 2 }),
+        Box::new(LocalSearchSolver::default()),
+        Box::new(PortfolioSolver::fast()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every solver returns a valid subset with honestly computed coverage
+    /// that never exceeds the exact optimum, and the optimum itself never
+    /// exceeds the number of non-isolated right vertices.
+    #[test]
+    fn solvers_are_sound_against_the_exact_optimum(g in bipartite(8, 14), seed in 0u64..1000) {
+        let (opt, witness) = ExactSolver::optimum(&g);
+        prop_assert_eq!(g.unique_coverage(&witness), opt);
+        let coverable = (0..g.num_right()).filter(|&w| g.right_degree(w) > 0).count();
+        prop_assert!(opt <= coverable);
+        for solver in all_solvers() {
+            let r = solver.solve(&g, seed);
+            prop_assert!(r.subset.iter().all(|u| u < g.num_left()));
+            prop_assert_eq!(r.unique_coverage, g.unique_coverage(&r.subset));
+            prop_assert!(r.unique_coverage <= opt,
+                "{} exceeded the optimum", solver.kind());
+        }
+    }
+
+    /// Determinism: the deterministic solvers ignore the seed entirely; the
+    /// randomized ones are reproducible for a fixed seed.
+    #[test]
+    fn determinism_contract(g in bipartite(7, 12), seed in 0u64..500) {
+        for solver in [&GreedyMinDegreeSolver as &dyn SpokesmanSolver,
+                       &PartitionSolver::default(),
+                       &DegreeClassSolver::deterministic(3.0)] {
+            let a = solver.solve(&g, seed);
+            let b = solver.solve(&g, seed.wrapping_add(17));
+            prop_assert_eq!(a.unique_coverage, b.unique_coverage,
+                "{} is supposed to ignore the seed", solver.kind());
+        }
+        let r1 = RandomDecaySolver::default().solve(&g, seed);
+        let r2 = RandomDecaySolver::default().solve(&g, seed);
+        prop_assert_eq!(r1.subset.to_vec(), r2.subset.to_vec());
+    }
+
+    /// Monotonicity of the objective itself: adding isolated right vertices
+    /// changes nothing; duplicating a right vertex cannot reduce optimal
+    /// coverage.
+    #[test]
+    fn objective_is_stable_under_padding(g in bipartite(6, 10)) {
+        let (opt, _) = ExactSolver::optimum(&g);
+        // pad with isolated right vertices
+        let padded = BipartiteGraph::from_edges(
+            g.num_left(),
+            g.num_right() + 3,
+            g.edges(),
+        ).unwrap();
+        prop_assert_eq!(ExactSolver::optimum(&padded).0, opt);
+        // duplicate right vertex 0 (if it exists): optimum cannot drop
+        if g.num_right() > 0 {
+            let dup_id = g.num_right();
+            let mut edges: Vec<(usize, usize)> = g.edges().collect();
+            for &u in g.right_neighbors(0) {
+                edges.push((u, dup_id));
+            }
+            let dup = BipartiteGraph::from_edges(g.num_left(), g.num_right() + 1, edges).unwrap();
+            prop_assert!(ExactSolver::optimum(&dup).0 >= opt);
+        }
+    }
+
+    /// The Lemma A.13 guarantee holds for the recursive partition solver on
+    /// arbitrary random instances (not just the structured ones in the unit
+    /// tests).
+    #[test]
+    fn partition_meets_lemma_a13_on_arbitrary_instances(g in bipartite(10, 18), seed in 0u64..100) {
+        let gamma = (0..g.num_right()).filter(|&w| g.right_degree(w) > 0).count();
+        if gamma == 0 {
+            return Ok(());
+        }
+        let delta_n = g.num_edges() as f64 / gamma as f64;
+        let guarantee = wx_spokesman::bounds::lemma_a_13_guarantee(gamma, delta_n);
+        let r = PartitionSolver::default().solve(&g, seed);
+        prop_assert!(r.unique_coverage as f64 >= guarantee.floor(),
+            "coverage {} below Lemma A.13 guarantee {guarantee}", r.unique_coverage);
+    }
+}

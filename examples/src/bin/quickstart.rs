@@ -1,0 +1,50 @@
+//! Quickstart: the paper's motivating example in thirty lines.
+//!
+//! Builds the `C⁺` graph from the introduction (a clique plus a pendant
+//! source), measures its three expansion quantities, and runs the broadcast
+//! comparison: naive flooding deadlocks after one round, while the
+//! spokesman schedule — the algorithmic face of wireless expansion —
+//! finishes in a couple of rounds.
+//!
+//! Run with `cargo run -p wx-examples --bin quickstart [seed]`.
+
+use wx_core::prelude::*;
+use wx_examples::{section, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args(7);
+
+    section("C⁺ — the motivating example");
+    let (graph, source) = complete_plus_graph(10).expect("valid parameters");
+    println!(
+        "clique of 10 + source: n = {}, m = {}, Δ = {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+
+    section("Expansion profile (exact for this size)");
+    let analysis = GraphAnalysis::run(
+        &graph,
+        &AnalysisConfig {
+            broadcast_source: Some(source),
+            seed,
+            ..AnalysisConfig::default()
+        },
+    );
+    println!("{}", analysis.summary());
+    println!(
+        "unique expansion collapses to {:.3} while wireless expansion stays at {:.3}",
+        analysis.profile.unique.value, analysis.profile.wireless.value
+    );
+
+    section("Broadcast race from the pendant source");
+    let b = analysis.broadcast.expect("broadcast comparison enabled");
+    println!("naive flooding     : {}", wx_core::report::fmt_opt(b.naive_flooding));
+    println!("decay protocol     : {}", wx_core::report::fmt_opt(b.decay));
+    println!("spokesman schedule : {}", wx_core::report::fmt_opt(b.spokesman));
+    println!();
+    println!("(naive flooding '-' means it never completed: after the first round");
+    println!(" the informed set {{source, x, y}} has no unique neighbors, exactly the");
+    println!(" failure mode wireless expanders are designed to avoid.)");
+}

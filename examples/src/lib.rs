@@ -1,0 +1,35 @@
+//! Shared helpers for the example binaries.
+//!
+//! The examples are the "how would a downstream user actually drive this
+//! library" layer: each binary exercises the public API of `wx-core` on a
+//! self-contained scenario and prints a small, readable report. This library
+//! crate only hosts the tiny bits of shared plumbing (argument parsing for a
+//! seed, section headers) so that each example file stays focused on its
+//! scenario.
+
+/// Reads an optional `u64` seed from the first CLI argument, defaulting to
+/// the given value. Any unparsable argument falls back to the default.
+pub fn seed_from_args(default: u64) -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Prints a prominent section header.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_defaults_when_no_args() {
+        // In the test harness there are extra args, but they are not valid
+        // u64 seeds, so the default must come back.
+        assert_eq!(seed_from_args(42), 42);
+    }
+}

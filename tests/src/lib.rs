@@ -1,0 +1,77 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in this package's `tests/` directory; this tiny
+//! library only hosts instance generators reused by several test files.
+
+use wx_graph::random::rng_from_seed;
+use wx_graph::{BipartiteGraph, Graph};
+
+/// A small battery of named graphs covering the paper's main regimes:
+/// expanders, low-arboricity graphs and the pathological constructions.
+pub fn small_test_graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        (
+            "petersen",
+            Graph::from_edges(
+                10,
+                [
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 4),
+                    (4, 0),
+                    (0, 5),
+                    (1, 6),
+                    (2, 7),
+                    (3, 8),
+                    (4, 9),
+                    (5, 7),
+                    (7, 9),
+                    (9, 6),
+                    (6, 8),
+                    (8, 5),
+                ],
+            )
+            .unwrap(),
+        ),
+        (
+            "c-plus-7",
+            wx_constructions::families::complete_plus_graph(7).unwrap().0,
+        ),
+        ("cycle-12", Graph::from_edges(12, (0..12).map(|i| (i, (i + 1) % 12))).unwrap()),
+        ("grid-3x4", wx_constructions::families::grid_graph(3, 4).unwrap()),
+        ("hypercube-3", wx_constructions::families::hypercube_graph(3).unwrap()),
+        ("tree-2-3", wx_constructions::families::complete_k_ary_tree(2, 3).unwrap()),
+    ]
+}
+
+/// A random Erdős–Rényi-style graph for property tests (connectedness not
+/// guaranteed).
+pub fn random_graph(n: usize, p: f64, seed: u64) -> Graph {
+    use rand::Rng;
+    let mut rng = rng_from_seed(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, edges).expect("valid edges")
+}
+
+/// A random bipartite instance for spokesman property tests.
+pub fn random_bipartite(s: usize, n: usize, p: f64, seed: u64) -> BipartiteGraph {
+    use rand::Rng;
+    let mut rng = rng_from_seed(seed);
+    let mut edges = Vec::new();
+    for u in 0..s {
+        for w in 0..n {
+            if rng.gen_bool(p) {
+                edges.push((u, w));
+            }
+        }
+    }
+    BipartiteGraph::from_edges(s, n, edges).expect("valid edges")
+}

@@ -1,0 +1,166 @@
+//! Radio-broadcast integration tests: protocol correctness across topologies
+//! and the Section-5 lower-bound shape.
+
+use wx_constructions::BroadcastChain;
+use wx_radio::lower_bound::ChainExperiment;
+use wx_radio::protocols::decay::DecayProtocol;
+use wx_radio::protocols::naive::NaiveFlooding;
+use wx_radio::protocols::round_robin::RoundRobin;
+use wx_radio::protocols::spokesman::SpokesmanBroadcast;
+use wx_radio::{BroadcastProtocol, RadioSimulator, SimulatorConfig};
+
+fn run(
+    graph: &wx_graph::Graph,
+    source: usize,
+    proto: &mut dyn BroadcastProtocol,
+    seed: u64,
+) -> wx_radio::BroadcastOutcome {
+    RadioSimulator::new(graph, source, SimulatorConfig::default()).run(proto, seed)
+}
+
+#[test]
+fn collision_free_protocols_complete_everywhere() {
+    let graphs: Vec<(&str, wx_graph::Graph)> = vec![
+        (
+            "expander",
+            wx_constructions::families::random_regular_graph(96, 4, 1).unwrap(),
+        ),
+        ("grid", wx_constructions::families::grid_graph(8, 8).unwrap()),
+        (
+            "c-plus",
+            wx_constructions::families::complete_plus_graph(10).unwrap().0,
+        ),
+        (
+            "chain",
+            BroadcastChain::new(8, 2, 1).unwrap().graph,
+        ),
+    ];
+    for (name, g) in graphs {
+        for (pname, mut proto) in [
+            ("round-robin", Box::new(RoundRobin::default()) as Box<dyn BroadcastProtocol>),
+            ("decay", Box::new(DecayProtocol::default())),
+            ("spokesman", Box::new(SpokesmanBroadcast::default())),
+        ] {
+            let outcome = run(&g, 0, proto.as_mut(), 3);
+            assert!(
+                outcome.completed_at.is_some(),
+                "{pname} failed to complete on {name}"
+            );
+            // monotone coverage curve
+            assert!(outcome
+                .informed_per_round
+                .windows(2)
+                .all(|w| w[1] >= w[0]));
+        }
+    }
+}
+
+#[test]
+fn informed_counts_never_exceed_reachable() {
+    let g = wx_constructions::families::random_regular_graph(64, 4, 9).unwrap();
+    let sim = RadioSimulator::new(&g, 0, SimulatorConfig::default());
+    for seed in 0..3 {
+        let o = sim.run(&mut DecayProtocol::default(), seed);
+        assert!(o.informed_per_round.iter().all(|&c| c <= o.reachable));
+        // first-informed rounds are consistent with the coverage curve
+        let informed_from_rounds = o
+            .first_informed_round
+            .iter()
+            .filter(|r| r.is_some())
+            .count();
+        assert_eq!(informed_from_rounds, *o.informed_per_round.last().unwrap());
+    }
+}
+
+#[test]
+fn corollary_5_1_per_round_coverage_on_the_first_stage() {
+    // No transmission pattern informs more than 2s vertices of stage-1 N per
+    // round; therefore reaching a (2i/log 2s) fraction of N needs ≥ 1 + i
+    // rounds. We verify the per-round increments directly.
+    let s = 32usize;
+    let chain = BroadcastChain::new(s, 1, 5).unwrap();
+    let sim = RadioSimulator::new(&chain.graph, chain.root, SimulatorConfig::default());
+    for (label, mut proto) in [
+        (
+            "spokesman",
+            Box::new(SpokesmanBroadcast::thorough()) as Box<dyn BroadcastProtocol>,
+        ),
+        ("decay", Box::new(DecayProtocol::default())),
+        ("naive", Box::new(NaiveFlooding)),
+    ] {
+        let outcome = sim.run(proto.as_mut(), 7);
+        for w in outcome.informed_per_round.windows(2) {
+            let increment = w[1] - w[0];
+            // per round at most: the whole S side (s, informed by the root)
+            // plus 2s uniquely-coverable N vertices.
+            assert!(
+                increment <= 3 * s,
+                "{label}: informed {increment} new vertices in one round, above the 2s cap (+s for the S side)"
+            );
+        }
+    }
+}
+
+#[test]
+fn broadcast_time_on_chain_grows_with_number_of_stages() {
+    let cfg = SimulatorConfig {
+        max_rounds: 50_000,
+        stop_when_complete: true,
+    };
+    let mut prev = 0usize;
+    for stages in [1usize, 3, 6] {
+        let chain = BroadcastChain::new(16, stages, 11).unwrap();
+        let exp = ChainExperiment::new(&chain, cfg.clone());
+        let run = exp.run(&mut SpokesmanBroadcast::default(), 3);
+        let completed = run.completed_at.expect("spokesman completes");
+        assert!(
+            completed > prev,
+            "{stages} stages completed in {completed} rounds, not more than {prev}"
+        );
+        prev = completed;
+    }
+}
+
+#[test]
+fn broadcast_time_on_chain_grows_with_log_of_stage_size() {
+    // Fixing the number of stages and growing s (so growing n/D), the total
+    // broadcast time should grow — the per-hop cost is Ω(log 2s).
+    let cfg = SimulatorConfig {
+        max_rounds: 50_000,
+        stop_when_complete: true,
+    };
+    let stages = 3usize;
+    let mut times = Vec::new();
+    for s in [8usize, 64, 256] {
+        let chain = BroadcastChain::new(s, stages, 13).unwrap();
+        let exp = ChainExperiment::new(&chain, cfg.clone());
+        // decay is the protocol the lower bound is usually stated against
+        let run = exp.run(&mut DecayProtocol::default(), 5);
+        times.push(run.completed_at.expect("decay completes") as f64);
+    }
+    assert!(
+        times[1] > times[0] && times[2] > times[1],
+        "broadcast times {times:?} do not grow with s"
+    );
+}
+
+#[test]
+fn relay_gaps_reflect_the_log_factor() {
+    // Per-stage gaps on a larger-s chain should exceed those on a smaller-s
+    // chain (same protocol, same seeds), matching Corollary 5.1.
+    let cfg = SimulatorConfig::default();
+    let small = BroadcastChain::new(8, 4, 17).unwrap();
+    let large = BroadcastChain::new(128, 4, 17).unwrap();
+    let small_gap = ChainExperiment::new(&small, cfg.clone())
+        .run(&mut DecayProtocol::default(), 23)
+        .mean_gap()
+        .unwrap();
+    let large_gap = ChainExperiment::new(&large, cfg)
+        .run(&mut DecayProtocol::default(), 23)
+        .mean_gap()
+        .unwrap();
+    assert!(
+        large_gap > small_gap,
+        "mean relay gap did not grow with s: {small_gap} vs {large_gap}"
+    );
+}

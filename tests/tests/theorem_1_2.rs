@@ -1,0 +1,153 @@
+//! Theorem 1.2 (the negative result): the explicit constructions really do
+//! have wireless expansion smaller than their ordinary expansion by the
+//! logarithmic factor.
+
+use wx_constructions::{CoreGraph, GeneralizedCoreGraph, WorstCaseExpander};
+use wx_graph::VertexSet;
+use wx_spokesman::{ExactSolver, PortfolioSolver, SpokesmanSolver};
+
+#[test]
+fn core_graph_wireless_coverage_is_capped_at_2s() {
+    // Lemma 4.4(5): no subset of S uniquely covers more than 2s vertices.
+    // Check exactly (exhaustively) for s = 4 and 8, and via strong heuristics
+    // plus random subsets for larger s.
+    for s in [4usize, 8] {
+        let core = CoreGraph::new(s).unwrap();
+        let (opt, _) = ExactSolver::optimum(&core.graph);
+        assert!(opt <= 2 * s, "s = {s}: exact optimum {opt} exceeds 2s");
+    }
+    for s in [16usize, 32, 64, 128] {
+        let core = CoreGraph::new(s).unwrap();
+        let res = PortfolioSolver::default().solve(&core.graph, 3);
+        assert!(
+            res.unique_coverage <= 2 * s,
+            "s = {s}: portfolio coverage {} exceeds 2s",
+            res.unique_coverage
+        );
+        // random subsets as well
+        let mut rng = wx_graph::random::rng_from_seed(s as u64);
+        for _ in 0..50 {
+            use rand::Rng;
+            let k = rng.gen_range(1..=s);
+            let subset = wx_graph::random::random_subset_of_size(&mut rng, s, k);
+            assert!(core.graph.unique_coverage(&subset) <= 2 * s);
+        }
+    }
+}
+
+#[test]
+fn core_graph_ordinary_expansion_is_at_least_log_2s() {
+    for s in [8usize, 32, 128] {
+        let core = CoreGraph::new(s).unwrap();
+        let log2s = (core.levels + 1) as f64;
+        let mut rng = wx_graph::random::rng_from_seed(7);
+        for _ in 0..60 {
+            use rand::Rng;
+            let k = rng.gen_range(1..=s);
+            let subset = wx_graph::random::random_subset_of_size(&mut rng, s, k);
+            let neigh = core.graph.neighborhood_of_left_subset(&subset).len() as f64;
+            assert!(
+                neigh + 1e-9 >= log2s * k as f64,
+                "s = {s}, |S'| = {k}: Γ = {neigh} < log(2s)·|S'|"
+            );
+        }
+    }
+}
+
+#[test]
+fn the_wireless_loss_of_the_core_graph_grows_logarithmically() {
+    // The defining gap: coverage fraction ≤ 2/log(2s), so the ratio between
+    // ordinary expansion (≥ log 2s) and the wireless expansion of the full
+    // set S grows at least linearly in log 2s (up to the constant 2).
+    let mut prev_loss = 0.0f64;
+    for s in [8usize, 32, 128] {
+        let core = CoreGraph::new(s).unwrap();
+        let log2s = (core.levels + 1) as f64;
+        let res = PortfolioSolver::default().solve(&core.graph, 1);
+        let beta_w_of_s = res.unique_coverage as f64 / s as f64; // certified
+        let upper_beta_w = 2.0 * s as f64 / s as f64; // structural cap: 2
+        let beta_of_s = core.graph.num_right() as f64 / s as f64; // = log 2s
+        let loss_lower = beta_of_s / upper_beta_w; // ≥ log(2s)/2
+        assert!(loss_lower >= log2s / 2.0 - 1e-9);
+        assert!(beta_w_of_s <= upper_beta_w + 1e-9);
+        assert!(loss_lower > prev_loss, "loss must grow with s");
+        prev_loss = loss_lower;
+    }
+}
+
+#[test]
+fn generalized_core_graphs_meet_lemma_4_6_assertions() {
+    for (delta_star, beta_star) in [(32usize, 2.0f64), (64, 4.0), (64, 0.5), (128, 8.0)] {
+        let g = match GeneralizedCoreGraph::from_targets(delta_star, beta_star) {
+            Ok(g) => g,
+            Err(e) => panic!("({delta_star}, {beta_star}): construction failed: {e}"),
+        };
+        // assertion 1 (sizes): |N*| = realized_beta·|S*| with realized ≥ β*.
+        assert!(
+            g.graph.num_right() as f64 + 1e-9
+                >= beta_star * g.graph.num_left() as f64,
+            "({delta_star}, {beta_star}): |N*| too small"
+        );
+        // assertions 2 & 3 on random subsets
+        let mut rng = wx_graph::random::rng_from_seed(5);
+        let mut subsets = vec![VertexSet::full(g.graph.num_left())];
+        for _ in 0..30 {
+            use rand::Rng;
+            let k = rng.gen_range(1..=g.graph.num_left());
+            subsets.push(wx_graph::random::random_subset_of_size(
+                &mut rng,
+                g.graph.num_left(),
+                k,
+            ));
+        }
+        g.verify(&subsets)
+            .unwrap_or_else(|e| panic!("({delta_star}, {beta_star}): {e}"));
+        // the structural coverage bound implies the Lemma 4.6(3) fraction
+        let frac = g.unique_coverage_upper_bound() as f64 / g.graph.num_right() as f64;
+        let lemma_bound = 4.0
+            / (wx_spokesman::bounds::min_degree_ratio(g.target_delta, g.target_beta))
+                .log2()
+                .max(1.0);
+        assert!(
+            frac <= lemma_bound + 1e-9,
+            "({delta_star}, {beta_star}): structural fraction {frac} exceeds Lemma 4.6 bound {lemma_bound}"
+        );
+    }
+}
+
+#[test]
+fn worst_case_expander_keeps_ordinary_but_loses_wireless_expansion() {
+    let base = wx_constructions::families::random_regular_graph(1024, 64, 3).unwrap();
+    let beta = 1.0;
+    let wce = WorstCaseExpander::plug(&base, beta, 0.3).unwrap();
+
+    // Claim 4.9 (sampled): sets from the base graph keep expansion ≥ (1−ε)β…
+    let mut rng = wx_graph::random::rng_from_seed(2);
+    for _ in 0..10 {
+        use rand::Rng;
+        let k = rng.gen_range(4..200);
+        let base_set = wx_graph::random::random_subset_of_size(&mut rng, wce.base_n, k);
+        let set = VertexSet::from_iter(wce.graph.num_vertices(), base_set.iter());
+        let exp = wx_graph::neighborhood::expansion_of_set(&wce.graph, &set);
+        assert!(
+            exp + 1e-9 >= wce.beta_tilde(),
+            "random base set of size {k} has expansion {exp} < β̃ = {}",
+            wce.beta_tilde()
+        );
+    }
+
+    // …and the planted set S* keeps ordinary expansion ≥ β̃ too…
+    let planted_exp = wx_graph::neighborhood::expansion_of_set(&wce.graph, &wce.s_star);
+    assert!(planted_exp + 1e-9 >= wce.beta_tilde());
+
+    // …but its wireless expansion is pinned under the Corollary 4.11 bound.
+    let (lower, upper) = wce.planted_set_wireless_bounds(9);
+    assert!(lower <= upper + 1e-9);
+    assert!(upper <= wce.wireless_upper_bound() + 1e-9);
+    // and the loss on the planted set is real: ordinary expansion exceeds the
+    // structural wireless cap.
+    assert!(
+        planted_exp > upper,
+        "planted set: ordinary {planted_exp} does not exceed wireless cap {upper}"
+    );
+}
