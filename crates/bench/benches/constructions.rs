@@ -23,7 +23,12 @@ fn bench_generalized_core(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("d{d}-b{beta}")),
             &(d, beta),
             |b, &(d, beta)| {
-                b.iter(|| GeneralizedCoreGraph::from_targets(d, beta).unwrap().graph.num_edges())
+                b.iter(|| {
+                    GeneralizedCoreGraph::from_targets(d, beta)
+                        .unwrap()
+                        .graph
+                        .num_edges()
+                })
             },
         );
     }

@@ -40,9 +40,7 @@ fn bench_wireless_certificate(c: &mut Criterion) {
         let s = g.vertex_set(0..n / 4);
         let portfolio = PortfolioSolver::fast();
         group.bench_with_input(BenchmarkId::new("portfolio_lower_bound", n), &g, |b, g| {
-            b.iter(|| {
-                wx_core::expansion::wireless::of_set_lower_bound(g, &s, &portfolio, 1).0
-            })
+            b.iter(|| wx_core::expansion::wireless::of_set_lower_bound(g, &s, &portfolio, 1).0)
         });
     }
     group.finish();

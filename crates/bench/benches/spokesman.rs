@@ -38,14 +38,17 @@ fn bench_solvers(c: &mut Criterion) {
             ("partition", Box::new(PartitionSolver::default())),
             ("decay", Box::new(RandomDecaySolver::fast())),
             ("degree-class", Box::new(DegreeClassSolver::default())),
-            ("cw-baseline", Box::new(ChlamtacWeinsteinSolver { trials_per_level: 2 })),
+            (
+                "cw-baseline",
+                Box::new(ChlamtacWeinsteinSolver {
+                    trials_per_level: 2,
+                }),
+            ),
         ];
         for (label, solver) in solvers {
-            group.bench_with_input(
-                BenchmarkId::new(label, &name),
-                &g,
-                |b, g| b.iter(|| solver.solve(g, 3).unique_coverage),
-            );
+            group.bench_with_input(BenchmarkId::new(label, &name), &g, |b, g| {
+                b.iter(|| solver.solve(g, 3).unique_coverage)
+            });
         }
     }
     group.finish();

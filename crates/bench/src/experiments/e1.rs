@@ -18,32 +18,37 @@ fn measure(name: &str, g: &Graph, opts: &ExperimentOptions, rows: &mut Vec<Table
     } else {
         SamplerConfig::default()
     };
-    let pool = CandidateSets::generate(g, &sampler, opts.seed);
-    let portfolio = if opts.quick {
-        PortfolioSolver::fast()
+    let engine = MeasurementEngine::builder()
+        .alpha(0.5)
+        .strategy(MeasureStrategy::Sampled)
+        .sampler(sampler)
+        .seed(opts.seed)
+        .build();
+    let wireless_measure = if opts.quick {
+        Wireless::fast()
     } else {
-        PortfolioSolver::default()
+        Wireless::default()
     };
     let delta = g.max_degree();
+
+    // One shared pool, both measures evaluated on it in parallel; the
+    // per-set pairing is what Theorem 1.1's "min constant" column needs.
+    let pool = engine.candidate_pool(g);
+    let beta_evals = engine.evaluate_pool(g, &Ordinary, &pool);
+    let beta_w_evals = engine.evaluate_pool(g, &wireless_measure, &pool);
 
     let mut worst_beta = f64::INFINITY;
     let mut worst_beta_w = f64::INFINITY;
     let mut worst_constant = f64::INFINITY;
-    for (i, s) in pool.sets.iter().enumerate() {
-        let beta_s = wx_core::graph::neighborhood::expansion_of_set(g, s);
-        let (beta_w_s, _) = wx_core::expansion::wireless::of_set_lower_bound(
-            g,
-            s,
-            &portfolio,
-            wx_core::graph::random::derive_seed(opts.seed, i as u64),
-        );
+    for (beta_eval, beta_w_eval) in beta_evals.iter().zip(beta_w_evals.iter()) {
+        let beta_s = beta_eval.value;
+        let beta_w_s = beta_w_eval.value;
         worst_beta = worst_beta.min(beta_s);
         worst_beta_w = worst_beta_w.min(beta_w_s);
         if beta_s > 0.0 {
-            let loss_ref = (2.0
-                * wx_core::spokesman::bounds::min_degree_ratio(delta, beta_s))
-            .log2()
-            .max(1.0);
+            let loss_ref = (2.0 * wx_core::spokesman::bounds::min_degree_ratio(delta, beta_s))
+                .log2()
+                .max(1.0);
             worst_constant = worst_constant.min(beta_w_s * loss_ref / beta_s);
         }
     }
@@ -75,7 +80,11 @@ pub fn run(opts: &ExperimentOptions) -> String {
     let mut graphs: Vec<(String, Graph)> = Vec::new();
     let sizes: &[usize] = if opts.quick { &[64] } else { &[64, 256, 1024] };
     for &n in sizes {
-        for &d in if opts.quick { &[4usize][..] } else { &[4usize, 8, 16][..] } {
+        for &d in if opts.quick {
+            &[4usize][..]
+        } else {
+            &[4usize, 8, 16][..]
+        } {
             graphs.push((
                 format!("random-regular n={n} d={d}"),
                 random_regular_graph(n, d, opts.seed ^ (n as u64) ^ (d as u64)).expect("valid"),
@@ -91,9 +100,15 @@ pub fn run(opts: &ExperimentOptions) -> String {
             "hypercube d=9".to_string(),
             hypercube_graph(9).expect("valid"),
         ));
-        graphs.push(("margulis m=16".to_string(), margulis_graph(16).expect("valid")));
+        graphs.push((
+            "margulis m=16".to_string(),
+            margulis_graph(16).expect("valid"),
+        ));
     }
-    graphs.push(("margulis m=8".to_string(), margulis_graph(8).expect("valid")));
+    graphs.push((
+        "margulis m=8".to_string(),
+        margulis_graph(8).expect("valid"),
+    ));
 
     for (name, g) in &graphs {
         measure(name, g, opts, &mut rows);

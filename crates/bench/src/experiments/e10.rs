@@ -33,7 +33,9 @@ pub fn run(opts: &ExperimentOptions) -> String {
 
     let mut rows = Vec::new();
     for (name, g) in &instances {
-        let gamma = (0..g.num_right()).filter(|&w| g.right_degree(w) > 0).count();
+        let gamma = (0..g.num_right())
+            .filter(|&w| g.right_degree(w) > 0)
+            .count();
         let delta_n = g.num_edges() as f64 / gamma.max(1) as f64;
         let delta = g.max_degree();
         let results: Vec<(&str, usize)> = vec![
@@ -43,15 +45,21 @@ pub fn run(opts: &ExperimentOptions) -> String {
             ),
             (
                 "partition once (A.3)",
-                PartitionSolver::low_degree_once().solve(g, opts.seed).unique_coverage,
+                PartitionSolver::low_degree_once()
+                    .solve(g, opts.seed)
+                    .unique_coverage,
             ),
             (
                 "partition recursive (A.13)",
-                PartitionSolver::default().solve(g, opts.seed).unique_coverage,
+                PartitionSolver::default()
+                    .solve(g, opts.seed)
+                    .unique_coverage,
             ),
             (
                 "degree-class (A.7)",
-                DegreeClassSolver::default().solve(g, opts.seed).unique_coverage,
+                DegreeClassSolver::default()
+                    .solve(g, opts.seed)
+                    .unique_coverage,
             ),
         ];
         for (label, covered) in results {
@@ -98,7 +106,13 @@ pub fn run(opts: &ExperimentOptions) -> String {
     out.push('\n');
     out.push_str(&render_table(
         "E10b: the MG(δ) profile (guaranteed coverable fraction of N)",
-        &["average degree", "A.13 term", "A.15 term", "A.8 term", "MG(δ)"],
+        &[
+            "average degree",
+            "A.13 term",
+            "A.15 term",
+            "A.8 term",
+            "MG(δ)",
+        ],
         &mg_rows,
     ));
     out.push_str(

@@ -12,22 +12,25 @@ use wx_core::report::{fmt_f64, fmt_opt, render_table, TableRow};
 
 /// Runs the experiment and returns the report text.
 pub fn run(opts: &ExperimentOptions) -> String {
-    let sizes: &[usize] = if opts.quick { &[6, 10] } else { &[6, 10, 14, 20, 40] };
+    let sizes: &[usize] = if opts.quick {
+        &[6, 10]
+    } else {
+        &[6, 10, 14, 20, 40]
+    };
     let mut rows = Vec::new();
     for &k in sizes {
         let (g, source) = complete_plus_graph(k).expect("valid");
         let analysis = GraphAnalysis::run(
             &g,
-            &AnalysisConfig {
-                profile: if g.num_vertices() <= 14 {
+            &AnalysisConfig::builder()
+                .profile(if g.num_vertices() <= 14 {
                     ProfileConfig::default()
                 } else {
                     ProfileConfig::light(0.5)
-                },
-                broadcast_source: Some(source),
-                seed: opts.seed,
-                ..AnalysisConfig::default()
-            },
+                })
+                .broadcast_source(Some(source))
+                .seed(opts.seed)
+                .build(),
         );
         let b = analysis.broadcast.as_ref().expect("broadcast ran");
         rows.push(TableRow::new(

@@ -60,26 +60,19 @@ pub fn run(opts: &ExperimentOptions) -> String {
     for (name, g) in &graphs {
         let d = g.max_degree();
         let lambda2 = wx_core::expansion::spectral::second_eigenvalue(g, opts.seed);
-        let (beta_u, beta, exact) = if g.num_vertices() <= 14 {
-            (
-                wx_core::expansion::unique::exact(g, alpha).unwrap().value,
-                wx_core::expansion::ordinary::exact(g, alpha).unwrap().value,
-                true,
-            )
-        } else {
-            let cfg = SamplerConfig {
-                alpha,
-                ..SamplerConfig::light(alpha)
-            };
-            let pool = CandidateSets::generate(g, &cfg, opts.seed);
-            (
-                wx_core::expansion::unique::estimate(g, &pool).unwrap().value,
-                wx_core::expansion::ordinary::estimate(g, &pool).unwrap().value,
-                false,
-            )
-        };
-        let rhs =
-            wx_core::spokesman::bounds::lemma_3_1_expansion_bound(d, lambda2, alpha, beta_u);
+        // Auto strategy: exact enumeration on the small instances, the
+        // shared sampled pool on the larger ones — one engine for both.
+        let engine = MeasurementEngine::builder()
+            .alpha(alpha)
+            .exact_up_to(14)
+            .sampler(SamplerConfig::light(alpha))
+            .seed(opts.seed)
+            .build();
+        let results = engine
+            .measure_many(g, &[&UniqueNeighbor, &Ordinary])
+            .unwrap();
+        let (beta_u, beta, exact) = (results[0].value, results[1].value, results[1].exact);
+        let rhs = wx_core::spokesman::bounds::lemma_3_1_expansion_bound(d, lambda2, alpha, beta_u);
         rows.push(TableRow::new(
             name.clone(),
             vec![
@@ -96,7 +89,16 @@ pub fn run(opts: &ExperimentOptions) -> String {
 
     let mut out = render_table(
         "E3: Lemma 3.1 spectral bound on d-regular graphs (α = 0.2)",
-        &["graph", "d", "λ₂", "β̂u", "β̂", "Lemma 3.1 rhs", "slack", "mode"],
+        &[
+            "graph",
+            "d",
+            "λ₂",
+            "β̂u",
+            "β̂",
+            "Lemma 3.1 rhs",
+            "slack",
+            "mode",
+        ],
         &rows,
     );
     out.push_str(

@@ -26,9 +26,12 @@ pub fn run(opts: &ExperimentOptions) -> String {
         for _ in 0..20 {
             use rand::Rng;
             let k = rng.gen_range(1..=s);
-            subsets.push(wx_core::graph::random::random_subset_of_size(&mut rng, s, k));
+            subsets.push(wx_core::graph::random::random_subset_of_size(
+                &mut rng, s, k,
+            ));
         }
-        core.verify_lemma_4_4(&subsets).expect("Lemma 4.4 assertions hold");
+        core.verify_lemma_4_4(&subsets)
+            .expect("Lemma 4.4 assertions hold");
 
         let log2s = (core.levels + 1) as f64;
         let best_cov = if s <= 16 {

@@ -31,7 +31,14 @@ pub fn run(opts: &ExperimentOptions) -> String {
             Err(e) => {
                 rows.push(TableRow::new(
                     format!("Δ*={delta_star} β*={beta_star}"),
-                    vec![format!("rejected: {e}"), String::new(), String::new(), String::new(), String::new(), String::new()],
+                    vec![
+                        format!("rejected: {e}"),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                    ],
                 ));
                 continue;
             }
@@ -55,7 +62,9 @@ pub fn run(opts: &ExperimentOptions) -> String {
             / wx_core::spokesman::bounds::min_degree_ratio(g.target_delta, g.target_beta)
                 .log2()
                 .max(1.0);
-        let found = PortfolioSolver::fast().solve(&g.graph, opts.seed).unique_coverage;
+        let found = PortfolioSolver::fast()
+            .solve(&g.graph, opts.seed)
+            .unique_coverage;
         rows.push(TableRow::new(
             format!("Δ*={delta_star} β*={beta_star}"),
             vec![

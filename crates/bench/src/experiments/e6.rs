@@ -15,10 +15,18 @@ use wx_core::report::{fmt_f64, render_table, TableRow};
 pub fn run(opts: &ExperimentOptions) -> String {
     // The Lemma 4.6 parameter window needs ε² ≥ 2e·β/Δ, so with β = 1 and
     // Δ = 64 any ε ≥ 0.3 is admissible.
-    let (n, d) = if opts.quick { (256usize, 64usize) } else { (1024, 64) };
+    let (n, d) = if opts.quick {
+        (256usize, 64usize)
+    } else {
+        (1024, 64)
+    };
     let base = random_regular_graph(n, d, opts.seed).expect("valid");
     let base_beta = 1.0;
-    let epsilons: &[f64] = if opts.quick { &[0.3] } else { &[0.3, 0.35, 0.45] };
+    let epsilons: &[f64] = if opts.quick {
+        &[0.3]
+    } else {
+        &[0.3, 0.35, 0.45]
+    };
 
     let mut rows = Vec::new();
     for &eps in epsilons {
@@ -32,23 +40,16 @@ pub fn run(opts: &ExperimentOptions) -> String {
                 continue;
             }
         };
-        let planted_ord =
-            wx_core::graph::neighborhood::expansion_of_set(&wce.graph, &wce.s_star);
+        let planted_ord = wx_core::graph::neighborhood::expansion_of_set(&wce.graph, &wce.s_star);
         let (planted_wireless_lb, planted_wireless_ub) = wce.planted_set_wireless_bounds(opts.seed);
         // contrast: a random base set of the same size
         let mut rng = wx_core::graph::random::rng_from_seed(opts.seed ^ 0x5EED);
-        let typical_base = wx_core::graph::random::random_subset_of_size(
-            &mut rng,
-            wce.base_n,
-            wce.s_star.len(),
-        );
+        let typical_base =
+            wx_core::graph::random::random_subset_of_size(&mut rng, wce.base_n, wce.s_star.len());
         let typical = VertexSet::from_iter(wce.graph.num_vertices(), typical_base.iter());
         let portfolio = PortfolioSolver::default();
         let (typical_wireless, _) = wx_core::expansion::wireless::of_set_lower_bound(
-            &wce.graph,
-            &typical,
-            &portfolio,
-            opts.seed,
+            &wce.graph, &typical, &portfolio, opts.seed,
         );
         rows.push(TableRow::new(
             format!("ε={eps}"),

@@ -54,7 +54,10 @@ pub fn run(opts: &ExperimentOptions) -> String {
             ("partition", Box::new(PartitionSolver::default())),
             ("greedy", Box::new(GreedyMinDegreeSolver)),
             ("degree-class", Box::new(DegreeClassSolver::default())),
-            ("chlamtac-weinstein", Box::new(ChlamtacWeinsteinSolver::default())),
+            (
+                "chlamtac-weinstein",
+                Box::new(ChlamtacWeinsteinSolver::default()),
+            ),
             ("portfolio", Box::new(PortfolioSolver::default())),
         ];
         let exact = if ExactSolver::is_feasible(g) && g.num_left() <= 20 {
@@ -83,7 +86,13 @@ pub fn run(opts: &ExperimentOptions) -> String {
 
     let mut out = render_table(
         "E7: Spokesman Election solvers (coverage, fraction of N, optimum, time)",
-        &["instance / solver", "covered", "fraction", "exact opt", "time"],
+        &[
+            "instance / solver",
+            "covered",
+            "fraction",
+            "exact opt",
+            "time",
+        ],
         &rows,
     );
     out.push_str(

@@ -15,7 +15,16 @@ pub fn run(opts: &ExperimentOptions) -> String {
     let configs: &[(usize, usize)] = if opts.quick {
         &[(8, 2), (8, 4), (32, 2)]
     } else {
-        &[(8, 2), (8, 4), (8, 8), (32, 2), (32, 4), (32, 8), (128, 2), (128, 4)]
+        &[
+            (8, 2),
+            (8, 4),
+            (8, 8),
+            (32, 2),
+            (32, 4),
+            (32, 8),
+            (128, 2),
+            (128, 4),
+        ]
     };
     let sim_cfg = SimulatorConfig {
         max_rounds: 100_000,

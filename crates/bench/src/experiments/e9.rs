@@ -15,15 +15,11 @@ fn profile_row(name: &str, g: &Graph, opts: &ExperimentOptions, rows: &mut Vec<T
     let cfg = if opts.quick {
         ProfileConfig::light(0.5)
     } else {
-        ProfileConfig {
-            exact_up_to: 12,
-            ..ProfileConfig::default()
-        }
+        ProfileConfig::builder().exact_up_to(12).build()
     };
     let p = ExpansionProfile::measure(g, &cfg);
     let arb = wx_core::graph::arboricity::arboricity_bounds(g);
-    let min_ratio =
-        wx_core::spokesman::bounds::min_degree_ratio(g.max_degree(), p.ordinary.value);
+    let min_ratio = wx_core::spokesman::bounds::min_degree_ratio(g.max_degree(), p.ordinary.value);
     rows.push(TableRow::new(
         name,
         vec![
@@ -57,7 +53,11 @@ fn core_planted_row(s: usize, rows: &mut Vec<TableRow>, seed: u64) {
             arb.upper.to_string(),
             fmt_f64(beta),
             fmt_f64(beta_w),
-            fmt_f64(if beta_w > 0.0 { beta / beta_w } else { f64::INFINITY }),
+            fmt_f64(if beta_w > 0.0 {
+                beta / beta_w
+            } else {
+                f64::INFINITY
+            }),
             fmt_f64(min_ratio),
             fmt_f64((2.0 * min_ratio).max(2.0).log2()),
         ],
@@ -68,14 +68,24 @@ fn core_planted_row(s: usize, rows: &mut Vec<TableRow>, seed: u64) {
 pub fn run(opts: &ExperimentOptions) -> String {
     let mut rows = Vec::new();
     profile_row("grid 12x12", &grid_graph(12, 12).unwrap(), opts, &mut rows);
-    profile_row("torus 10x10", &torus_graph(10, 10).unwrap(), opts, &mut rows);
+    profile_row(
+        "torus 10x10",
+        &torus_graph(10, 10).unwrap(),
+        opts,
+        &mut rows,
+    );
     profile_row(
         "binary tree (7 levels)",
         &complete_k_ary_tree(2, 7).unwrap(),
         opts,
         &mut rows,
     );
-    profile_row("random tree n=100", &random_tree(100, opts.seed).unwrap(), opts, &mut rows);
+    profile_row(
+        "random tree n=100",
+        &random_tree(100, opts.seed).unwrap(),
+        opts,
+        &mut rows,
+    );
     if !opts.quick {
         profile_row("grid 24x24", &grid_graph(24, 24).unwrap(), opts, &mut rows);
         profile_row(
@@ -91,7 +101,11 @@ pub fn run(opts: &ExperimentOptions) -> String {
             &mut rows,
         );
     }
-    let core_sizes: &[usize] = if opts.quick { &[16, 64] } else { &[16, 64, 256] };
+    let core_sizes: &[usize] = if opts.quick {
+        &[16, 64]
+    } else {
+        &[16, 64, 256]
+    };
     for &s in core_sizes {
         core_planted_row(s, &mut rows, opts.seed);
     }

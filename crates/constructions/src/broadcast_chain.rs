@@ -66,7 +66,8 @@ impl BroadcastChain {
         for stage in 0..num_stages {
             let base = 1 + stage * per_stage;
             let s_vertices: Vec<Vertex> = (0..per_stage_s).map(|i| base + i).collect();
-            let n_vertices: Vec<Vertex> = (0..per_stage_n).map(|i| base + per_stage_s + i).collect();
+            let n_vertices: Vec<Vertex> =
+                (0..per_stage_n).map(|i| base + per_stage_s + i).collect();
             // internal core-graph edges
             for (u, w) in core.graph.edges() {
                 b.add_edge(s_vertices[u], n_vertices[w])?;
@@ -125,18 +126,28 @@ impl BroadcastChain {
 
     /// The `S` side of stage `i` as a [`VertexSet`] over the chain graph.
     pub fn stage_s_set(&self, i: usize) -> VertexSet {
-        VertexSet::from_iter(self.num_vertices(), self.stages[i].s_vertices.iter().copied())
+        VertexSet::from_iter(
+            self.num_vertices(),
+            self.stages[i].s_vertices.iter().copied(),
+        )
     }
 
     /// The `N` side of stage `i` as a [`VertexSet`] over the chain graph.
     pub fn stage_n_set(&self, i: usize) -> VertexSet {
-        VertexSet::from_iter(self.num_vertices(), self.stages[i].n_vertices.iter().copied())
+        VertexSet::from_iter(
+            self.num_vertices(),
+            self.stages[i].n_vertices.iter().copied(),
+        )
     }
 
     /// Corollary 5.1 structural check: for any subset `S'` of stage `i`'s `S`
     /// side, the number of stage-`i` `N` vertices hearing a collision-free
     /// transmission is at most `2s`.
-    pub fn verify_per_round_coverage_bound(&self, i: usize, subsets: &[VertexSet]) -> std::result::Result<(), String> {
+    pub fn verify_per_round_coverage_bound(
+        &self,
+        i: usize,
+        subsets: &[VertexSet],
+    ) -> std::result::Result<(), String> {
         let s_set = self.stage_s_set(i);
         let n_set = self.stage_n_set(i);
         for s_prime in subsets {
@@ -251,9 +262,15 @@ mod tests {
 
     #[test]
     fn reference_lower_bound_grows_with_stages_and_size() {
-        let a = BroadcastChain::new(8, 2, 1).unwrap().reference_lower_bound();
-        let b = BroadcastChain::new(8, 8, 1).unwrap().reference_lower_bound();
-        let c = BroadcastChain::new(64, 2, 1).unwrap().reference_lower_bound();
+        let a = BroadcastChain::new(8, 2, 1)
+            .unwrap()
+            .reference_lower_bound();
+        let b = BroadcastChain::new(8, 8, 1)
+            .unwrap()
+            .reference_lower_bound();
+        let c = BroadcastChain::new(64, 2, 1)
+            .unwrap()
+            .reference_lower_bound();
         assert!(b > a);
         assert!(c > a);
     }

@@ -72,10 +72,10 @@ impl CoreGraph {
             2 * s
         ];
         let mut next_start = 0usize;
-        for node in 1..2 * s {
+        for (node, block) in blocks.iter_mut().enumerate().take(2 * s).skip(1) {
             let level = (usize::BITS - 1 - node.leading_zeros()) as usize;
             let len = s >> level;
-            blocks[node] = TreeBlock {
+            *block = TreeBlock {
                 level,
                 start: next_start,
                 len,
@@ -282,7 +282,10 @@ mod tests {
         // Exact spokesman optimum on s = 8 must not exceed 2s = 16.
         let cg = CoreGraph::new(8).unwrap();
         let (opt, _) = wx_spokesman::ExactSolver::optimum(&cg.graph);
-        assert!(opt <= cg.unique_coverage_upper_bound(), "optimum {opt} > 2s");
+        assert!(
+            opt <= cg.unique_coverage_upper_bound(),
+            "optimum {opt} > 2s"
+        );
         // ... and the full set S' = S achieves strictly less than |N|.
         let full_cov = cg.graph.unique_coverage(&VertexSet::full(8));
         assert!(full_cov < cg.num_right());
@@ -296,8 +299,7 @@ mod tests {
             let bound_fraction = 2.0 / (cg.levels as f64 + 1.0);
             // use the portfolio to get a good S'; even the best found subset
             // must respect the structural upper bound
-            let result =
-                wx_spokesman::PortfolioSolver::default().solve(&cg.graph, 7);
+            let result = wx_spokesman::PortfolioSolver::default().solve(&cg.graph, 7);
             let fraction = result.unique_coverage as f64 / cg.num_right() as f64;
             assert!(
                 fraction <= bound_fraction + 1e-9,
@@ -320,9 +322,9 @@ mod tests {
         let mut covered = vec![false; cg.num_right()];
         for node in 1..16 {
             let blk = cg.block(node);
-            for w in blk.start..blk.start + blk.len {
-                assert!(!covered[w], "block overlap at {w}");
-                covered[w] = true;
+            for (w, slot) in covered.iter_mut().enumerate().skip(blk.start).take(blk.len) {
+                assert!(!*slot, "block overlap at {w}");
+                *slot = true;
             }
         }
         assert!(covered.iter().all(|&c| c));

@@ -14,7 +14,9 @@ use wx_graph::{Graph, GraphBuilder, GraphError, Result, Vertex};
 /// Returns the graph and the source vertex id.
 pub fn complete_plus_graph(k: usize) -> Result<(Graph, Vertex)> {
     if k < 3 {
-        return Err(GraphError::invalid("C⁺ needs a clique of at least 3 vertices"));
+        return Err(GraphError::invalid(
+            "C⁺ needs a clique of at least 3 vertices",
+        ));
     }
     let mut b = GraphBuilder::new(k + 1);
     for i in 0..k {
@@ -30,7 +32,7 @@ pub fn complete_plus_graph(k: usize) -> Result<(Graph, Vertex)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wx_graph::neighborhood::{unique_neighborhood, s_excluding_unique_neighborhood};
+    use wx_graph::neighborhood::{s_excluding_unique_neighborhood, unique_neighborhood};
 
     #[test]
     fn shape() {

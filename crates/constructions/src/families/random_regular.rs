@@ -25,7 +25,7 @@ pub fn random_regular_graph(n: usize, d: usize, seed: u64) -> Result<Graph> {
             "degree {d} must be smaller than the number of vertices {n}"
         )));
     }
-    if (n * d) % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GraphError::invalid(format!(
             "n·d must be even, got n = {n}, d = {d}"
         )));

@@ -8,7 +8,9 @@ use wx_graph::{Graph, GraphBuilder, GraphError, Result};
 /// (`levels = 1` is a single root). Vertices are numbered in BFS order.
 pub fn complete_k_ary_tree(k: usize, levels: usize) -> Result<Graph> {
     if k == 0 || levels == 0 {
-        return Err(GraphError::invalid("arity and level count must be positive"));
+        return Err(GraphError::invalid(
+            "arity and level count must be positive",
+        ));
     }
     // number of vertices: 1 + k + k² + … + k^{levels−1}
     let mut n = 0usize;

@@ -97,12 +97,18 @@ impl GeneralizedCoreGraph {
         let (scaling, graph) = if beta > log2s {
             // Rounding k *up* only increases the realized expansion log2s·k.
             let k = (beta / log2s).ceil() as usize;
-            (CoreScaling::DuplicateRight { k }, duplicate_right(&core.graph, k)?)
+            (
+                CoreScaling::DuplicateRight { k },
+                duplicate_right(&core.graph, k)?,
+            )
         } else {
             // Rounding k *down* keeps the realized expansion log2s/k at or
             // above the requested β (k ≥ 1 because β ≤ log 2s).
             let k = ((log2s / beta).floor() as usize).max(1);
-            (CoreScaling::DuplicateLeft { k }, duplicate_left(&core.graph, k)?)
+            (
+                CoreScaling::DuplicateLeft { k },
+                duplicate_left(&core.graph, k)?,
+            )
         };
         let target_delta = graph.max_degree();
         Ok(GeneralizedCoreGraph {
@@ -150,8 +156,9 @@ impl GeneralizedCoreGraph {
             }
             s *= 2;
         }
-        let (s, _dup_right) =
-            chosen.ok_or_else(|| GraphError::invalid("could not find a core size for the requested parameters"))?;
+        let (s, _dup_right) = chosen.ok_or_else(|| {
+            GraphError::invalid("could not find a core size for the requested parameters")
+        })?;
         let mut built = Self::from_core_size(s, beta_star)?;
         built.target_delta = delta_star.max(built.graph.max_degree());
         Ok(built)
@@ -263,7 +270,8 @@ mod tests {
         let g = GeneralizedCoreGraph::from_core_size(8, 12.0).unwrap();
         assert!(matches!(g.scaling, CoreScaling::DuplicateRight { k: 3 }));
         assert_eq!(g.graph.num_right(), 8 * 4 * 3);
-        g.verify(&random_subsets(g.graph.num_left(), 20, 1)).unwrap();
+        g.verify(&random_subsets(g.graph.num_left(), 20, 1))
+            .unwrap();
         assert!(g.realized_expansion_lower_bound() >= 12.0);
     }
 
@@ -274,7 +282,8 @@ mod tests {
         assert!(matches!(g.scaling, CoreScaling::DuplicateLeft { k: 4 }));
         assert_eq!(g.graph.num_left(), 32);
         assert_eq!(g.graph.num_right(), 32);
-        g.verify(&random_subsets(g.graph.num_left(), 20, 2)).unwrap();
+        g.verify(&random_subsets(g.graph.num_left(), 20, 2))
+            .unwrap();
         assert!(g.realized_expansion_lower_bound() >= 1.0);
     }
 
@@ -286,7 +295,8 @@ mod tests {
         // |S*| ≤ Δ*/2 is the Lemma 4.6 size bound (allow slack from rounding
         // the duplication factor up).
         assert!(g.graph.num_left() <= 64, "|S*| = {}", g.graph.num_left());
-        g.verify(&random_subsets(g.graph.num_left(), 10, 3)).unwrap();
+        g.verify(&random_subsets(g.graph.num_left(), 10, 3))
+            .unwrap();
     }
 
     #[test]

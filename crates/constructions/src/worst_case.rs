@@ -191,7 +191,7 @@ mod tests {
         assert!(WorstCaseExpander::plug(&g, beta, 0.0).is_err());
         assert!(WorstCaseExpander::plug(&g, beta, 0.5).is_err());
         assert!(WorstCaseExpander::plug(&g, 0.001, 0.49).is_err()); // Δ·β too small
-        // degree too small for the core's parameter window
+                                                                    // degree too small for the core's parameter window
         let tiny = random_regular_graph(16, 4, 1).unwrap();
         // With Δ = 4, ε = 0.25 the core needs Δ* = 1 — the parameter window
         // 2e/Δ* ≤ β* fails, so we get an invalid-parameter error either way.

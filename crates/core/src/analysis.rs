@@ -14,8 +14,20 @@ use wx_radio::protocols::naive::NaiveFlooding;
 use wx_radio::protocols::spokesman::SpokesmanBroadcast;
 use wx_radio::{RadioSimulator, SimulatorConfig};
 
-/// Configuration for [`GraphAnalysis::run`].
+/// Configuration for [`GraphAnalysis::run`]. Construct via
+/// [`AnalysisConfig::builder`] (the struct is non-exhaustive so new knobs can
+/// be added without breaking callers):
+///
+/// ```
+/// use wx_core::prelude::*;
+/// let cfg = AnalysisConfig::builder()
+///     .profile(ProfileConfig::builder().alpha(0.5).exact_up_to(12).build())
+///     .broadcast_up_to(0)
+///     .build();
+/// assert_eq!(cfg.broadcast_up_to, 0);
+/// ```
 #[derive(Clone, Debug, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct AnalysisConfig {
     /// Expansion-profile settings.
     pub profile: ProfileConfig,
@@ -42,16 +54,65 @@ impl Default for AnalysisConfig {
     }
 }
 
+/// Builder for [`AnalysisConfig`].
+#[derive(Clone, Debug)]
+pub struct AnalysisConfigBuilder {
+    cfg: AnalysisConfig,
+}
+
+impl AnalysisConfigBuilder {
+    /// Sets the expansion-profile settings.
+    pub fn profile(mut self, profile: ProfileConfig) -> Self {
+        self.cfg.profile = profile;
+        self
+    }
+    /// Sets the broadcast-comparison size cap (0 disables the comparison).
+    pub fn broadcast_up_to(mut self, n: usize) -> Self {
+        self.cfg.broadcast_up_to = n;
+        self
+    }
+    /// Sets the broadcast source vertex.
+    pub fn broadcast_source(mut self, source: Option<Vertex>) -> Self {
+        self.cfg.broadcast_source = source;
+        self
+    }
+    /// Sets the broadcast round cap.
+    pub fn broadcast_max_rounds(mut self, rounds: usize) -> Self {
+        self.cfg.broadcast_max_rounds = rounds;
+        self
+    }
+    /// Sets the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+    /// Finishes the builder.
+    pub fn build(self) -> AnalysisConfig {
+        self.cfg
+    }
+}
+
 impl AnalysisConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> AnalysisConfigBuilder {
+        AnalysisConfigBuilder {
+            cfg: AnalysisConfig::default(),
+        }
+    }
+
+    /// Turns this configuration back into a builder, for tweaking a preset
+    /// (e.g. `AnalysisConfig::light().to_builder().seed(7).build()`).
+    pub fn to_builder(self) -> AnalysisConfigBuilder {
+        AnalysisConfigBuilder { cfg: self }
+    }
+
     /// A faster configuration (light sampling, no broadcast comparison).
     pub fn light() -> Self {
-        AnalysisConfig {
-            profile: ProfileConfig::light(0.5),
-            broadcast_up_to: 0,
-            broadcast_source: None,
-            broadcast_max_rounds: 1_000,
-            seed: 0xABCD,
-        }
+        AnalysisConfig::builder()
+            .profile(ProfileConfig::light(0.5))
+            .broadcast_up_to(0)
+            .broadcast_max_rounds(1_000)
+            .build()
     }
 }
 
@@ -190,11 +251,10 @@ mod tests {
     #[test]
     fn analysis_of_regular_expander_sampled_mode() {
         let g = random_regular_graph(64, 4, 3).unwrap();
-        let cfg = AnalysisConfig {
-            profile: ProfileConfig::light(0.5),
-            broadcast_up_to: 0,
-            ..AnalysisConfig::default()
-        };
+        let cfg = AnalysisConfig::builder()
+            .profile(ProfileConfig::light(0.5))
+            .broadcast_up_to(0)
+            .build();
         let a = GraphAnalysis::run(&g, &cfg);
         assert!(!a.profile.ordinary.exact);
         assert!(a.observation_2_1_holds);

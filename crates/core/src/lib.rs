@@ -17,13 +17,22 @@
 //! ```
 //! use wx_core::prelude::*;
 //!
-//! // Build the paper's motivating example C⁺ and analyze it.
+//! // Build the paper's motivating example C⁺₈ and analyze it end to end.
 //! let (graph, _source) = complete_plus_graph(8).unwrap();
-//! let analysis = GraphAnalysis::run(&graph, &AnalysisConfig::default());
-//! // Ordinary expansion is high, unique-neighbor expansion collapses to 0,
-//! // wireless expansion stays positive — the paper's headline phenomenon.
+//! let config = AnalysisConfig::builder()
+//!     .profile(ProfileConfig::builder().alpha(0.5).exact_up_to(14).build())
+//!     .build();
+//! let analysis = GraphAnalysis::run(&graph, &config);
+//! // The headline βu < βw phenomenon: unique-neighbor expansion collapses
+//! // to 0 on C⁺ while wireless expansion stays positive.
+//! assert_eq!(analysis.profile.unique.value, 0.0);
 //! assert!(analysis.profile.unique.value < analysis.profile.wireless.value);
 //! assert!(analysis.observation_2_1_holds);
+//!
+//! // The same three quantities through the measurement engine directly:
+//! let engine = config.profile.engine();
+//! let triple = engine.measure_all(&graph, &Wireless::default()).unwrap();
+//! assert!(triple.unique.value < triple.wireless.value);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -33,7 +42,13 @@ pub mod analysis;
 pub mod prelude;
 pub mod report;
 
-pub use analysis::{AnalysisConfig, GraphAnalysis};
+pub use analysis::{AnalysisConfig, AnalysisConfigBuilder, GraphAnalysis};
+
+/// The workspace README's code examples, compiled as doc-tests so the
+/// quickstart can never drift from the real API.
+#[doc = include_str!("../../../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
 pub use report::{render_table, TableRow};
 
 // Re-export the component crates under stable names.

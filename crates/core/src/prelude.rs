@@ -1,6 +1,6 @@
 //! The convenience prelude: `use wx_core::prelude::*;`.
 
-pub use crate::analysis::{AnalysisConfig, GraphAnalysis};
+pub use crate::analysis::{AnalysisConfig, AnalysisConfigBuilder, GraphAnalysis};
 pub use crate::report::{render_table, TableRow};
 
 pub use wx_graph::{
@@ -8,7 +8,11 @@ pub use wx_graph::{
 };
 
 pub use wx_expansion::{
-    profile::{ExpansionProfile, ProfileConfig},
+    engine::{
+        ExpansionMeasure, ExpansionTriple, MeasureStrategy, Measurement, MeasurementEngine,
+        MeasurementEngineBuilder, Ordinary, UniqueNeighbor, Wireless,
+    },
+    profile::{ExpansionProfile, ProfileConfig, ProfileConfigBuilder},
     sampling::{CandidateSets, SamplerConfig},
 };
 
@@ -20,7 +24,7 @@ pub use wx_spokesman::{
 
 pub use wx_constructions::{
     families::{
-        complete_plus_graph, complete_k_ary_tree, grid_graph, hypercube_graph, margulis_graph,
+        complete_k_ary_tree, complete_plus_graph, grid_graph, hypercube_graph, margulis_graph,
         random_left_regular_bipartite, random_regular_graph, random_tree, torus_graph,
     },
     BadUniqueExpander, BroadcastChain, CoreGraph, GeneralizedCoreGraph, WorstCaseExpander,

@@ -129,7 +129,10 @@ mod tests {
             name: &'static str,
             value: f64,
         }
-        let json = to_json_pretty(&vec![Rec { name: "a", value: 1.0 }]);
+        let json = to_json_pretty(&vec![Rec {
+            name: "a",
+            value: 1.0,
+        }]);
         assert!(json.contains("\"name\": \"a\""));
     }
 

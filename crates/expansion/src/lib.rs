@@ -12,12 +12,16 @@
 //! * **wireless** expansion `βw(G)` — the minimum over `S` of the *maximum*
 //!   over `S' ⊆ S` of `|Γ¹_S(S')|/|S|` ([`wireless`]).
 //!
-//! Exact values require enumerating every candidate set `S` (and, for the
-//! wireless case, every subset `S' ⊆ S`), which is only feasible for small
-//! graphs; the [`sampling`] module provides random, BFS-ball and adversarial
-//! candidate-set generators for estimating the minima on larger graphs, and
-//! the [`wireless`] module uses the `wx-spokesman` portfolio to certify lower
-//! bounds on the wireless expansion of each candidate set.
+//! All three are minima over exponentially many candidate sets, so they share
+//! one computation engine: the [`engine::MeasurementEngine`] drives any
+//! [`engine::ExpansionMeasure`] ([`engine::Ordinary`],
+//! [`engine::UniqueNeighbor`], [`engine::Wireless`]) over either an
+//! exhaustive enumeration or the shared [`sampling`] candidate pool,
+//! evaluates candidates in parallel via rayon (on by default), and returns a
+//! unified [`engine::Measurement`] with value, witness, exactness flag and —
+//! for the wireless measure — the certifying transmitter subset. The
+//! per-notion modules keep only per-set primitives; see the [`engine`] module
+//! docs for the full contract and strategy-selection rules.
 //!
 //! The [`spectral`] module computes the second adjacency eigenvalue `λ₂`
 //! needed by Lemma 3.1, and [`relations`] packages the paper's inequalities
@@ -28,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod ordinary;
 pub mod profile;
 pub mod relations;
@@ -36,31 +41,9 @@ pub mod spectral;
 pub mod unique;
 pub mod wireless;
 
-pub use profile::{ExpansionProfile, ProfileConfig};
+pub use engine::{
+    ExpansionMeasure, ExpansionTriple, MeasureStrategy, Measurement, MeasurementEngine,
+    MeasurementEngineBuilder, Ordinary, UniqueNeighbor, Wireless,
+};
+pub use profile::{ExpansionProfile, ProfileConfig, ProfileConfigBuilder};
 pub use sampling::{CandidateSets, SamplerConfig};
-
-/// A measured expansion value together with the witness set that attains it.
-#[derive(Clone, Debug)]
-pub struct ExpansionWitness {
-    /// The measured expansion ratio.
-    pub value: f64,
-    /// The vertex set attaining it.
-    pub witness: wx_graph::VertexSet,
-}
-
-impl ExpansionWitness {
-    /// Creates a witness record.
-    pub fn new(value: f64, witness: wx_graph::VertexSet) -> Self {
-        ExpansionWitness { value, witness }
-    }
-
-    /// Keeps whichever of the two witnesses has the *smaller* value
-    /// (expansion minima are what all three notions care about).
-    pub fn min(self, other: ExpansionWitness) -> ExpansionWitness {
-        if other.value < self.value {
-            other
-        } else {
-            self
-        }
-    }
-}

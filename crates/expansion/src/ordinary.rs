@@ -1,13 +1,10 @@
-//! Ordinary (vertex) expansion `β(G)`.
+//! Ordinary (vertex) expansion `β(G)` — per-set primitive.
 //!
 //! `β(G) = min { |Γ⁻(S)|/|S| : S ⊆ V, 1 ≤ |S| ≤ α·n }` (Section 2.1). This
-//! module provides the per-set quantity, the exact minimum by enumeration for
-//! small graphs, and a sampled estimate (an *upper bound* on the true
-//! minimum, since every evaluated set certifies `β ≤ |Γ⁻(S)|/|S|`).
+//! module provides only the per-set quantity; graph-level minima (exhaustive
+//! or sampled) are computed by the [`crate::engine::MeasurementEngine`]
+//! driving the [`crate::engine::Ordinary`] measure.
 
-use crate::sampling::{all_small_sets, CandidateSets, SamplerConfig};
-use crate::ExpansionWitness;
-use rayon::prelude::*;
 use wx_graph::neighborhood::expansion_of_set;
 use wx_graph::{Graph, VertexSet};
 
@@ -16,134 +13,32 @@ pub fn of_set(g: &Graph, s: &VertexSet) -> f64 {
     expansion_of_set(g, s)
 }
 
-/// Exact ordinary expansion by enumerating every non-empty set of size at
-/// most `⌊α·n⌋`. Returns the minimizing witness. `None` for the empty graph.
-///
-/// # Panics
-/// Panics if the graph has more than 22 vertices.
-pub fn exact(g: &Graph, alpha: f64) -> Option<ExpansionWitness> {
-    let n = g.num_vertices();
-    if n == 0 {
-        return None;
-    }
-    let max_size = ((alpha * n as f64).floor() as usize).clamp(1, n);
-    let sets = all_small_sets(n, max_size);
-    sets.into_par_iter()
-        .map(|s| {
-            let v = expansion_of_set(g, &s);
-            ExpansionWitness::new(v, s)
-        })
-        .reduce_with(|a, b| a.min(b))
-}
-
-/// Estimated ordinary expansion: the minimum of `|Γ⁻(S)|/|S|` over a
-/// candidate pool. The returned value is an *upper bound* on the true
-/// `β(G)` (any set certifies an upper bound); with the adversarial samplers
-/// it is usually close to the truth.
-pub fn estimate(g: &Graph, candidates: &CandidateSets) -> Option<ExpansionWitness> {
-    candidates
-        .sets
-        .par_iter()
-        .map(|s| ExpansionWitness::new(expansion_of_set(g, s), s.clone()))
-        .reduce_with(|a, b| a.min(b))
-}
-
-/// Convenience: generate a candidate pool with `config` and estimate.
-pub fn estimate_with_config(
-    g: &Graph,
-    config: &SamplerConfig,
-    seed: u64,
-) -> Option<ExpansionWitness> {
-    let pool = CandidateSets::generate(g, config, seed);
-    estimate(g, &pool)
-}
-
-/// Checks whether the graph is an `(α, β)`-expander with respect to a
-/// candidate pool: returns the first violating witness if some candidate set
-/// has expansion below `beta`, otherwise `None`. (A `None` result is
-/// evidence, not proof, unless the pool is exhaustive.)
-pub fn find_violation(
-    g: &Graph,
-    candidates: &CandidateSets,
-    beta: f64,
-) -> Option<ExpansionWitness> {
-    candidates
-        .sets
-        .iter()
-        .map(|s| ExpansionWitness::new(expansion_of_set(g, s), s.clone()))
-        .find(|w| w.value < beta)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wx_graph::GraphBuilder;
-
-    fn complete(n: usize) -> Graph {
-        let mut b = GraphBuilder::new(n);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                b.add_edge(i, j).unwrap();
-            }
-        }
-        b.build()
-    }
+    use crate::engine::{MeasureStrategy, MeasurementEngine, Ordinary};
 
     fn cycle(n: usize) -> Graph {
         Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap()
     }
 
     #[test]
-    fn exact_expansion_of_complete_graph() {
+    fn engine_exact_expansion_of_complete_graph() {
         // K6, α = 1/2: worst set has 3 vertices, boundary 3, expansion 1.
-        let g = complete(6);
-        let w = exact(&g, 0.5).unwrap();
-        assert!((w.value - 1.0).abs() < 1e-12);
-        assert_eq!(w.witness.len(), 3);
-    }
-
-    #[test]
-    fn exact_expansion_of_cycle() {
-        // C8, α = 1/2: a contiguous arc of 4 vertices has boundary 2,
-        // expansion 1/2.
-        let g = cycle(8);
-        let w = exact(&g, 0.5).unwrap();
-        assert!((w.value - 0.5).abs() < 1e-12);
-        assert_eq!(w.witness.len(), 4);
-    }
-
-    #[test]
-    fn exact_on_small_alpha_only_considers_small_sets() {
-        let g = cycle(8);
-        // α = 1/8: only singletons allowed, each has expansion 2.
-        let w = exact(&g, 1.0 / 8.0).unwrap();
-        assert!((w.value - 2.0).abs() < 1e-12);
-        assert_eq!(w.witness.len(), 1);
-    }
-
-    #[test]
-    fn estimate_upper_bounds_exact() {
-        let g = cycle(12);
-        let exact_w = exact(&g, 0.5).unwrap();
-        let est = estimate_with_config(&g, &SamplerConfig::default(), 3).unwrap();
-        assert!(est.value >= exact_w.value - 1e-12);
-        // the adversarial samplers should find the true minimum on a cycle
-        assert!((est.value - exact_w.value).abs() < 1e-9, "estimate {} vs exact {}", est.value, exact_w.value);
-    }
-
-    #[test]
-    fn empty_graph_has_no_expansion() {
-        assert!(exact(&Graph::empty(0), 0.5).is_none());
-    }
-
-    #[test]
-    fn find_violation_detects_low_expansion_sets() {
-        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
-        let pool = CandidateSets::generate(&g, &SamplerConfig::default(), 5);
-        // a path is a terrible expander: some set has expansion well below 2
-        assert!(find_violation(&g, &pool, 1.5).is_some());
-        // but no set has negative expansion
-        assert!(find_violation(&g, &pool, 0.0).is_none());
+        let mut b = wx_graph::GraphBuilder::new(6);
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                b.add_edge(i, j).unwrap();
+            }
+        }
+        let g = b.build();
+        let m = MeasurementEngine::builder()
+            .alpha(0.5)
+            .build()
+            .measure(&g, &Ordinary)
+            .unwrap();
+        assert!((m.value - 1.0).abs() < 1e-12);
+        assert_eq!(m.witness.len(), 3);
     }
 
     #[test]
@@ -151,5 +46,40 @@ mod tests {
         let g = cycle(10);
         let s = g.vertex_set([0, 1, 2]);
         assert!((of_set(&g, &s) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn engine_exact_on_small_alpha_only_considers_small_sets() {
+        let g = cycle(8);
+        // α = 1/8: only singletons allowed, each has expansion 2.
+        let engine = MeasurementEngine::builder().alpha(1.0 / 8.0).build();
+        let m = engine.measure(&g, &Ordinary).unwrap();
+        assert!((m.value - 2.0).abs() < 1e-12);
+        assert_eq!(m.witness.len(), 1);
+    }
+
+    #[test]
+    fn engine_estimate_upper_bounds_exact() {
+        let g = cycle(12);
+        let exact = MeasurementEngine::builder()
+            .alpha(0.5)
+            .strategy(MeasureStrategy::Exact)
+            .build()
+            .measure(&g, &Ordinary)
+            .unwrap();
+        let est = MeasurementEngine::builder()
+            .alpha(0.5)
+            .strategy(MeasureStrategy::Sampled)
+            .seed(3)
+            .build()
+            .measure(&g, &Ordinary)
+            .unwrap();
+        assert!(est.value >= exact.value - 1e-12);
+        assert!(
+            (est.value - exact.value).abs() < 1e-9,
+            "estimate {} vs exact {}",
+            est.value,
+            exact.value
+        );
     }
 }

@@ -1,22 +1,30 @@
 //! End-to-end expansion profiling of a graph.
 //!
-//! [`ExpansionProfile::measure`] computes, in one pass over a shared
-//! candidate-set pool, everything the experiments need to compare a graph
+//! [`ExpansionProfile::measure`] computes, through one shared
+//! [`MeasurementEngine`], everything the experiments need to compare a graph
 //! against the paper's bounds: the (estimated or exact) ordinary, unique and
 //! wireless expansions with witnesses, degree statistics, arboricity bounds,
 //! the spectral gap (when affordable), and the Theorem 1.1 / Theorem 1.2
 //! reference values.
 
-use crate::sampling::{CandidateSets, SamplerConfig};
-use crate::ExpansionWitness;
+use crate::engine::{MeasureStrategy, Measurement, MeasurementEngine, Wireless};
+use crate::sampling::SamplerConfig;
 use serde::{Deserialize, Serialize};
 use wx_graph::arboricity::{arboricity_bounds, ArboricityBounds};
 use wx_graph::degree::DegreeStats;
 use wx_graph::Graph;
-use wx_spokesman::PortfolioSolver;
 
-/// How the expansion minima should be computed.
+/// How the expansion minima should be computed. Construct via
+/// [`ProfileConfig::builder`] (the struct is non-exhaustive so new knobs can
+/// be added without breaking callers):
+///
+/// ```
+/// use wx_expansion::ProfileConfig;
+/// let cfg = ProfileConfig::builder().alpha(0.5).exact_up_to(14).build();
+/// assert_eq!(cfg.exact_up_to, 14);
+/// ```
 #[derive(Clone, Debug, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct ProfileConfig {
     /// The `α` bound on candidate-set sizes (fraction of `n`).
     pub alpha: f64,
@@ -31,8 +39,17 @@ pub struct ProfileConfig {
     /// Compute the dense spectral gap when the graph is regular and at most
     /// this large.
     pub spectral_up_to: usize,
+    /// Evaluate candidate sets in parallel via rayon. Defaults to `true`
+    /// when absent from serialized configs (the field post-dates the wire
+    /// format).
+    #[serde(default = "default_parallel")]
+    pub parallel: bool,
     /// Seed for all randomized components.
     pub seed: u64,
+}
+
+fn default_parallel() -> bool {
+    true
 }
 
 impl Default for ProfileConfig {
@@ -44,23 +61,89 @@ impl Default for ProfileConfig {
             ball_centers: 8,
             greedy_growths: 4,
             spectral_up_to: 1024,
+            parallel: true,
             seed: 0xC0FFEE,
         }
     }
 }
 
+/// Builder for [`ProfileConfig`].
+#[derive(Clone, Debug)]
+pub struct ProfileConfigBuilder {
+    cfg: ProfileConfig,
+}
+
+impl ProfileConfigBuilder {
+    /// Sets the `α` size bound.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.cfg.alpha = alpha;
+        self
+    }
+    /// Sets the exhaustive-enumeration threshold.
+    pub fn exact_up_to(mut self, n: usize) -> Self {
+        self.cfg.exact_up_to = n;
+        self
+    }
+    /// Sets the number of uniform random sets per target size.
+    pub fn random_sets_per_size(mut self, n: usize) -> Self {
+        self.cfg.random_sets_per_size = n;
+        self
+    }
+    /// Sets the number of BFS-ball centers.
+    pub fn ball_centers(mut self, n: usize) -> Self {
+        self.cfg.ball_centers = n;
+        self
+    }
+    /// Sets the number of adversarial greedy growths.
+    pub fn greedy_growths(mut self, n: usize) -> Self {
+        self.cfg.greedy_growths = n;
+        self
+    }
+    /// Sets the dense-spectrum size cap.
+    pub fn spectral_up_to(mut self, n: usize) -> Self {
+        self.cfg.spectral_up_to = n;
+        self
+    }
+    /// Enables or disables rayon-parallel candidate evaluation.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.cfg.parallel = parallel;
+        self
+    }
+    /// Sets the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+    /// Finishes the builder.
+    pub fn build(self) -> ProfileConfig {
+        self.cfg
+    }
+}
+
 impl ProfileConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> ProfileConfigBuilder {
+        ProfileConfigBuilder {
+            cfg: ProfileConfig::default(),
+        }
+    }
+
+    /// Turns this configuration back into a builder, for tweaking a preset
+    /// (e.g. `ProfileConfig::light(0.5).to_builder().exact_up_to(12).build()`).
+    pub fn to_builder(self) -> ProfileConfigBuilder {
+        ProfileConfigBuilder { cfg: self }
+    }
+
     /// A faster configuration for benches and sweeps over many graphs.
     pub fn light(alpha: f64) -> Self {
-        ProfileConfig {
-            alpha,
-            exact_up_to: 10,
-            random_sets_per_size: 4,
-            ball_centers: 3,
-            greedy_growths: 2,
-            spectral_up_to: 256,
-            seed: 0xC0FFEE,
-        }
+        ProfileConfig::builder()
+            .alpha(alpha)
+            .exact_up_to(10)
+            .random_sets_per_size(4)
+            .ball_centers(3)
+            .greedy_growths(2)
+            .spectral_up_to(256)
+            .build()
     }
 
     fn sampler(&self) -> SamplerConfig {
@@ -72,6 +155,21 @@ impl ProfileConfig {
             greedy_growths: self.greedy_growths,
             include_singletons: true,
         }
+    }
+
+    /// The [`MeasurementEngine`] this configuration describes. All profile
+    /// measurements run through this engine; building it yourself gives
+    /// access to the same candidate pool and per-measure control.
+    pub fn engine(&self) -> MeasurementEngine {
+        MeasurementEngine::builder()
+            .alpha(self.alpha)
+            .strategy(MeasureStrategy::Auto {
+                exact_up_to: self.exact_up_to,
+            })
+            .sampler(self.sampler())
+            .parallel(self.parallel)
+            .seed(self.seed)
+            .build()
     }
 }
 
@@ -88,11 +186,11 @@ pub struct MeasuredExpansion {
 }
 
 impl MeasuredExpansion {
-    fn from_witness(w: &ExpansionWitness, exact: bool) -> Self {
+    fn from_measurement(m: &Measurement) -> Self {
         MeasuredExpansion {
-            value: w.value,
-            witness_size: w.witness.len(),
-            exact,
+            value: m.value,
+            witness_size: m.witness.len(),
+            exact: m.exact,
         }
     }
 }
@@ -133,29 +231,23 @@ impl ExpansionProfile {
     /// Measures the full profile of `g` under `config`.
     pub fn measure(g: &Graph, config: &ProfileConfig) -> Self {
         let n = g.num_vertices();
-        let use_exact = n <= config.exact_up_to && n > 0;
+        let engine = config.engine();
+        let wireless_measure = Wireless::default();
 
-        let (ordinary, unique, wireless) = if use_exact {
-            let o = crate::ordinary::exact(g, config.alpha).expect("non-empty graph");
-            let u = crate::unique::exact(g, config.alpha).expect("non-empty graph");
-            let w = crate::wireless::exact(g, config.alpha).expect("non-empty graph");
-            (
-                MeasuredExpansion::from_witness(&o, true),
-                MeasuredExpansion::from_witness(&u, true),
-                MeasuredExpansion::from_witness(&w, true),
-            )
-        } else {
-            let pool = CandidateSets::generate(g, &config.sampler(), config.seed);
-            let fallback = ExpansionWitness::new(0.0, g.empty_vertex_set());
-            let o = crate::ordinary::estimate(g, &pool).unwrap_or_else(|| fallback.clone());
-            let u = crate::unique::estimate(g, &pool).unwrap_or_else(|| fallback.clone());
-            let w = crate::wireless::estimate(g, &pool, &PortfolioSolver::default(), config.seed)
-                .unwrap_or(fallback);
-            (
-                MeasuredExpansion::from_witness(&o, false),
-                MeasuredExpansion::from_witness(&u, false),
-                MeasuredExpansion::from_witness(&w, false),
-            )
+        let (ordinary, unique, wireless) = match engine.measure_all(g, &wireless_measure) {
+            Some(triple) => (
+                MeasuredExpansion::from_measurement(&triple.ordinary),
+                MeasuredExpansion::from_measurement(&triple.unique),
+                MeasuredExpansion::from_measurement(&triple.wireless),
+            ),
+            None => {
+                let zero = MeasuredExpansion {
+                    value: 0.0,
+                    witness_size: 0,
+                    exact: false,
+                };
+                (zero.clone(), zero.clone(), zero)
+            }
         };
 
         let max_degree = g.max_degree();
@@ -166,8 +258,7 @@ impl ExpansionProfile {
         };
 
         let beta = ordinary.value;
-        let theorem_1_1_reference =
-            wx_spokesman::bounds::theorem_1_1_lower_bound(max_degree, beta);
+        let theorem_1_1_reference = wx_spokesman::bounds::theorem_1_1_lower_bound(max_degree, beta);
         let lemma_3_2_reference = wx_spokesman::bounds::lemma_3_2_unique_bound(max_degree, beta);
         let wireless_loss = if wireless.value > 0.0 {
             beta / wireless.value
@@ -259,16 +350,38 @@ mod tests {
     #[test]
     fn sampled_profile_of_larger_graph() {
         let g = cycle(40);
-        let cfg = ProfileConfig {
-            exact_up_to: 10,
-            ..ProfileConfig::light(0.5)
-        };
+        let cfg = ProfileConfig::light(0.5)
+            .to_builder()
+            .exact_up_to(10)
+            .build();
         let p = ExpansionProfile::measure(&g, &cfg);
         assert!(!p.ordinary.exact);
         assert!(p.satisfies_observation_2_1());
         // a cycle's expansion estimate should find an arc: β ≈ 2/|arc| ≤ 0.5
         assert!(p.ordinary.value <= 0.6);
         assert!(p.wireless.value > 0.0);
+    }
+
+    #[test]
+    fn sequential_profile_matches_parallel() {
+        let g = cycle(24);
+        let par = ExpansionProfile::measure(
+            &g,
+            &ProfileConfig::builder()
+                .exact_up_to(10)
+                .parallel(true)
+                .build(),
+        );
+        let seq = ExpansionProfile::measure(
+            &g,
+            &ProfileConfig::builder()
+                .exact_up_to(10)
+                .parallel(false)
+                .build(),
+        );
+        assert_eq!(par.ordinary.value, seq.ordinary.value);
+        assert_eq!(par.unique.value, seq.unique.value);
+        assert_eq!(par.wireless.value, seq.wireless.value);
     }
 
     #[test]
@@ -291,6 +404,18 @@ mod tests {
         assert!(json.contains("wireless"));
         let back: ExpansionProfile = serde_json::from_str(&json).unwrap();
         assert_eq!(back.num_vertices, 8);
+    }
+
+    #[test]
+    fn config_json_without_parallel_field_still_deserializes() {
+        // configs serialized before the `parallel` knob existed must load,
+        // defaulting to parallel-on
+        let mut json = serde_json::to_string(&ProfileConfig::default()).unwrap();
+        json = json.replace("\"parallel\":true,", "");
+        assert!(!json.contains("parallel"));
+        let cfg: ProfileConfig = serde_json::from_str(&json).unwrap();
+        assert!(cfg.parallel);
+        assert_eq!(cfg.exact_up_to, ProfileConfig::default().exact_up_to);
     }
 
     #[test]

@@ -72,7 +72,12 @@ pub fn theorem_1_1_for_set(g: &Graph, s: &VertexSet, constant: f64) -> RelationC
     let (beta_w, _) = crate::wireless::of_set_exact(g, s);
     let delta = g.max_degree();
     let bound = constant * wx_spokesman::bounds::theorem_1_1_lower_bound(delta, beta);
-    RelationCheck::new("theorem-1.1: βw ≥ c·β/log(2·min{Δ/β, Δβ})", beta_w, bound, 1e-9)
+    RelationCheck::new(
+        "theorem-1.1: βw ≥ c·β/log(2·min{Δ/β, Δβ})",
+        beta_w,
+        bound,
+        1e-9,
+    )
 }
 
 /// Theorem 1.1 for a single set using a polynomial-time *lower bound* on the
@@ -109,7 +114,13 @@ pub fn observation_2_1_graph(beta: f64, beta_w: f64, beta_u: f64) -> Vec<Relatio
 /// Lemma 3.1 graph-level check for `d`-regular graphs: given measured
 /// `(αu, βu)` and the measured ordinary expansion `β`, verify
 /// `β ≥ (1 − 1/d)·βu + (d − λ₂)(1 − αu)/d`.
-pub fn lemma_3_1_graph(g: &Graph, alpha_u: f64, beta_u: f64, beta: f64, seed: u64) -> Option<RelationCheck> {
+pub fn lemma_3_1_graph(
+    g: &Graph,
+    alpha_u: f64,
+    beta_u: f64,
+    beta: f64,
+    seed: u64,
+) -> Option<RelationCheck> {
     let bound = crate::spectral::lemma_3_1_bound(g, alpha_u, beta_u, seed)?;
     Some(RelationCheck::new(
         "lemma-3.1: β ≥ (1−1/d)βu + (d−λ₂)(1−αu)/d",
@@ -152,7 +163,11 @@ mod tests {
             g.vertex_set([0, 1, 2, 3, 4]),
         ] {
             for check in observation_2_1_for_set(&g, &s) {
-                assert!(check.holds, "{}: lhs {} rhs {}", check.relation, check.lhs, check.rhs);
+                assert!(
+                    check.holds,
+                    "{}: lhs {} rhs {}",
+                    check.relation, check.lhs, check.rhs
+                );
             }
         }
     }
@@ -160,7 +175,11 @@ mod tests {
     #[test]
     fn lemma_3_2_holds_on_complete_graph_sets() {
         let g = complete(7);
-        for s in [g.vertex_set([0]), g.vertex_set([0, 1]), g.vertex_set([0, 1, 2])] {
+        for s in [
+            g.vertex_set([0]),
+            g.vertex_set([0, 1]),
+            g.vertex_set([0, 1, 2]),
+        ] {
             let check = lemma_3_2_for_set(&g, &s);
             assert!(check.holds, "lemma 3.2 failed: {check:?}");
         }
@@ -196,8 +215,14 @@ mod tests {
         // Petersen: d = 3, λ₂ = 1. For αu = 0.2 (sets of ≤ 2 vertices) the
         // exact unique expansion is βu = 2 (two adjacent vertices have 4
         // unique neighbors); β for those sets is also 2.
-        let beta_u = crate::unique::exact(&g, 0.2).unwrap().value;
-        let beta = crate::ordinary::exact(&g, 0.2).unwrap().value;
+        let engine = crate::engine::MeasurementEngine::builder()
+            .alpha(0.2)
+            .build();
+        let beta_u = engine
+            .measure(&g, &crate::engine::UniqueNeighbor)
+            .unwrap()
+            .value;
+        let beta = engine.measure(&g, &crate::engine::Ordinary).unwrap().value;
         let check = lemma_3_1_graph(&g, 0.2, beta_u, beta, 1).unwrap();
         assert!(check.holds, "{check:?}");
     }

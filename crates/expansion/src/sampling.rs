@@ -110,7 +110,11 @@ impl CandidateSets {
             for t in 0..config.random_sets_per_size {
                 let mut trial_rng =
                     rng_from_seed(derive_seed(seed, 1000 + (fi as u64) * 131 + t as u64));
-                sets.push(wx_graph::random::random_subset_of_size(&mut trial_rng, n, k));
+                sets.push(wx_graph::random::random_subset_of_size(
+                    &mut trial_rng,
+                    n,
+                    k,
+                ));
             }
         }
 
@@ -150,8 +154,7 @@ impl CandidateSets {
             let mut grow_rng = rng_from_seed(derive_seed(seed, 5000 + t as u64));
             let start = grow_rng.gen_range(0..n);
             let mut current = g.vertex_set([start]);
-            let mut boundary =
-                wx_graph::neighborhood::external_neighborhood(g, &current);
+            let mut boundary = wx_graph::neighborhood::external_neighborhood(g, &current);
             sets.push(current.clone());
             while current.len() < max_size && !boundary.is_empty() {
                 let mut best: Option<(usize, usize)> = None;
@@ -186,7 +189,7 @@ impl CandidateSets {
 
         // Drop any accidental empties or over-cap sets, dedup by member list.
         sets.retain(|s| !s.is_empty() && s.len() <= max_size);
-        sets.sort_by(|a, b| a.to_vec().cmp(&b.to_vec()));
+        sets.sort_by_cached_key(|a| a.to_vec());
         sets.dedup_by(|a, b| a.to_vec() == b.to_vec());
 
         CandidateSets {

@@ -207,7 +207,10 @@ mod tests {
         let (l1, l2) = top_two_eigenvalues(&g, 1);
         assert!((l1 - 2.0).abs() < 1e-9);
         let expected = 2.0 * (2.0 * std::f64::consts::PI / n as f64).cos();
-        assert!((l2 - expected).abs() < 1e-6, "λ₂ = {l2}, expected {expected}");
+        assert!(
+            (l2 - expected).abs() < 1e-6,
+            "λ₂ = {l2}, expected {expected}"
+        );
     }
 
     #[test]
@@ -250,7 +253,12 @@ mod tests {
         let b = lemma_3_1_bound(&g, 1.0 / 8.0, 0.0, 0).unwrap();
         assert!((b - 1.0).abs() < 1e-6);
         // And the true expansion for sets of size ≤ 1 is 7 ≥ 1: bound holds.
-        let measured = crate::ordinary::exact(&g, 1.0 / 8.0).unwrap().value;
+        let measured = crate::engine::MeasurementEngine::builder()
+            .alpha(1.0 / 8.0)
+            .build()
+            .measure(&g, &crate::engine::Ordinary)
+            .unwrap()
+            .value;
         assert!(measured + 1e-9 >= b);
     }
 

@@ -1,13 +1,12 @@
-//! Unique-neighbor expansion `βu(G)` (Section 2.2).
+//! Unique-neighbor expansion `βu(G)` — per-set primitive (Section 2.2).
 //!
 //! `βu(G) = min { |Γ¹(S)|/|S| : S ⊆ V, 1 ≤ |S| ≤ α·n }`. Unlike ordinary
 //! expansion, `βu` can collapse to zero on excellent expanders (Lemma 3.3 and
 //! the `C⁺` example), which is exactly the phenomenon wireless expansion is
-//! designed to sidestep.
+//! designed to sidestep. Graph-level minima are computed by the
+//! [`crate::engine::MeasurementEngine`] driving the
+//! [`crate::engine::UniqueNeighbor`] measure.
 
-use crate::sampling::{all_small_sets, CandidateSets, SamplerConfig};
-use crate::ExpansionWitness;
-use rayon::prelude::*;
 use wx_graph::neighborhood::unique_expansion_of_set;
 use wx_graph::{Graph, VertexSet};
 
@@ -16,45 +15,11 @@ pub fn of_set(g: &Graph, s: &VertexSet) -> f64 {
     unique_expansion_of_set(g, s)
 }
 
-/// Exact unique-neighbor expansion by enumeration (graphs of ≤ 22 vertices).
-pub fn exact(g: &Graph, alpha: f64) -> Option<ExpansionWitness> {
-    let n = g.num_vertices();
-    if n == 0 {
-        return None;
-    }
-    let max_size = ((alpha * n as f64).floor() as usize).clamp(1, n);
-    let sets = all_small_sets(n, max_size);
-    sets.into_par_iter()
-        .map(|s| {
-            let v = unique_expansion_of_set(g, &s);
-            ExpansionWitness::new(v, s)
-        })
-        .reduce_with(|a, b| a.min(b))
-}
-
-/// Estimated unique-neighbor expansion over a candidate pool (an upper bound
-/// on the true `βu(G)`).
-pub fn estimate(g: &Graph, candidates: &CandidateSets) -> Option<ExpansionWitness> {
-    candidates
-        .sets
-        .par_iter()
-        .map(|s| ExpansionWitness::new(unique_expansion_of_set(g, s), s.clone()))
-        .reduce_with(|a, b| a.min(b))
-}
-
-/// Convenience: generate a candidate pool with `config` and estimate.
-pub fn estimate_with_config(
-    g: &Graph,
-    config: &SamplerConfig,
-    seed: u64,
-) -> Option<ExpansionWitness> {
-    let pool = CandidateSets::generate(g, config, seed);
-    estimate(g, &pool)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{MeasurementEngine, UniqueNeighbor};
+    use crate::sampling::{CandidateSets, SamplerConfig};
     use wx_graph::GraphBuilder;
 
     fn complete_plus(k: usize) -> Graph {
@@ -74,11 +39,12 @@ mod tests {
     fn unique_expansion_can_vanish_on_good_expanders() {
         // The C⁺ example: the set {x, y, s0} has no unique neighbors.
         let g = complete_plus(6);
-        let w = exact(&g, 0.5).unwrap();
-        assert_eq!(w.value, 0.0);
+        let engine = MeasurementEngine::builder().alpha(0.5).build();
+        let m = engine.measure(&g, &UniqueNeighbor).unwrap();
+        assert_eq!(m.value, 0.0);
         // the witness must indeed have zero unique neighbors
         assert_eq!(
-            wx_graph::neighborhood::unique_neighborhood(&g, &w.witness).len(),
+            wx_graph::neighborhood::unique_neighborhood(&g, &m.witness).len(),
             0
         );
     }
@@ -94,28 +60,48 @@ mod tests {
     }
 
     #[test]
-    fn estimate_upper_bounds_exact() {
+    fn unique_expansion_of_perfect_matching() {
+        let g = Graph::from_edges(6, [(0, 3), (1, 4), (2, 5)]).unwrap();
+        // Singletons each have exactly one (unique) external neighbor.
+        let m = MeasurementEngine::builder()
+            .alpha(1.0 / 6.0)
+            .build()
+            .measure(&g, &UniqueNeighbor)
+            .unwrap();
+        assert!((m.value - 1.0).abs() < 1e-12);
+        // But once whole matched pairs fit under the size cap, a pair like
+        // {0, 3} has an empty external neighborhood, so βu collapses to 0.
+        let m = MeasurementEngine::builder()
+            .alpha(0.5)
+            .build()
+            .measure(&g, &UniqueNeighbor)
+            .unwrap();
+        assert_eq!(m.value, 0.0);
+        assert_eq!(m.witness.len(), 2);
+    }
+
+    #[test]
+    fn engine_estimate_upper_bounds_exact() {
         let g = complete_plus(5);
-        let ex = exact(&g, 0.5).unwrap();
-        let est = estimate_with_config(&g, &SamplerConfig::default(), 9).unwrap();
+        let ex = MeasurementEngine::builder()
+            .alpha(0.5)
+            .strategy(crate::engine::MeasureStrategy::Exact)
+            .build()
+            .measure(&g, &UniqueNeighbor)
+            .unwrap();
+        let est = MeasurementEngine::builder()
+            .alpha(0.5)
+            .strategy(crate::engine::MeasureStrategy::Sampled)
+            .seed(9)
+            .build()
+            .measure(&g, &UniqueNeighbor)
+            .unwrap();
         assert!(est.value >= ex.value - 1e-12);
     }
 
     #[test]
-    fn unique_expansion_of_perfect_matching() {
-        let g = Graph::from_edges(6, [(0, 3), (1, 4), (2, 5)]).unwrap();
-        // Singletons each have exactly one (unique) external neighbor.
-        let w = exact(&g, 1.0 / 6.0).unwrap();
-        assert!((w.value - 1.0).abs() < 1e-12);
-        // But once whole matched pairs fit under the size cap, a pair like
-        // {0, 3} has an empty external neighborhood, so βu collapses to 0.
-        let w = exact(&g, 0.5).unwrap();
-        assert_eq!(w.value, 0.0);
-        assert_eq!(w.witness.len(), 2);
-    }
-
-    #[test]
     fn empty_graph() {
-        assert!(exact(&Graph::empty(0), 0.5).is_none());
+        let engine = MeasurementEngine::default();
+        assert!(engine.measure(&Graph::empty(0), &UniqueNeighbor).is_none());
     }
 }

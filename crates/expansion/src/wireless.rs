@@ -1,30 +1,29 @@
-//! Wireless expansion `βw(G)` (Section 2.2).
+//! Wireless expansion `βw(G)` — per-set primitives (Section 2.2).
 //!
 //! For a set `S`, the *wireless expansion of `S`* is
 //! `max { |Γ¹_S(S')|/|S| : S' ⊆ S }` — the best unique coverage any
 //! sub-selection of transmitters can achieve, normalized by `|S|`. The graph
-//! quantity `βw(G)` is the minimum of this over all `S` with `|S| ≤ α·n`.
+//! quantity `βw(G)` is the minimum of this over all `S` with `|S| ≤ α·n`,
+//! computed by the [`crate::engine::MeasurementEngine`] driving the
+//! [`crate::engine::Wireless`] measure.
 //!
-//! Computing the inner maximum is exactly the Spokesman Election problem, so:
+//! Computing the inner maximum is exactly the Spokesman Election problem, so
+//! this module keeps the two per-set primitives the engine composes:
 //!
 //! * [`of_set_exact`] computes it optimally via [`wx_spokesman::ExactSolver`]
 //!   (feasible for `|S| ≤ 25`);
 //! * [`of_set_lower_bound`] computes a certified *lower bound* via the
 //!   polynomial-time [`wx_spokesman::PortfolioSolver`] — sound because any
-//!   `S'` certifies `wireless-expansion(S) ≥ |Γ¹_S(S')|/|S|`;
-//! * [`exact`] / [`estimate`] minimize over candidate sets `S` the same way
-//!   the ordinary/unique modules do.
+//!   `S'` certifies `wireless-expansion(S) ≥ |Γ¹_S(S')|/|S|`.
 //!
-//! Note the asymmetry: for a *single* set the portfolio gives a lower bound,
-//! but minimizing that lower bound over sampled sets yields an estimate of
-//! `βw(G)` that is neither a strict upper nor lower bound of the true value
-//! (the sampling may miss the worst set; the portfolio may undershoot the
-//! inner max). [`exact`] resolves both quantifiers exhaustively and is the
-//! ground truth used in tests.
+//! Note the asymmetry inherited by sampled engine measurements: for a
+//! *single* set the portfolio gives a lower bound, but minimizing that lower
+//! bound over sampled sets yields an estimate of `βw(G)` that is neither a
+//! strict upper nor lower bound of the true value (the sampling may miss the
+//! worst set; the portfolio may undershoot the inner max). The engine's
+//! exact strategy resolves both quantifiers exhaustively and is the ground
+//! truth used in tests.
 
-use crate::sampling::{all_small_sets, CandidateSets, SamplerConfig};
-use crate::ExpansionWitness;
-use rayon::prelude::*;
 use wx_graph::{BipartiteGraph, Graph, VertexSet};
 use wx_spokesman::{ExactSolver, PortfolioSolver, SpokesmanSolver};
 
@@ -40,10 +39,7 @@ pub fn of_set_exact(g: &Graph, s: &VertexSet) -> (f64, VertexSet) {
     }
     let (bip, left_ids, _right_ids) = BipartiteGraph::from_set_in_graph(g, s);
     let (cov, local_subset) = ExactSolver::optimum(&bip);
-    let subset = VertexSet::from_iter(
-        g.num_vertices(),
-        local_subset.iter().map(|i| left_ids[i]),
-    );
+    let subset = VertexSet::from_iter(g.num_vertices(), local_subset.iter().map(|i| left_ids[i]));
     (cov as f64 / s.len() as f64, subset)
 }
 
@@ -62,72 +58,15 @@ pub fn of_set_lower_bound(
     }
     let (bip, left_ids, _right_ids) = BipartiteGraph::from_set_in_graph(g, s);
     let result = portfolio.solve(&bip, seed);
-    let subset = VertexSet::from_iter(
-        g.num_vertices(),
-        result.subset.iter().map(|i| left_ids[i]),
-    );
+    let subset = VertexSet::from_iter(g.num_vertices(), result.subset.iter().map(|i| left_ids[i]));
     (result.unique_coverage as f64 / s.len() as f64, subset)
-}
-
-/// Exact wireless expansion `βw(G)` for small graphs: enumerate every set
-/// `S` with `|S| ≤ ⌊α·n⌋` and solve the inner maximization exactly.
-///
-/// # Panics
-/// Panics if the graph has more than 22 vertices.
-pub fn exact(g: &Graph, alpha: f64) -> Option<ExpansionWitness> {
-    let n = g.num_vertices();
-    if n == 0 {
-        return None;
-    }
-    let max_size = ((alpha * n as f64).floor() as usize).clamp(1, n);
-    let sets = all_small_sets(n, max_size);
-    sets.into_par_iter()
-        .map(|s| {
-            let (v, _) = of_set_exact(g, &s);
-            ExpansionWitness::new(v, s)
-        })
-        .reduce_with(|a, b| a.min(b))
-}
-
-/// Estimated wireless expansion over a candidate pool, using the
-/// polynomial-time portfolio for the inner maximization. See the module docs
-/// for the caveats on the direction of the approximation.
-pub fn estimate(
-    g: &Graph,
-    candidates: &CandidateSets,
-    portfolio: &PortfolioSolver,
-    seed: u64,
-) -> Option<ExpansionWitness> {
-    candidates
-        .sets
-        .par_iter()
-        .enumerate()
-        .map(|(i, s)| {
-            let (v, _) = of_set_lower_bound(
-                g,
-                s,
-                portfolio,
-                wx_graph::random::derive_seed(seed, i as u64),
-            );
-            ExpansionWitness::new(v, s.clone())
-        })
-        .reduce_with(|a, b| a.min(b))
-}
-
-/// Convenience: generate a candidate pool with `config` and estimate with the
-/// default portfolio.
-pub fn estimate_with_config(
-    g: &Graph,
-    config: &SamplerConfig,
-    seed: u64,
-) -> Option<ExpansionWitness> {
-    let pool = CandidateSets::generate(g, config, seed);
-    estimate(g, &pool, &PortfolioSolver::default(), seed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{MeasureStrategy, MeasurementEngine, Ordinary, Wireless};
+    use crate::sampling::{CandidateSets, SamplerConfig};
     use wx_graph::GraphBuilder;
 
     fn complete_plus(k: usize) -> Graph {
@@ -197,21 +136,33 @@ mod tests {
         // wireless expansion of that set = 2/4 = 1/2 — equal to the ordinary
         // expansion (a cycle is so sparse that nothing is lost).
         let g = cycle(8);
-        let wexp = exact(&g, 0.5).unwrap();
-        let oexp = crate::ordinary::exact(&g, 0.5).unwrap();
+        let engine = MeasurementEngine::builder().alpha(0.5).build();
+        let wexp = engine.measure(&g, &Wireless::default()).unwrap();
+        let oexp = engine.measure(&g, &Ordinary).unwrap();
         assert!((wexp.value - oexp.value).abs() < 1e-12);
     }
 
     #[test]
-    fn estimate_close_to_exact_on_small_graphs() {
+    fn engine_estimate_close_to_exact_on_small_graphs() {
         let g = complete_plus(6);
-        let ex = exact(&g, 0.5).unwrap();
-        let est = estimate_with_config(&g, &SamplerConfig::default(), 11).unwrap();
+        let engine = MeasurementEngine::builder().alpha(0.5).build();
+        let ex = engine.measure(&g, &Wireless::default()).unwrap();
+        let est = MeasurementEngine::builder()
+            .alpha(0.5)
+            .strategy(MeasureStrategy::Sampled)
+            .seed(11)
+            .build()
+            .measure(&g, &Wireless::default())
+            .unwrap();
         // The estimate minimizes a lower bound over a subset of the sets, so
         // it can land on either side of the truth, but on a 7-vertex graph
         // the portfolio solves the inner problem optimally almost always.
-        assert!((est.value - ex.value).abs() <= 0.5 + 1e-9,
-            "estimate {} far from exact {}", est.value, ex.value);
+        assert!(
+            (est.value - ex.value).abs() <= 0.5 + 1e-9,
+            "estimate {} far from exact {}",
+            est.value,
+            ex.value
+        );
     }
 
     #[test]
@@ -219,6 +170,8 @@ mod tests {
         let g = cycle(4);
         let empty = g.empty_vertex_set();
         assert!(of_set_exact(&g, &empty).0.is_infinite());
-        assert!(exact(&Graph::empty(0), 0.5).is_none());
+        assert!(MeasurementEngine::default()
+            .measure(&Graph::empty(0), &Wireless::default())
+            .is_none());
     }
 }

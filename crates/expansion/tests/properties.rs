@@ -6,7 +6,10 @@ use wx_graph::{Graph, VertexSet};
 
 fn edge_list(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
     prop::collection::vec((0..n, 0..n), 0..(n * 3).max(1)).prop_map(move |pairs| {
-        pairs.into_iter().filter(|(u, v)| u != v).collect::<Vec<_>>()
+        pairs
+            .into_iter()
+            .filter(|(u, v)| u != v)
+            .collect::<Vec<_>>()
     })
 }
 
@@ -44,9 +47,13 @@ proptest! {
     fn exact_minimum_is_a_lower_envelope(edges in edge_list(9), alpha in 0.2f64..0.9) {
         let g = Graph::from_edges(9, edges).unwrap();
         let max_size = ((alpha * 9.0).floor() as usize).clamp(1, 9);
-        let exact = wx_expansion::ordinary::exact(&g, alpha).unwrap();
-        let exact_u = wx_expansion::unique::exact(&g, alpha).unwrap();
-        let exact_w = wx_expansion::wireless::exact(&g, alpha).unwrap();
+        let engine = wx_expansion::MeasurementEngine::builder()
+            .alpha(alpha)
+            .strategy(wx_expansion::MeasureStrategy::Exact)
+            .build();
+        let exact = engine.measure(&g, &wx_expansion::Ordinary).unwrap();
+        let exact_u = engine.measure(&g, &wx_expansion::UniqueNeighbor).unwrap();
+        let exact_w = engine.measure(&g, &wx_expansion::Wireless::default()).unwrap();
         prop_assert!(exact.witness.len() <= max_size);
         // every candidate set in a generated pool dominates the exact minima
         let pool = wx_expansion::sampling::CandidateSets::generate(

@@ -232,7 +232,10 @@ mod tests {
             (complete(4), "K4"),
             (complete(5), "K5"),
             (cycle(6), "C6"),
-            (Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap(), "P5"),
+            (
+                Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap(),
+                "P5",
+            ),
         ] {
             let exact = exact_arboricity_small(&g);
             let bounds = arboricity_bounds(&g);

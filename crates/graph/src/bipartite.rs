@@ -99,12 +99,18 @@ impl BipartiteGraph {
 
     /// Maximum degree over left vertices (0 if the left side is empty).
     pub fn max_left_degree(&self) -> usize {
-        (0..self.num_left()).map(|u| self.left_degree(u)).max().unwrap_or(0)
+        (0..self.num_left())
+            .map(|u| self.left_degree(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum degree over right vertices (0 if the right side is empty).
     pub fn max_right_degree(&self) -> usize {
-        (0..self.num_right()).map(|w| self.right_degree(w)).max().unwrap_or(0)
+        (0..self.num_right())
+            .map(|w| self.right_degree(w))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum degree over all vertices, the `Δ` of Section 2.1 restricted to
@@ -211,7 +217,8 @@ impl BipartiteGraph {
         let mut b = BipartiteBuilder::new(left_vertices.len(), right_vertices.len());
         for (i, &u) in left_vertices.iter().enumerate() {
             for &w in self.left_neighbors(u) {
-                b.add_edge(i, right_index[w]).expect("restricted edge in range");
+                b.add_edge(i, right_index[w])
+                    .expect("restricted edge in range");
             }
         }
         (b.build(), left_vertices, right_vertices)
@@ -232,7 +239,10 @@ impl BipartiteGraph {
     /// `S` in a general graph, as prescribed in Section 4.1. Returns the
     /// bipartite graph plus the original vertex ids of the left (members of
     /// `S`, sorted) and right (members of `Γ⁻(S)`, sorted) sides.
-    pub fn from_set_in_graph(g: &Graph, s: &VertexSet) -> (BipartiteGraph, Vec<Vertex>, Vec<Vertex>) {
+    pub fn from_set_in_graph(
+        g: &Graph,
+        s: &VertexSet,
+    ) -> (BipartiteGraph, Vec<Vertex>, Vec<Vertex>) {
         let left_vertices: Vec<Vertex> = s.to_vec();
         let mut right_set = VertexSet::empty(g.num_vertices());
         for &u in &left_vertices {
@@ -251,7 +261,8 @@ impl BipartiteGraph {
         for (i, &u) in left_vertices.iter().enumerate() {
             for &w in g.neighbors(u) {
                 if !s.contains(w) {
-                    b.add_edge(i, right_index[w]).expect("in range by construction");
+                    b.add_edge(i, right_index[w])
+                        .expect("in range by construction");
                 }
             }
         }
@@ -390,7 +401,10 @@ mod tests {
         assert_eq!(g.unique_coverage(&both), 2);
 
         let only0 = VertexSet::from_iter(2, [0]);
-        assert_eq!(g.unique_neighborhood_of_left_subset(&only0).to_vec(), vec![0, 1]);
+        assert_eq!(
+            g.unique_neighborhood_of_left_subset(&only0).to_vec(),
+            vec![0, 1]
+        );
         assert_eq!(g.unique_coverage(&only0), 2);
 
         let nothing = VertexSet::empty(2);

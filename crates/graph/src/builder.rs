@@ -33,10 +33,16 @@ impl GraphBuilder {
     /// time. Returns an error for out-of-range endpoints or self-loops.
     pub fn add_edge(&mut self, u: Vertex, v: Vertex) -> Result<()> {
         if u >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                n: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop(u));

@@ -100,12 +100,18 @@ impl Graph {
 
     /// The maximum degree `Δ(G)` (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The minimum degree (0 for the empty graph).
     pub fn min_degree(&self) -> usize {
-        (0..self.num_vertices()).map(|v| self.degree(v)).min().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(v))
+            .min()
+            .unwrap_or(0)
     }
 
     /// The average degree `2|E|/|V|` (0.0 for the empty graph).
@@ -157,7 +163,12 @@ impl Graph {
     /// arboricity definition in Section 2.1.
     pub fn edges_within(&self, u: &VertexSet) -> usize {
         u.iter()
-            .map(|v| self.neighbors(v).iter().filter(|&&w| w > v && u.contains(w)).count())
+            .map(|v| {
+                self.neighbors(v)
+                    .iter()
+                    .filter(|&&w| w > v && u.contains(w))
+                    .count()
+            })
             .sum()
     }
 

@@ -182,7 +182,10 @@ mod tests {
         let s_prime = g.vertex_set([2]);
         // vertex 3 is the only vertex outside S; it neighbors 2 exactly once.
         assert_eq!(s_excluding_neighborhood(&g, &s, &s_prime).to_vec(), vec![3]);
-        assert_eq!(s_excluding_unique_neighborhood(&g, &s, &s_prime).to_vec(), vec![3]);
+        assert_eq!(
+            s_excluding_unique_neighborhood(&g, &s, &s_prime).to_vec(),
+            vec![3]
+        );
         assert_eq!(s_excluding_unique_coverage(&g, &s, &s_prime), 1);
     }
 

@@ -102,7 +102,9 @@ mod tests {
     fn map_sets_preserves_order() {
         let g = cycle(8);
         let sets: Vec<VertexSet> = (0..8).map(|v| g.vertex_set([v])).collect();
-        let sizes = map_sets(&sets, |s| crate::neighborhood::external_neighborhood(&g, s).len());
+        let sizes = map_sets(&sets, |s| {
+            crate::neighborhood::external_neighborhood(&g, s).len()
+        });
         assert_eq!(sizes, vec![2; 8]);
     }
 

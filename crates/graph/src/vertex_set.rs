@@ -163,7 +163,10 @@ impl VertexSet {
 
     /// Complement with respect to the universe.
     pub fn complement(&self) -> VertexSet {
-        VertexSet::from_iter(self.universe, (0..self.universe).filter(|&v| !self.contains(v)))
+        VertexSet::from_iter(
+            self.universe,
+            (0..self.universe).filter(|&v| !self.contains(v)),
+        )
     }
 
     /// `true` if `self ⊆ other`.
@@ -190,7 +193,10 @@ impl VertexSet {
     /// included.
     pub fn for_each_subset(&self, mut f: impl FnMut(&VertexSet)) {
         let k = self.len();
-        assert!(k <= 25, "subset enumeration limited to 25 elements, got {k}");
+        assert!(
+            k <= 25,
+            "subset enumeration limited to 25 elements, got {k}"
+        );
         let members = &self.members;
         for mask in 0u64..(1u64 << k) {
             let subset = VertexSet::from_iter(
@@ -212,7 +218,10 @@ impl VertexSet {
 }
 
 impl serde::Serialize for VertexSet {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
         use serde::ser::SerializeStruct;
         let mut st = serializer.serialize_struct("VertexSet", 2)?;
         st.serialize_field("universe", &self.universe)?;
@@ -222,7 +231,9 @@ impl serde::Serialize for VertexSet {
 }
 
 impl<'de> serde::Deserialize<'de> for VertexSet {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
         #[derive(serde::Deserialize)]
         struct Raw {
             universe: usize,

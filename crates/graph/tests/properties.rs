@@ -10,13 +10,12 @@ use wx_graph::{BipartiteGraph, Graph, VertexSet};
 
 /// Strategy: a small random edge list over `n` vertices.
 fn edge_list(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
-    prop::collection::vec((0..n, 0..n), 0..(n * 3).max(1))
-        .prop_map(move |pairs| {
-            pairs
-                .into_iter()
-                .filter(|(u, v)| u != v)
-                .collect::<Vec<_>>()
-        })
+    prop::collection::vec((0..n, 0..n), 0..(n * 3).max(1)).prop_map(move |pairs| {
+        pairs
+            .into_iter()
+            .filter(|(u, v)| u != v)
+            .collect::<Vec<_>>()
+    })
 }
 
 proptest! {
@@ -171,5 +170,107 @@ proptest! {
         }
         let reachable = res.dist.iter().filter(|&&d| d != usize::MAX).count();
         prop_assert_eq!(res.order.len(), reachable);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR invariants under builder construction with duplicate insertions:
+    /// adjacency lists come out sorted and strictly increasing, edges are
+    /// symmetric, and `num_edges` equals both the deduplicated edge count and
+    /// half the `edges()` multiplicity-free sum.
+    #[test]
+    fn csr_builder_invariants(edges in edge_list(12),
+                              dup_rounds in 1usize..4) {
+        let mut builder = wx_graph::GraphBuilder::new(12);
+        // insert every edge several times, in both orientations
+        for _ in 0..dup_rounds {
+            for &(u, v) in &edges {
+                builder.add_edge(u, v).unwrap();
+                builder.add_edge(v, u).unwrap();
+            }
+        }
+        prop_assert_eq!(builder.raw_edge_insertions(), 2 * dup_rounds * edges.len());
+        let g = builder.build();
+
+        // sorted, strictly increasing (deduped), self-loop-free adjacency
+        for v in g.vertices() {
+            let nbrs = g.neighbors(v);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!nbrs.contains(&v));
+        }
+        // symmetry: u ∈ N(v) ⟺ v ∈ N(u)
+        for v in g.vertices() {
+            for &u in g.neighbors(v) {
+                prop_assert!(g.neighbors(u).contains(&v), "asymmetric edge ({v},{u})");
+            }
+        }
+        // num_edges consistency: equals the dedup'd undirected edge count,
+        // the edges() iterator length, and half the degree sum
+        let edge_set: BTreeSet<(usize, usize)> =
+            edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
+        prop_assert_eq!(g.num_edges(), edge_set.len());
+        let listed: Vec<(usize, usize)> = g.edges().collect();
+        prop_assert_eq!(listed.len(), g.num_edges());
+        for &(u, v) in &listed {
+            prop_assert!(u < v, "edges() must emit canonical (min,max) pairs");
+            prop_assert!(edge_set.contains(&(u, v)));
+        }
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        // and the builder round-trips through from_edges
+        prop_assert_eq!(Graph::from_edges(12, edges.iter().copied()).unwrap(), g);
+    }
+
+    /// Builder rejection behavior: self-loops and out-of-range endpoints are
+    /// errors and leave the builder unchanged (insertion count stable).
+    #[test]
+    fn csr_builder_rejects_bad_edges(v in 0usize..10, w in 0usize..10) {
+        let mut builder = wx_graph::GraphBuilder::new(10);
+        if v != w {
+            builder.add_edge(v, w).unwrap();
+        }
+        let before = builder.raw_edge_insertions();
+        prop_assert_eq!(
+            builder.add_edge(v, v),
+            Err(wx_graph::GraphError::SelfLoop(v))
+        );
+        prop_assert_eq!(
+            builder.add_edge(v, 10 + w),
+            Err(wx_graph::GraphError::VertexOutOfRange { vertex: 10 + w, n: 10 })
+        );
+        prop_assert_eq!(
+            builder.add_edge(17, w),
+            Err(wx_graph::GraphError::VertexOutOfRange { vertex: 17, n: 10 })
+        );
+        prop_assert_eq!(builder.raw_edge_insertions(), before);
+        // from_edges surfaces the same rejections
+        prop_assert!(Graph::from_edges(10, [(v, v)]).is_err());
+        prop_assert!(Graph::from_edges(10, [(v, 12usize)]).is_err());
+    }
+
+    /// Structural ops preserve CSR invariants: induced subgraphs and disjoint
+    /// unions keep adjacency sorted/symmetric and edge counts consistent.
+    #[test]
+    fn csr_invariants_survive_structural_ops(edges in edge_list(10),
+                                             members in prop::collection::btree_set(0usize..10, 1..8)) {
+        let g = Graph::from_edges(10, edges).unwrap();
+        let s = VertexSet::from_iter(10, members.iter().copied());
+        let (sub, ids) = g.induced_subgraph(&s);
+        prop_assert_eq!(sub.num_vertices(), s.len());
+        prop_assert_eq!(sub.num_edges(), g.edges_within(&s));
+        for v in sub.vertices() {
+            prop_assert!(sub.neighbors(v).windows(2).all(|w| w[0] < w[1]));
+            for &u in sub.neighbors(v) {
+                prop_assert!(g.has_edge(ids[u], ids[v]), "subgraph edge not in parent");
+            }
+        }
+        let both = g.disjoint_union(&sub);
+        prop_assert_eq!(both.num_vertices(), g.num_vertices() + sub.num_vertices());
+        prop_assert_eq!(both.num_edges(), g.num_edges() + sub.num_edges());
+        for v in both.vertices() {
+            prop_assert!(both.neighbors(v).windows(2).all(|w| w[0] < w[1]));
+        }
     }
 }

@@ -47,7 +47,12 @@ impl ChainRun {
     /// Round at which the *last* relay was informed (a lower bound on the
     /// completion time), if all relays were informed.
     pub fn last_relay_round(&self) -> Option<usize> {
-        self.relay_rounds.iter().copied().collect::<Option<Vec<_>>>()?.last().copied()
+        self.relay_rounds
+            .iter()
+            .copied()
+            .collect::<Option<Vec<_>>>()?
+            .last()
+            .copied()
     }
 
     /// The mean per-stage gap (over informed relays).
@@ -124,7 +129,10 @@ mod tests {
         assert!(run.completed_at.is_some());
         let rounds: Vec<usize> = run.relay_rounds.iter().map(|r| r.unwrap()).collect();
         for w in rounds.windows(2) {
-            assert!(w[0] < w[1], "relay rounds not strictly increasing: {rounds:?}");
+            assert!(
+                w[0] < w[1],
+                "relay rounds not strictly increasing: {rounds:?}"
+            );
         }
         assert_eq!(run.relay_gaps.len(), 3);
         assert!(run.mean_gap().unwrap() >= 1.0);
@@ -153,7 +161,8 @@ mod tests {
         let short = BroadcastChain::new(8, 2, 3).unwrap();
         let long = BroadcastChain::new(8, 6, 3).unwrap();
         let cfg = SimulatorConfig::default();
-        let short_run = ChainExperiment::new(&short, cfg.clone()).run(&mut SpokesmanBroadcast::default(), 1);
+        let short_run =
+            ChainExperiment::new(&short, cfg.clone()).run(&mut SpokesmanBroadcast::default(), 1);
         let long_run = ChainExperiment::new(&long, cfg).run(&mut SpokesmanBroadcast::default(), 1);
         assert!(short_run.completed_at.is_some() && long_run.completed_at.is_some());
         assert!(

@@ -91,8 +91,14 @@ mod tests {
         let d = DecayProtocol::default();
         assert_eq!(d.effective_phase_length(16), 5);
         assert_eq!(d.effective_phase_length(1024), 11);
-        assert_eq!(DecayProtocol::with_phase_length(3).effective_phase_length(1_000_000), 3);
-        assert_eq!(DecayProtocol::with_phase_length(0).effective_phase_length(8), 1);
+        assert_eq!(
+            DecayProtocol::with_phase_length(3).effective_phase_length(1_000_000),
+            3
+        );
+        assert_eq!(
+            DecayProtocol::with_phase_length(0).effective_phase_length(8),
+            1
+        );
     }
 
     #[test]

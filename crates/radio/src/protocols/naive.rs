@@ -42,7 +42,10 @@ mod tests {
             newly_informed: &newly,
         };
         let mut rng = wx_graph::random::rng_from_seed(0);
-        assert_eq!(NaiveFlooding.transmitters(&view, &mut rng).to_vec(), vec![0, 1]);
+        assert_eq!(
+            NaiveFlooding.transmitters(&view, &mut rng).to_vec(),
+            vec![0, 1]
+        );
     }
 
     #[test]

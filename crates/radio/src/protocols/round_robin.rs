@@ -95,7 +95,10 @@ mod tests {
         let (g, src) = wx_constructions::families::complete_plus_graph(8).unwrap();
         let sim = RadioSimulator::new(&g, src, SimulatorConfig::default());
         let plain = sim.run(&mut RoundRobin::default(), 0).completed_at.unwrap();
-        let skipping = sim.run(&mut RoundRobin::skipping(), 0).completed_at.unwrap();
+        let skipping = sim
+            .run(&mut RoundRobin::skipping(), 0)
+            .completed_at
+            .unwrap();
         assert!(skipping <= plain);
     }
 }

@@ -87,9 +87,7 @@ impl BroadcastProtocol for SpokesmanBroadcast {
         let result = match self.solver {
             ScheduleSolver::Portfolio => PortfolioSolver::default().solve(&restricted, seed),
             ScheduleSolver::FastPortfolio => PortfolioSolver::fast().solve(&restricted, seed),
-            ScheduleSolver::Greedy => {
-                wx_spokesman::GreedyMinDegreeSolver.solve(&restricted, seed)
-            }
+            ScheduleSolver::Greedy => wx_spokesman::GreedyMinDegreeSolver.solve(&restricted, seed),
         };
         // Translate back: restricted index -> bipartite left index (via
         // `kept_left`) -> original vertex id (via `left_ids`).

@@ -87,8 +87,7 @@ impl<'a> RadioSimulator<'a> {
         }
         VertexSet::from_iter(
             graph.num_vertices(),
-            (0..graph.num_vertices())
-                .filter(|&v| heard_from[v] == 1 && !transmitters.contains(v)),
+            (0..graph.num_vertices()).filter(|&v| heard_from[v] == 1 && !transmitters.contains(v)),
         )
     }
 

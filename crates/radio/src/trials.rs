@@ -31,7 +31,10 @@ where
         .map(|t| {
             let sim = RadioSimulator::new(graph, source, config.clone());
             let mut proto = make_protocol();
-            sim.run(&mut proto, wx_graph::random::derive_seed(base_seed, t as u64))
+            sim.run(
+                &mut proto,
+                wx_graph::random::derive_seed(base_seed, t as u64),
+            )
         })
         .collect()
 }
@@ -85,7 +88,10 @@ mod tests {
         let outcomes = run_trials(&g, 0, &cfg, 4, 3, DecayProtocol::default);
         let stats = run_trials_stats(&g, 0, &cfg, 4, 3, DecayProtocol::default);
         assert_eq!(stats.trials, 4);
-        assert_eq!(stats.completed, outcomes.iter().filter(|o| o.completed()).count());
+        assert_eq!(
+            stats.completed,
+            outcomes.iter().filter(|o| o.completed()).count()
+        );
     }
 
     #[test]

@@ -11,7 +11,10 @@ use wx_radio::{BroadcastProtocol, RadioSimulator, SimulatorConfig};
 
 fn edge_list(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
     prop::collection::vec((0..n, 0..n), 0..(n * 3).max(1)).prop_map(move |pairs| {
-        pairs.into_iter().filter(|(u, v)| u != v).collect::<Vec<_>>()
+        pairs
+            .into_iter()
+            .filter(|(u, v)| u != v)
+            .collect::<Vec<_>>()
     })
 }
 

@@ -120,7 +120,7 @@ pub fn corollary_a_15_guarantee(gamma: usize, delta: f64) -> f64 {
         return gamma as f64 / 20.0;
     }
     let by_log = 1.0 / (9.0 * log2_clamped(delta, f64::MIN_POSITIVE));
-    gamma as f64 * by_log.min(1.0 / 20.0).max(0.0)
+    gamma as f64 * by_log.clamp(0.0, 1.0 / 20.0)
 }
 
 /// The Corollary A.8 family of guarantees
@@ -156,7 +156,8 @@ pub fn mg_profile(delta: f64) -> f64 {
     } else {
         (1.0 / (9.0 * log2_clamped(delta, f64::MIN_POSITIVE))).min(1.0 / 20.0)
     };
-    let a8 = corollary_a_8_guarantee(1_000_000, delta, crate::degree_class::OPTIMAL_BASE) / 1_000_000.0;
+    let a8 =
+        corollary_a_8_guarantee(1_000_000, delta, crate::degree_class::OPTIMAL_BASE) / 1_000_000.0;
     a13.max(a15).max(a8)
 }
 
@@ -229,7 +230,10 @@ mod tests {
         let beta = 8.0;
         let loose = corollary_4_11_upper_bound(d, beta, 0.4);
         let tight = corollary_4_11_upper_bound(d, beta, 0.1);
-        assert!(tight > loose, "smaller epsilon weakens (increases) the upper bound");
+        assert!(
+            tight > loose,
+            "smaller epsilon weakens (increases) the upper bound"
+        );
         assert!(lemma_4_6_upper_bound(d, beta) > 0.0);
         assert!(corollary_4_11_upper_bound(d, 0.0, 0.3).is_infinite());
     }

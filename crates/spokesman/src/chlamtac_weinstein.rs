@@ -29,7 +29,9 @@ pub struct ChlamtacWeinsteinSolver {
 
 impl Default for ChlamtacWeinsteinSolver {
     fn default() -> Self {
-        ChlamtacWeinsteinSolver { trials_per_level: 8 }
+        ChlamtacWeinsteinSolver {
+            trials_per_level: 8,
+        }
     }
 }
 
@@ -37,7 +39,9 @@ impl ChlamtacWeinsteinSolver {
     /// The guarantee of the baseline: `|N⁺| / log₂(2|S|)` where `N⁺` counts
     /// the non-isolated right vertices.
     pub fn guarantee(g: &BipartiteGraph) -> f64 {
-        let gamma = (0..g.num_right()).filter(|&w| g.right_degree(w) > 0).count();
+        let gamma = (0..g.num_right())
+            .filter(|&w| g.right_degree(w) > 0)
+            .count();
         let s = g.num_left().max(1);
         gamma as f64 / (2.0 * s as f64).log2().max(1.0)
     }
@@ -131,8 +135,18 @@ mod tests {
     #[test]
     fn degenerate_instances() {
         let g = BipartiteGraph::from_edges(0, 0, []).unwrap();
-        assert_eq!(ChlamtacWeinsteinSolver::default().solve(&g, 0).unique_coverage, 0);
+        assert_eq!(
+            ChlamtacWeinsteinSolver::default()
+                .solve(&g, 0)
+                .unique_coverage,
+            0
+        );
         let g = BipartiteGraph::from_edges(2, 2, []).unwrap();
-        assert_eq!(ChlamtacWeinsteinSolver::default().solve(&g, 0).unique_coverage, 0);
+        assert_eq!(
+            ChlamtacWeinsteinSolver::default()
+                .solve(&g, 0)
+                .unique_coverage,
+            0
+        );
     }
 }

@@ -106,8 +106,7 @@ impl SpokesmanSolver for DegreeClassSolver {
             if self.random_trials_per_class > 0 {
                 let p = self.base.powf(-(i as f64 + 0.5)).clamp(1e-9, 1.0);
                 for t in 0..self.random_trials_per_class {
-                    let mut rng =
-                        rng_from_seed(derive_seed(seed, ((i as u64) << 32) | t as u64));
+                    let mut rng = rng_from_seed(derive_seed(seed, ((i as u64) << 32) | t as u64));
                     let sample = VertexSet::from_iter(
                         g.num_left(),
                         (0..g.num_left()).filter(|_| rng.gen_bool(p)),
@@ -177,7 +176,9 @@ mod tests {
             if g.num_edges() == 0 {
                 continue;
             }
-            let gamma = (0..g.num_right()).filter(|&w| g.right_degree(w) > 0).count();
+            let gamma = (0..g.num_right())
+                .filter(|&w| g.right_degree(w) > 0)
+                .count();
             let delta = g.max_degree();
             let guarantee = solver.corollary_a7_guarantee(gamma, delta);
             let r = solver.solve(&g, seed);
@@ -201,7 +202,11 @@ mod tests {
         }
         let g = BipartiteGraph::from_edges(s, s + 1, edges).unwrap();
         let r = DegreeClassSolver::default().solve(&g, 0);
-        assert!(r.unique_coverage >= s, "coverage {} < {s}", r.unique_coverage);
+        assert!(
+            r.unique_coverage >= s,
+            "coverage {} < {s}",
+            r.unique_coverage
+        );
     }
 
     #[test]

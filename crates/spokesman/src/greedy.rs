@@ -39,10 +39,8 @@ impl GreedyMinDegreeSolver {
         let mut s_uni = VertexSet::empty(num_left);
         // N_tmp starts as the right vertices with at least one neighbor
         // (isolated right vertices can never be covered).
-        let mut n_tmp = VertexSet::from_iter(
-            num_right,
-            (0..num_right).filter(|&w| g.right_degree(w) > 0),
-        );
+        let mut n_tmp =
+            VertexSet::from_iter(num_right, (0..num_right).filter(|&w| g.right_degree(w) > 0));
         let mut n_uni = VertexSet::empty(num_right);
 
         while !n_tmp.is_empty() {
@@ -130,7 +128,9 @@ impl GreedyMinDegreeSolver {
     /// right side is uniquely covered, where `N⁺` is the set of
     /// non-isolated right vertices. Returns the guaranteed *count*.
     pub fn guaranteed_coverage(g: &BipartiteGraph) -> usize {
-        let covered_candidates = (0..g.num_right()).filter(|&w| g.right_degree(w) > 0).count();
+        let covered_candidates = (0..g.num_right())
+            .filter(|&w| g.right_degree(w) > 0)
+            .count();
         let delta_s = g.max_left_degree();
         if delta_s == 0 {
             0
@@ -254,6 +254,6 @@ mod tests {
         let out = GreedyMinDegreeSolver::run(&g);
         check_certificate(&g, &out);
         assert!(out.n_uni.len() >= GreedyMinDegreeSolver::guaranteed_coverage(&g));
-        assert!(out.n_uni.len() >= (s + 1) / 2);
+        assert!(out.n_uni.len() >= s.div_ceil(2));
     }
 }

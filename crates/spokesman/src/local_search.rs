@@ -99,27 +99,35 @@ impl LocalSearchImprover {
     }
 }
 
-/// A solver that runs an inner solver and then polishes its subset with
-/// [`LocalSearchImprover`].
+/// A solver that runs one or more inner solvers and polishes each of their
+/// subsets with [`LocalSearchImprover`], keeping the best polished result.
+///
+/// Multi-start matters: single-flip local search gets stuck in local optima,
+/// and the cheapest way out is a handful of structurally different starting
+/// points rather than a smarter neighborhood.
 pub struct LocalSearchSolver {
-    inner: Box<dyn SpokesmanSolver + Send + Sync>,
+    starts: Vec<Box<dyn SpokesmanSolver + Send + Sync>>,
     improver: LocalSearchImprover,
 }
 
 impl Default for LocalSearchSolver {
     fn default() -> Self {
         LocalSearchSolver {
-            inner: Box::new(crate::greedy::GreedyMinDegreeSolver),
+            starts: vec![
+                Box::new(crate::greedy::GreedyMinDegreeSolver),
+                Box::new(crate::partition::PartitionSolver::default()),
+                Box::new(crate::random_decay::RandomDecaySolver::default()),
+            ],
             improver: LocalSearchImprover::default(),
         }
     }
 }
 
 impl LocalSearchSolver {
-    /// Wraps an explicit inner solver.
+    /// Wraps an explicit inner solver (single start).
     pub fn wrapping(inner: Box<dyn SpokesmanSolver + Send + Sync>) -> Self {
         LocalSearchSolver {
-            inner,
+            starts: vec![inner],
             improver: LocalSearchImprover::default(),
         }
     }
@@ -133,9 +141,19 @@ impl SpokesmanSolver for LocalSearchSolver {
     }
 
     fn solve(&self, g: &BipartiteGraph, seed: u64) -> SpokesmanResult {
-        let start = self.inner.solve(g, seed);
-        let (subset, _) = self.improver.improve(g, &start.subset);
-        SpokesmanResult::from_subset(SolverKind::Portfolio, g, subset)
+        let mut best: Option<SpokesmanResult> = None;
+        for (i, inner) in self.starts.iter().enumerate() {
+            let start = inner.solve(g, wx_graph::random::derive_seed(seed, i as u64));
+            let (subset, _) = self.improver.improve(g, &start.subset);
+            let polished = SpokesmanResult::from_subset(SolverKind::Portfolio, g, subset);
+            best = Some(match best {
+                None => polished,
+                Some(b) => b.better_of(polished),
+            });
+        }
+        best.unwrap_or_else(|| {
+            SpokesmanResult::from_subset(SolverKind::Portfolio, g, VertexSet::empty(g.num_left()))
+        })
     }
 }
 

@@ -45,7 +45,11 @@ impl PartitionOutcome {
     /// Verifies the four partition conditions; returns an error message for
     /// the first violated condition. Used by tests and by debug assertions in
     /// the experiment harnesses.
-    pub fn check_conditions(&self, g: &BipartiteGraph, candidates: &VertexSet) -> Result<(), String> {
+    pub fn check_conditions(
+        &self,
+        g: &BipartiteGraph,
+        candidates: &VertexSet,
+    ) -> Result<(), String> {
         // The three right-side parts partition the candidate set.
         let mut seen = VertexSet::empty(g.num_right());
         for part in [&self.n_uni, &self.n_many, &self.n_tmp] {
@@ -69,7 +73,9 @@ impl PartitionOutcome {
                 .filter(|&&u| self.s_uni.contains(u))
                 .count();
             if cnt != 1 {
-                return Err(format!("(P1) violated: vertex {w} has {cnt} neighbors in S_uni"));
+                return Err(format!(
+                    "(P1) violated: vertex {w} has {cnt} neighbors in S_uni"
+                ));
             }
         }
         // (P2)
@@ -85,7 +91,9 @@ impl PartitionOutcome {
                 .filter(|&&u| self.s_uni.contains(u))
                 .count();
             if in_tmp == 0 {
-                return Err(format!("(P2) violated: vertex {w} of N_tmp has no S_tmp neighbor"));
+                return Err(format!(
+                    "(P2) violated: vertex {w} of N_tmp has no S_tmp neighbor"
+                ));
             }
             if in_uni != 0 {
                 return Err(format!("(P2) violated: vertex {w} of N_tmp sees S_uni"));
@@ -122,7 +130,10 @@ impl PartitionOutcome {
                 })
                 .sum();
             if e_tmp > 2 * e_uni {
-                return Err(format!("(P4) violated: |E_tmp| = {e_tmp} > 2·|E_uni| = {}", 2 * e_uni));
+                return Err(format!(
+                    "(P4) violated: |E_tmp| = {e_tmp} > 2·|E_uni| = {}",
+                    2 * e_uni
+                ));
             }
         }
         Ok(())
@@ -272,10 +283,8 @@ impl PartitionSolver {
             }
             let sub = b.build();
             let rec_local = self.solve_recursive(&sub, depth + 1);
-            let rec_subset = VertexSet::from_iter(
-                g.num_left(),
-                rec_local.iter().map(|i| s_tmp_vertices[i]),
-            );
+            let rec_subset =
+                VertexSet::from_iter(g.num_left(), rec_local.iter().map(|i| s_tmp_vertices[i]));
             let rec_cov = g.unique_coverage(&rec_subset);
             if rec_cov > best_cov {
                 best_cov = rec_cov;
@@ -368,7 +377,9 @@ mod tests {
             if g.num_edges() == 0 {
                 continue;
             }
-            let gamma = (0..g.num_right()).filter(|&w| g.right_degree(w) > 0).count();
+            let gamma = (0..g.num_right())
+                .filter(|&w| g.right_degree(w) > 0)
+                .count();
             let delta_n = g.num_edges() as f64 / gamma.max(1) as f64;
             let guarantee = (gamma as f64) / (9.0 * (2.0 * delta_n).log2().max(1.0));
             let r = PartitionSolver::default().solve(&g, 0);
@@ -387,7 +398,9 @@ mod tests {
             if g.num_edges() == 0 {
                 continue;
             }
-            let gamma = (0..g.num_right()).filter(|&w| g.right_degree(w) > 0).count();
+            let gamma = (0..g.num_right())
+                .filter(|&w| g.right_degree(w) > 0)
+                .count();
             let delta_n = g.num_edges() as f64 / gamma.max(1) as f64;
             let guarantee = gamma as f64 / (8.0 * delta_n.max(1.0));
             let r = PartitionSolver::low_degree_once().solve(&g, 0);
@@ -419,7 +432,12 @@ mod tests {
         assert_eq!(PartitionSolver::default().solve(&g, 0).unique_coverage, 0);
         let g = BipartiteGraph::from_edges(3, 3, []).unwrap();
         assert_eq!(PartitionSolver::default().solve(&g, 0).unique_coverage, 0);
-        assert_eq!(PartitionSolver::low_degree_once().solve(&g, 0).unique_coverage, 0);
+        assert_eq!(
+            PartitionSolver::low_degree_once()
+                .solve(&g, 0)
+                .unique_coverage,
+            0
+        );
     }
 
     #[test]

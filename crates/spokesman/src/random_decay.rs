@@ -209,10 +209,12 @@ mod tests {
         // conservative floor below on dense random instances.
         for seed in 0..10u64 {
             let g = random_instance(seed + 40, 16, 32, 0.35);
-            let gamma = (0..g.num_right()).filter(|&w| g.right_degree(w) > 0).count();
+            let gamma = (0..g.num_right())
+                .filter(|&w| g.right_degree(w) > 0)
+                .count();
             let delta_n = g.num_edges() as f64 / gamma.max(1) as f64;
-            let floor = (gamma as f64 * (-3.0f64).exp() / (2.0 * (2.0 * delta_n).log2().max(1.0)))
-                .floor();
+            let floor =
+                (gamma as f64 * (-3.0f64).exp() / (2.0 * (2.0 * delta_n).log2().max(1.0))).floor();
             let r = RandomDecaySolver::default().solve(&g, seed);
             assert!(
                 r.unique_coverage as f64 >= floor,

@@ -128,7 +128,12 @@ impl Default for PortfolioSolver {
                 Box::new(crate::greedy::GreedyMinDegreeSolver),
                 Box::new(crate::degree_class::DegreeClassSolver::default()),
                 Box::new(crate::chlamtac_weinstein::ChlamtacWeinsteinSolver::default()),
-                Box::new(crate::local_search::LocalSearchSolver::default()),
+                // single-start polish: the portfolio already runs partition
+                // and decay directly, so re-running them as local-search
+                // starts (the multi-start default) would double their cost
+                Box::new(crate::local_search::LocalSearchSolver::wrapping(Box::new(
+                    crate::greedy::GreedyMinDegreeSolver,
+                ))),
             ],
         }
     }
@@ -185,11 +190,7 @@ impl SpokesmanSolver for PortfolioSolver {
             });
         }
         let mut best = best.unwrap_or_else(|| {
-            SpokesmanResult::from_subset(
-                SolverKind::Portfolio,
-                g,
-                VertexSet::empty(g.num_left()),
-            )
+            SpokesmanResult::from_subset(SolverKind::Portfolio, g, VertexSet::empty(g.num_left()))
         });
         best.solver = SolverKind::Portfolio;
         best
@@ -219,7 +220,8 @@ mod tests {
     fn better_of_prefers_larger_coverage() {
         let g = star_instance();
         let empty = SpokesmanResult::from_subset(SolverKind::Exact, &g, VertexSet::empty(1));
-        let full = SpokesmanResult::from_subset(SolverKind::Exact, &g, VertexSet::from_iter(1, [0]));
+        let full =
+            SpokesmanResult::from_subset(SolverKind::Exact, &g, VertexSet::from_iter(1, [0]));
         assert_eq!(empty.clone().better_of(full.clone()).unique_coverage, 4);
         assert_eq!(full.clone().better_of(empty).unique_coverage, 4);
     }

@@ -10,9 +10,8 @@ use wx_spokesman::{
 };
 
 fn bipartite(s: usize, n: usize) -> impl Strategy<Value = BipartiteGraph> {
-    prop::collection::vec((0..s, 0..n), 0..(s * n / 2).max(1)).prop_map(move |edges| {
-        BipartiteGraph::from_edges(s, n, edges).expect("edges are in range")
-    })
+    prop::collection::vec((0..s, 0..n), 0..(s * n / 2).max(1))
+        .prop_map(move |edges| BipartiteGraph::from_edges(s, n, edges).expect("edges are in range"))
 }
 
 fn all_solvers() -> Vec<Box<dyn SpokesmanSolver>> {
@@ -23,7 +22,9 @@ fn all_solvers() -> Vec<Box<dyn SpokesmanSolver>> {
         Box::new(PartitionSolver::low_degree_once()),
         Box::new(GreedyMinDegreeSolver),
         Box::new(DegreeClassSolver::default()),
-        Box::new(ChlamtacWeinsteinSolver { trials_per_level: 2 }),
+        Box::new(ChlamtacWeinsteinSolver {
+            trials_per_level: 2,
+        }),
         Box::new(LocalSearchSolver::default()),
         Box::new(PortfolioSolver::fast()),
     ]

@@ -37,8 +37,7 @@ fn core_row(s: usize, rows: &mut Vec<TableRow>) {
     let s_set = VertexSet::from_iter(g.num_vertices(), 0..s);
     let beta = wx_core::graph::neighborhood::expansion_of_set(&g, &s_set);
     let portfolio = PortfolioSolver::default();
-    let (beta_w, _) =
-        wx_core::expansion::wireless::of_set_lower_bound(&g, &s_set, &portfolio, 5);
+    let (beta_w, _) = wx_core::expansion::wireless::of_set_lower_bound(&g, &s_set, &portfolio, 5);
     let arb = wx_core::graph::arboricity::arboricity_bounds(&g);
     rows.push(TableRow::new(
         format!("core-{s}"),
@@ -47,7 +46,11 @@ fn core_row(s: usize, rows: &mut Vec<TableRow>) {
             arb.upper.to_string(),
             fmt_f64(beta),
             fmt_f64(beta_w),
-            fmt_f64(if beta_w > 0.0 { beta / beta_w } else { f64::INFINITY }),
+            fmt_f64(if beta_w > 0.0 {
+                beta / beta_w
+            } else {
+                f64::INFINITY
+            }),
             fmt_f64(wx_core::spokesman::bounds::theorem_1_1_lower_bound(
                 g.max_degree(),
                 beta,
@@ -63,8 +66,16 @@ fn main() {
     section("Low-arboricity family");
     profile_row("grid-12x12", &grid_graph(12, 12).unwrap(), &mut rows);
     profile_row("torus-10x10", &torus_graph(10, 10).unwrap(), &mut rows);
-    profile_row("binary-tree-127", &complete_k_ary_tree(2, 7).unwrap(), &mut rows);
-    profile_row("random-tree-100", &random_tree(100, seed).unwrap(), &mut rows);
+    profile_row(
+        "binary-tree-127",
+        &complete_k_ary_tree(2, 7).unwrap(),
+        &mut rows,
+    );
+    profile_row(
+        "random-tree-100",
+        &random_tree(100, seed).unwrap(),
+        &mut rows,
+    );
 
     section("Core-graph family (the paper's bad example)");
     for s in [8usize, 16, 32, 64] {
@@ -75,7 +86,15 @@ fn main() {
         "{}",
         render_table(
             "Wireless loss β/βw: bounded for low arboricity, growing for core graphs",
-            &["graph", "n", "arboricity ub", "β̂", "β̂w", "loss β̂/β̂w", "thm 1.1 ref"],
+            &[
+                "graph",
+                "n",
+                "arboricity ub",
+                "β̂",
+                "β̂w",
+                "loss β̂/β̂w",
+                "thm 1.1 ref"
+            ],
             &rows
         )
     );

@@ -26,11 +26,10 @@ fn main() {
     section("Expansion profile (exact for this size)");
     let analysis = GraphAnalysis::run(
         &graph,
-        &AnalysisConfig {
-            broadcast_source: Some(source),
-            seed,
-            ..AnalysisConfig::default()
-        },
+        &AnalysisConfig::builder()
+            .broadcast_source(Some(source))
+            .seed(seed)
+            .build(),
     );
     println!("{}", analysis.summary());
     println!(
@@ -40,9 +39,15 @@ fn main() {
 
     section("Broadcast race from the pendant source");
     let b = analysis.broadcast.expect("broadcast comparison enabled");
-    println!("naive flooding     : {}", wx_core::report::fmt_opt(b.naive_flooding));
+    println!(
+        "naive flooding     : {}",
+        wx_core::report::fmt_opt(b.naive_flooding)
+    );
     println!("decay protocol     : {}", wx_core::report::fmt_opt(b.decay));
-    println!("spokesman schedule : {}", wx_core::report::fmt_opt(b.spokesman));
+    println!(
+        "spokesman schedule : {}",
+        wx_core::report::fmt_opt(b.spokesman)
+    );
     println!();
     println!("(naive flooding '-' means it never completed: after the first round");
     println!(" the informed set {{source, x, y}} has no unique neighbors, exactly the");

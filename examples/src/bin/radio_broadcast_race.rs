@@ -21,7 +21,9 @@ fn race(name: &str, graph: &Graph, source: Vertex, seed: u64, rows: &mut Vec<Tab
     let naive = sim.run(&mut NaiveFlooding, seed).completed_at;
     let rr = sim.run(&mut RoundRobin::default(), seed).completed_at;
     let decay = sim.run(&mut DecayProtocol::default(), seed).completed_at;
-    let spk = sim.run(&mut SpokesmanBroadcast::default(), seed).completed_at;
+    let spk = sim
+        .run(&mut SpokesmanBroadcast::default(), seed)
+        .completed_at;
     rows.push(TableRow::new(
         name,
         vec![
@@ -62,7 +64,14 @@ fn main() {
         "{}",
         render_table(
             "Broadcast completion rounds ('-' = did not complete in 20k rounds)",
-            &["topology", "n", "naive", "round-robin", "decay", "spokesman"],
+            &[
+                "topology",
+                "n",
+                "naive",
+                "round-robin",
+                "decay",
+                "spokesman"
+            ],
             &rows
         )
     );

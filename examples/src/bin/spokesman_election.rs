@@ -13,7 +13,9 @@ use wx_core::report::{fmt_f64, render_table, TableRow};
 use wx_examples::{section, seed_from_args};
 
 fn solve_all(name: &str, g: &BipartiteGraph, seed: u64, rows: &mut Vec<TableRow>) {
-    let gamma = (0..g.num_right()).filter(|&w| g.right_degree(w) > 0).count();
+    let gamma = (0..g.num_right())
+        .filter(|&w| g.right_degree(w) > 0)
+        .count();
     let delta_n = if gamma > 0 {
         g.num_edges() as f64 / gamma as f64
     } else {
@@ -24,7 +26,10 @@ fn solve_all(name: &str, g: &BipartiteGraph, seed: u64, rows: &mut Vec<TableRow>
         ("partition", Box::new(PartitionSolver::default())),
         ("greedy", Box::new(GreedyMinDegreeSolver)),
         ("degree-class", Box::new(DegreeClassSolver::default())),
-        ("chlamtac-weinstein", Box::new(ChlamtacWeinsteinSolver::default())),
+        (
+            "chlamtac-weinstein",
+            Box::new(ChlamtacWeinsteinSolver::default()),
+        ),
     ];
     for (label, solver) in solvers {
         let r = solver.solve(g, seed);
@@ -33,8 +38,13 @@ fn solve_all(name: &str, g: &BipartiteGraph, seed: u64, rows: &mut Vec<TableRow>
             vec![
                 r.unique_coverage.to_string(),
                 fmt_f64(r.coverage_fraction(g)),
-                fmt_f64(wx_core::spokesman::bounds::lemma_a_13_guarantee(gamma, delta_n)),
-                fmt_f64(wx_core::spokesman::bounds::lemma_a_1_guarantee(gamma, g.max_left_degree())),
+                fmt_f64(wx_core::spokesman::bounds::lemma_a_13_guarantee(
+                    gamma, delta_n,
+                )),
+                fmt_f64(wx_core::spokesman::bounds::lemma_a_1_guarantee(
+                    gamma,
+                    g.max_left_degree(),
+                )),
             ],
         ));
     }
@@ -73,7 +83,13 @@ fn main() {
         "{}",
         render_table(
             "Spokesman Election — coverage vs. guarantees",
-            &["instance/solver", "covered", "fraction", "A.13 bound", "A.1 bound"],
+            &[
+                "instance/solver",
+                "covered",
+                "fraction",
+                "A.13 bound",
+                "A.1 bound"
+            ],
             &rows
         )
     );

@@ -19,9 +19,7 @@ fn main() {
     section("Base expander");
     let base = random_regular_graph(1024, 64, seed).expect("valid");
     let base_beta = 1.0; // conservative certified expansion for α = 1/2
-    println!(
-        "random 64-regular graph on 1024 vertices; using certified β = {base_beta}"
-    );
+    println!("random 64-regular graph on 1024 vertices; using certified β = {base_beta}");
 
     section("Plugging the generalized core graph (ε = 0.3)");
     let wce = WorstCaseExpander::plug(&base, base_beta, 0.3).expect("parameter window holds");
@@ -58,11 +56,7 @@ fn main() {
 
     // A typical set of the same size inside the base expander.
     let mut rng = wx_core::graph::random::rng_from_seed(seed);
-    let typical = wx_core::graph::random::random_subset_of_size(
-        &mut rng,
-        wce.base_n,
-        s_star.len(),
-    );
+    let typical = wx_core::graph::random::random_subset_of_size(&mut rng, wce.base_n, s_star.len());
     let typical = VertexSet::from_iter(wce.graph.num_vertices(), typical.iter());
     let ordinary_t = wx_core::graph::neighborhood::expansion_of_set(&wce.graph, &typical);
     let portfolio = PortfolioSolver::default();
@@ -83,7 +77,14 @@ fn main() {
         "{}",
         render_table(
             "Expansion of the planted set vs. a typical set",
-            &["set", "|S|", "β(S)", "βw(S) certified", "βw(S) structural ub", "Cor 4.11 ub"],
+            &[
+                "set",
+                "|S|",
+                "β(S)",
+                "βw(S) certified",
+                "βw(S) structural ub",
+                "Cor 4.11 ub"
+            ],
             &rows
         )
     );

@@ -1,0 +1,445 @@
+//! Offline API-compatible shim for the `nalgebra` surface this workspace
+//! uses: dynamically-sized `f64` vectors and matrices with basic arithmetic,
+//! plus a dense symmetric eigendecomposition (Householder tridiagonalization
+//! followed by the implicit-shift QL iteration — the classic EISPACK
+//! `tred2`/`tql2` pair, eigenvalues only).
+
+use std::ops::{AddAssign, Div, DivAssign, Index, IndexMut, Mul, SubAssign};
+
+/// A heap-allocated column vector of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DVector<T = f64> {
+    data: Vec<T>,
+}
+
+impl DVector<f64> {
+    /// A zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        DVector { data: vec![0.0; n] }
+    }
+
+    /// A constant vector of length `n`.
+    pub fn from_element(n: usize, value: f64) -> Self {
+        DVector {
+            data: vec![value; n],
+        }
+    }
+
+    /// Builds from the first `n` items of an iterator.
+    pub fn from_iterator(n: usize, iter: impl IntoIterator<Item = f64>) -> Self {
+        let data: Vec<f64> = iter.into_iter().take(n).collect();
+        assert_eq!(
+            data.len(),
+            n,
+            "iterator too short for DVector::from_iterator"
+        );
+        DVector { data }
+    }
+
+    /// Builds from a `Vec`.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        DVector { data }
+    }
+
+    /// Vector length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Dot product.
+    pub fn dot(&self, other: &DVector<f64>) -> f64 {
+        assert_eq!(self.len(), other.len(), "dot: dimension mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+
+    /// The entries as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl Index<usize> for DVector<f64> {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+impl IndexMut<usize> for DVector<f64> {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl Mul<f64> for &DVector<f64> {
+    type Output = DVector<f64>;
+    fn mul(self, rhs: f64) -> DVector<f64> {
+        DVector {
+            data: self.data.iter().map(|x| x * rhs).collect(),
+        }
+    }
+}
+impl Mul<f64> for DVector<f64> {
+    type Output = DVector<f64>;
+    fn mul(mut self, rhs: f64) -> DVector<f64> {
+        for x in &mut self.data {
+            *x *= rhs;
+        }
+        self
+    }
+}
+impl Div<f64> for DVector<f64> {
+    type Output = DVector<f64>;
+    fn div(mut self, rhs: f64) -> DVector<f64> {
+        for x in &mut self.data {
+            *x /= rhs;
+        }
+        self
+    }
+}
+impl DivAssign<f64> for DVector<f64> {
+    fn div_assign(&mut self, rhs: f64) {
+        for x in &mut self.data {
+            *x /= rhs;
+        }
+    }
+}
+impl AddAssign<DVector<f64>> for DVector<f64> {
+    fn add_assign(&mut self, rhs: DVector<f64>) {
+        assert_eq!(self.len(), rhs.len(), "+=: dimension mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data) {
+            *a += b;
+        }
+    }
+}
+impl AddAssign<&DVector<f64>> for DVector<f64> {
+    fn add_assign(&mut self, rhs: &DVector<f64>) {
+        assert_eq!(self.len(), rhs.len(), "+=: dimension mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+}
+impl SubAssign<DVector<f64>> for DVector<f64> {
+    fn sub_assign(&mut self, rhs: DVector<f64>) {
+        assert_eq!(self.len(), rhs.len(), "-=: dimension mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data) {
+            *a -= b;
+        }
+    }
+}
+impl SubAssign<&DVector<f64>> for DVector<f64> {
+    fn sub_assign(&mut self, rhs: &DVector<f64>) {
+        assert_eq!(self.len(), rhs.len(), "-=: dimension mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= b;
+        }
+    }
+}
+
+/// A heap-allocated dense matrix of `f64`, row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DMatrix<T = f64> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl DMatrix<f64> {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix.
+    pub fn identity(rows: usize, cols: usize) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows.min(cols) {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Eigendecomposition of a symmetric matrix (eigenvalues only; the
+    /// `eigenvectors` of real nalgebra are not reproduced).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn symmetric_eigen(&self) -> SymmetricEigen {
+        assert_eq!(
+            self.rows, self.cols,
+            "symmetric_eigen requires square matrix"
+        );
+        let eigenvalues = symmetric_eigenvalues_tridiag(self);
+        SymmetricEigen {
+            eigenvalues: DVector::from_vec(eigenvalues),
+        }
+    }
+}
+
+impl Index<(usize, usize)> for DMatrix<f64> {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+impl IndexMut<(usize, usize)> for DMatrix<f64> {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Result of [`DMatrix::symmetric_eigen`].
+pub struct SymmetricEigen {
+    /// The eigenvalues, in no particular order (callers sort).
+    pub eigenvalues: DVector<f64>,
+}
+
+/// Householder tridiagonalization (`tred2`, without accumulating vectors)
+/// followed by implicit-shift QL (`tql2`). O(n³) + O(n²); handles the
+/// `DENSE_LIMIT`-sized adjacency matrices the workspace feeds it.
+#[allow(clippy::needless_range_loop)] // index arithmetic mirrors the EISPACK reference
+fn symmetric_eigenvalues_tridiag(m: &DMatrix<f64>) -> Vec<f64> {
+    let n = m.rows;
+    if n == 0 {
+        return Vec::new();
+    }
+    // Work on a copy of the lower triangle.
+    let mut a: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| m[(i, j)]).collect())
+        .collect();
+    let mut d = vec![0.0f64; n]; // diagonal
+    let mut e = vec![0.0f64; n]; // off-diagonal
+
+    // --- Householder reduction (tred2, eigenvalues-only variant) ---
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0f64;
+        if l > 0 {
+            let scale: f64 = a[i][..=l].iter().map(|x| x.abs()).sum();
+            if scale == 0.0 {
+                e[i] = a[i][l];
+            } else {
+                for j in 0..=l {
+                    a[i][j] /= scale;
+                    h += a[i][j] * a[i][j];
+                }
+                let f = a[i][l];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                a[i][l] = f - g;
+                let mut tau = 0.0f64;
+                for j in 0..=l {
+                    let g: f64 = (0..=j).map(|k| a[j][k] * a[i][k]).sum::<f64>()
+                        + ((j + 1)..=l).map(|k| a[k][j] * a[i][k]).sum::<f64>();
+                    e[j] = g / h;
+                    tau += e[j] * a[i][j];
+                }
+                let hh = tau / (h + h);
+                for j in 0..=l {
+                    e[j] -= hh * a[i][j];
+                }
+                for j in 0..=l {
+                    let f = a[i][j];
+                    let g = e[j];
+                    for k in 0..=j {
+                        a[j][k] -= f * e[k] + g * a[i][k];
+                    }
+                }
+            }
+        } else {
+            e[i] = a[i][l];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        d[i] = a[i][i];
+    }
+
+    // --- Implicit-shift QL iteration (tql2, eigenvalues only) ---
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small subdiagonal element.
+            let mut mfound = n - 1;
+            for mm in l..n - 1 {
+                let dd = d[mm].abs() + d[mm + 1].abs();
+                if e[mm].abs() <= f64::EPSILON * dd {
+                    mfound = mm;
+                    break;
+                }
+            }
+            let m_idx = mfound;
+            if m_idx == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "tql2 failed to converge");
+            // Form shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            let sign_r = if g >= 0.0 { r.abs() } else { -r.abs() };
+            g = d[m_idx] - d[l] + e[l] / (g + sign_r);
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            let mut underflowed = false;
+            for i in (l..m_idx).rev() {
+                let f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // recover from underflow: deflate and restart this l
+                    d[i + 1] -= p;
+                    e[m_idx] = 0.0;
+                    underflowed = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+            }
+            if underflowed {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m_idx] = 0.0;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_eigs(m: &DMatrix<f64>) -> Vec<f64> {
+        let mut v: Vec<f64> = m.symmetric_eigen().eigenvalues.iter().copied().collect();
+        v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        v
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let mut x = DVector::from_iterator(3, [3.0, 0.0, 4.0]);
+        assert!((x.norm() - 5.0).abs() < 1e-12);
+        x /= 5.0;
+        assert!((x.norm() - 1.0).abs() < 1e-12);
+        let y = DVector::from_element(3, 1.0);
+        assert!((x.dot(&y) - (3.0 + 4.0) / 5.0).abs() < 1e-12);
+        let mut z = DVector::zeros(3);
+        z += &y * 2.0;
+        z -= &y * 1.0;
+        assert_eq!(z.as_slice(), &[1.0, 1.0, 1.0]);
+        let w = z / 2.0;
+        assert_eq!(w.as_slice(), &[0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn eigenvalues_of_diagonal() {
+        let mut m = DMatrix::zeros(3, 3);
+        m[(0, 0)] = 3.0;
+        m[(1, 1)] = -1.0;
+        m[(2, 2)] = 2.0;
+        let v = sorted_eigs(&m);
+        assert!((v[0] - 3.0).abs() < 1e-10);
+        assert!((v[1] - 2.0).abs() < 1e-10);
+        assert!((v[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalues_of_complete_graph_adjacency() {
+        // K_n adjacency: eigenvalues n-1 (once) and -1 (n-1 times).
+        let n = 6;
+        let mut m = DMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    m[(i, j)] = 1.0;
+                }
+            }
+        }
+        let v = sorted_eigs(&m);
+        assert!((v[0] - (n as f64 - 1.0)).abs() < 1e-9, "λ1 = {}", v[0]);
+        for &lam in &v[1..] {
+            assert!((lam + 1.0).abs() < 1e-9, "λ = {lam}");
+        }
+    }
+
+    #[test]
+    fn eigenvalues_of_cycle_adjacency() {
+        // C_n adjacency eigenvalues: 2cos(2πk/n).
+        let n = 8;
+        let mut m = DMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, (i + 1) % n)] = 1.0;
+            m[((i + 1) % n, i)] = 1.0;
+        }
+        let v = sorted_eigs(&m);
+        assert!((v[0] - 2.0).abs() < 1e-9);
+        let expected_l2 = 2.0 * (2.0 * std::f64::consts::PI / n as f64).cos();
+        assert!((v[1] - expected_l2).abs() < 1e-9, "λ2 = {}", v[1]);
+    }
+
+    #[test]
+    fn eigenvalues_of_path_p2() {
+        let mut m = DMatrix::zeros(2, 2);
+        m[(0, 1)] = 1.0;
+        m[(1, 0)] = 1.0;
+        let v = sorted_eigs(&m);
+        assert!((v[0] - 1.0).abs() < 1e-12);
+        assert!((v[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = DMatrix::zeros(0, 0);
+        assert!(m.symmetric_eigen().eigenvalues.is_empty());
+    }
+}

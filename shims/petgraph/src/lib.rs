@@ -1,0 +1,134 @@
+//! Offline API-compatible shim for the small `petgraph` surface the
+//! workspace interop module uses: `graph::UnGraph` (add_node/add_edge/counts)
+//! and `visit::EdgeRef` over `edge_references()`.
+
+pub mod graph {
+    //! Adjacency-list graph types (undirected subset).
+
+    /// Index of a node in an [`UnGraph`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub struct NodeIndex(pub usize);
+
+    impl NodeIndex {
+        /// Creates an index.
+        pub fn new(i: usize) -> Self {
+            NodeIndex(i)
+        }
+        /// The underlying `usize`.
+        pub fn index(&self) -> usize {
+            self.0
+        }
+    }
+
+    /// Index of an edge in an [`UnGraph`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub struct EdgeIndex(pub usize);
+
+    /// An undirected graph with node weights `N` and edge weights `E`.
+    #[derive(Clone, Debug)]
+    pub struct UnGraph<N, E> {
+        nodes: Vec<N>,
+        edges: Vec<(usize, usize, E)>,
+    }
+
+    impl<N, E> Default for UnGraph<N, E> {
+        fn default() -> Self {
+            UnGraph {
+                nodes: Vec::new(),
+                edges: Vec::new(),
+            }
+        }
+    }
+
+    impl<N, E> UnGraph<N, E> {
+        /// Creates an empty graph.
+        pub fn new_undirected() -> Self {
+            Self::default()
+        }
+
+        /// Adds a node, returning its index.
+        pub fn add_node(&mut self, weight: N) -> NodeIndex {
+            self.nodes.push(weight);
+            NodeIndex(self.nodes.len() - 1)
+        }
+
+        /// Adds an edge between two nodes, returning its index.
+        pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) -> EdgeIndex {
+            assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len());
+            self.edges.push((a.0, b.0, weight));
+            EdgeIndex(self.edges.len() - 1)
+        }
+
+        /// Number of nodes.
+        pub fn node_count(&self) -> usize {
+            self.nodes.len()
+        }
+
+        /// Number of edges.
+        pub fn edge_count(&self) -> usize {
+            self.edges.len()
+        }
+
+        /// Iterates over edge references.
+        pub fn edge_references(&self) -> impl Iterator<Item = EdgeReference<'_, E>> {
+            self.edges.iter().map(|(s, t, w)| EdgeReference {
+                source: NodeIndex(*s),
+                target: NodeIndex(*t),
+                weight: w,
+            })
+        }
+    }
+
+    /// A borrowed edge.
+    #[derive(Clone, Copy, Debug)]
+    pub struct EdgeReference<'a, E> {
+        pub(crate) source: NodeIndex,
+        pub(crate) target: NodeIndex,
+        /// The edge weight.
+        pub weight: &'a E,
+    }
+
+    impl<'a, E> crate::visit::EdgeRef for EdgeReference<'a, E> {
+        type NodeId = NodeIndex;
+        fn source(&self) -> NodeIndex {
+            self.source
+        }
+        fn target(&self) -> NodeIndex {
+            self.target
+        }
+    }
+}
+
+pub mod visit {
+    //! Visitor traits (subset).
+
+    /// A reference to a graph edge.
+    pub trait EdgeRef {
+        /// Node identifier type.
+        type NodeId;
+        /// The edge's source node.
+        fn source(&self) -> Self::NodeId;
+        /// The edge's target node.
+        fn target(&self) -> Self::NodeId;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::graph::UnGraph;
+    use super::visit::EdgeRef;
+
+    #[test]
+    fn build_and_iterate() {
+        let mut g = UnGraph::<(), u32>::default();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 7);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        let e = g.edge_references().next().unwrap();
+        assert_eq!(e.source().index(), 0);
+        assert_eq!(e.target().index(), 1);
+        assert_eq!(*e.weight, 7);
+    }
+}

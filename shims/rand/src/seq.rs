@@ -1,0 +1,89 @@
+//! Slice sampling helpers (mirrors `rand::seq`).
+
+use crate::Rng;
+
+/// Extension trait for slices: shuffling and choosing random elements.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Partially shuffles the slice so that the first `amount` elements are a
+    /// uniform random sample, returning `(shuffled_prefix, rest)`.
+    fn partial_shuffle<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [Self::Item], &mut [Self::Item]);
+
+    /// Chooses one element uniformly at random (`None` on an empty slice).
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn partial_shuffle<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [T], &mut [T]) {
+        let amount = amount.min(self.len());
+        for i in 0..amount {
+            let j = rng.gen_range(i..self.len());
+            self.swap(i, j);
+        }
+        self.split_at_mut(amount)
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_shuffle_prefix_is_sampled() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut v: Vec<usize> = (0..20).collect();
+        let (prefix, rest) = v.partial_shuffle(&mut rng, 5);
+        assert_eq!(prefix.len(), 5);
+        assert_eq!(rest.len(), 15);
+    }
+
+    #[test]
+    fn choose_respects_emptiness() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let empty: [usize; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([1, 2, 3].choose(&mut rng).is_some());
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline shim for `rand_chacha`: a real ChaCha8 block function behind the
+//! `rand` shim's [`RngCore`]/[`SeedableRng`] traits. Output streams are
+//! deterministic and high-quality but not bit-compatible with upstream
+//! `rand_chacha` (the workspace only relies on determinism).
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha stream cipher based generator with 8 rounds.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key + counter + nonce state template.
+    state: [u32; 16],
+    /// Current output block.
+    block: [u32; 16],
+    /// Next word to serve from `block`.
+    word_idx: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the u64 seed into a 256-bit key with SplitMix64 (the same
+        // construction rand uses for seed_from_u64).
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        for i in 0..4 {
+            let k = next();
+            state[4 + 2 * i] = k as u32;
+            state[5 + 2 * i] = (k >> 32) as u32;
+        }
+        // words 12..13: block counter, 14..15: nonce (zero)
+        let mut rng = ChaCha8Rng {
+            state,
+            block: [0; 16],
+            word_idx: 16,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+impl ChaCha8Rng {
+    #[inline]
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double rounds
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, st)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*st);
+        }
+        // 64-bit counter in words 12/13
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.word_idx = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.word_idx >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word_idx];
+        self.word_idx += 1;
+        w
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+}
+
+/// 12-round variant (same core, more double rounds); provided because some
+/// code spells the type `ChaCha12Rng`.
+pub type ChaCha12Rng = ChaCha8Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..20).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..20).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..20).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        // bit balance on raw words
+        let ones: u32 = (0..1000).map(|_| rng.next_u32().count_ones()).sum();
+        let frac = ones as f64 / 32_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "bit fraction {frac}");
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let _ = a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

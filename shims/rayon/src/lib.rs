@@ -1,0 +1,334 @@
+//! Offline API-compatible shim for the subset of `rayon` this workspace
+//! uses: `par_iter` / `into_par_iter` over slices, vectors and ranges, with
+//! `map`, `filter`, `enumerate`, `reduce_with`, `for_each` and `collect`.
+//!
+//! Work really is parallel: each `map`/`for_each` stage splits its input into
+//! one contiguous chunk per available core and runs the chunks on
+//! `std::thread::scope` threads. Ordering guarantees match rayon's indexed
+//! iterators (results come back in input order), so reductions that depend on
+//! order-stable tie-breaking behave identically.
+//!
+//! The env var `RAYON_NUM_THREADS` (also honored by real rayon) caps the
+//! thread count; `RAYON_NUM_THREADS=1` forces sequential execution.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    //! The traits you `use rayon::prelude::*` for.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads used for parallel stages.
+pub fn current_num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Applies `f` to every element of `items` across scoped worker threads,
+/// returning outputs in input order.
+fn parallel_map_vec<T: Send, U: Send>(items: Vec<T>, f: &(impl Fn(T) -> U + Sync)) -> Vec<U> {
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    // Feed chunks to scoped threads; chunks are contiguous so concatenating
+    // per-thread outputs preserves input order.
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_size));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.extend(h.join().expect("rayon shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// A parallel iterator: a pipeline stage that can materialize its items.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Materializes all items, running pending `map` stages in parallel.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` in parallel.
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Keeps only items satisfying `pred`.
+    fn filter<F: Fn(&Self::Item) -> bool + Sync>(self, pred: F) -> Filter<Self, F> {
+        Filter { base: self, pred }
+    }
+
+    /// Pairs every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Reduces the items with `f`; `None` when empty. Reduction order is the
+    /// sequential left fold over the (input-ordered) items, so tie-breaking
+    /// closures behave deterministically.
+    fn reduce_with<F: Fn(Self::Item, Self::Item) -> Self::Item + Sync>(
+        self,
+        f: F,
+    ) -> Option<Self::Item> {
+        self.drive().into_iter().reduce(f)
+    }
+
+    /// Runs `f` on every item in parallel.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        let _ = parallel_map_vec(self.drive(), &|item| f(item));
+    }
+
+    /// Collects the items in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+
+    /// Sums the items.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.drive().into_iter().sum()
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+
+    /// Minimum by a comparison function (`None` when empty).
+    fn min_by<F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering + Sync>(
+        self,
+        cmp: F,
+    ) -> Option<Self::Item> {
+        self.drive().into_iter().min_by(|a, b| cmp(a, b))
+    }
+
+    /// Maximum by a comparison function (`None` when empty).
+    fn max_by<F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering + Sync>(
+        self,
+        cmp: F,
+    ) -> Option<Self::Item> {
+        self.drive().into_iter().max_by(|a, b| cmp(a, b))
+    }
+}
+
+/// Base parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Parallel `map` adapter.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    F: Fn(P::Item) -> U + Sync,
+{
+    type Item = U;
+    fn drive(self) -> Vec<U> {
+        parallel_map_vec(self.base.drive(), &self.f)
+    }
+}
+
+/// Parallel `filter` adapter (filtering itself is sequential; the upstream
+/// stages still run in parallel).
+pub struct Filter<P, F> {
+    base: P,
+    pred: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Sync,
+{
+    type Item = P::Item;
+    fn drive(self) -> Vec<P::Item> {
+        let pred = self.pred;
+        self.base.drive().into_iter().filter(|x| pred(x)).collect()
+    }
+}
+
+/// Parallel `enumerate` adapter.
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    fn drive(self) -> Vec<(usize, P::Item)> {
+        self.base.drive().into_iter().enumerate().collect()
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Iter = ParIter<&'a T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Iter = ParIter<&'a T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+macro_rules! impl_into_par_iter_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = ParIter<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_into_par_iter_range!(usize, u32, u64, i32, i64);
+
+/// `par_iter()` by reference (mirrors rayon's blanket impl).
+pub trait IntoParallelRefIterator<'data> {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a reference).
+    type Item: Send + 'data;
+    /// Borrowing conversion.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoParallelIterator,
+{
+    type Iter = <&'data C as IntoParallelIterator>::Iter;
+    type Item = <&'data C as IntoParallelIterator>::Item;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon shim join worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        let squared: Vec<usize> = v.into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squared[999], 999 * 999);
+    }
+
+    #[test]
+    fn enumerate_filter_reduce() {
+        let v: Vec<f64> = vec![3.0, 1.0, f64::NAN, 2.0];
+        let min = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, &x)| (i, x))
+            .filter(|(_, x)| !x.is_nan())
+            .reduce_with(|a, b| if b.1 < a.1 { b } else { a });
+        assert_eq!(min.map(|(i, _)| i), Some(1));
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let total: usize = (0usize..100).into_par_iter().map(|x| x).sum();
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn reduce_with_empty_is_none() {
+        let v: Vec<usize> = Vec::new();
+        assert!(v.into_par_iter().reduce_with(|a, _| a).is_none());
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

@@ -1,0 +1,23 @@
+//! Deserialization-side helper traits (mirrors `serde::de`).
+
+/// Trait for deserialization errors.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a display-able message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A simple string-message deserialization error.
+#[derive(Debug, Clone)]
+pub struct SimpleError(pub String);
+
+impl std::fmt::Display for SimpleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for SimpleError {}
+impl Error for SimpleError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        SimpleError(msg.to_string())
+    }
+}

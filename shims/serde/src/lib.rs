@@ -1,0 +1,341 @@
+//! Offline API-compatible shim for the subset of `serde` this workspace
+//! uses: the `Serialize`/`Deserialize` traits, derive macros, and a
+//! self-describing [`Value`] data model that `serde_json` (the sibling shim)
+//! serializes to and from JSON text.
+//!
+//! Unlike real serde, deserialization is value-based rather than
+//! visitor-based: a [`Deserializer`] produces a [`Value`] tree and typed
+//! deserialization walks it. This is slower but behaviorally equivalent for
+//! the JSON round-trips the workspace performs.
+
+pub mod de;
+pub mod ser;
+mod value;
+
+pub use value::{Number, Value};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A data structure that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A format that data structures can serialize themselves into.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type of this serializer.
+    type Error: ser::Error;
+    /// Struct-serialization helper returned by [`Serializer::serialize_struct`].
+    type SerializeStruct: ser::SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Sequence-serialization helper returned by [`Serializer::serialize_seq`].
+    type SerializeSeq: ser::SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Map-serialization helper returned by [`Serializer::serialize_map`].
+    type SerializeMap: ser::SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a floating-point number.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes the unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::Some(value)`.
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit enum variant as its name.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begins serializing a sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins serializing a struct.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begins serializing a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+}
+
+/// A data structure that can be deserialized from a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A format that data structures can be deserialized from. In this shim a
+/// deserializer simply yields a self-describing [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of this deserializer.
+    type Error: de::Error;
+    /// Produces the full value tree of the input.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Deserializes a `T` from an owned [`Value`] (helper used by generated code
+/// and by `serde_json`).
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, de::SimpleError> {
+    T::deserialize(value::ValueDeserializer::new(value))
+}
+
+/// Serializes a `T` into a [`Value`] (helper used by `serde_json`).
+pub fn to_value<T: ?Sized + Serialize>(value: &T) -> Result<Value, ser::SimpleError> {
+    value.serialize(value::ValueSerializer)
+}
+
+// ---------------------------------------------------------------------------
+// Serialize implementations for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self as f64)
+    }
+}
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_unit()
+    }
+}
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_some(v),
+            None => s.serialize_none(),
+        }
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq;
+        let mut seq = s.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq;
+        let mut seq = s.serialize_seq(Some(2))?;
+        seq.serialize_element(&self.0)?;
+        seq.serialize_element(&self.1)?;
+        seq.end()
+    }
+}
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeMap;
+        let mut map = s.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(&k.to_string(), v)?;
+        }
+        map.end()
+    }
+}
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        value::serialize_value(self, s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize implementations for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                let n = v.as_u64().ok_or_else(|| {
+                    <D::Error as de::Error>::custom(format!(
+                        "expected unsigned integer, got {}",
+                        v.kind()
+                    ))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    <D::Error as de::Error>::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                let n = v.as_i64().ok_or_else(|| {
+                    <D::Error as de::Error>::custom(format!(
+                        "expected integer, got {}",
+                        v.kind()
+                    ))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    <D::Error as de::Error>::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.deserialize_value()?;
+        v.as_f64()
+            .ok_or_else(|| <D::Error as de::Error>::custom("expected number"))
+    }
+}
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.deserialize_value()?;
+        v.as_bool()
+            .ok_or_else(|| <D::Error as de::Error>::custom("expected boolean"))
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.deserialize_value()?;
+        match v {
+            Value::Str(s) => Ok(s),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.deserialize_value()?;
+        match v {
+            Value::Null => Ok(None),
+            other => from_value::<T>(other)
+                .map(Some)
+                .map_err(<D::Error as de::Error>::custom),
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.deserialize_value()?;
+        match v {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|item| from_value::<T>(item).map_err(<D::Error as de::Error>::custom))
+                .collect(),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.deserialize_value()?;
+        match v {
+            Value::Seq(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                let a = from_value::<A>(it.next().expect("len 2"))
+                    .map_err(<D::Error as de::Error>::custom)?;
+                let b = from_value::<B>(it.next().expect("len 2"))
+                    .map_err(<D::Error as de::Error>::custom)?;
+                Ok((a, b))
+            }
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected 2-element sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_value()
+    }
+}

@@ -1,0 +1,73 @@
+//! Serialization-side helper traits (mirrors `serde::ser`).
+
+use crate::Serialize;
+
+/// Trait for serialization errors.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a display-able message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A simple string-message serialization error.
+#[derive(Debug, Clone)]
+pub struct SimpleError(pub String);
+
+impl std::fmt::Display for SimpleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for SimpleError {}
+impl Error for SimpleError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        SimpleError(msg.to_string())
+    }
+}
+
+/// Returned from [`Serializer::serialize_struct`].
+pub trait SerializeStruct {
+    /// Output type, matching the parent serializer.
+    type Ok;
+    /// Error type, matching the parent serializer.
+    type Error: Error;
+    /// Serializes one named field.
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Skips a field (emitted by `#[serde(skip)]`).
+    fn skip_field(&mut self, _key: &'static str) -> Result<(), Self::Error> {
+        Ok(())
+    }
+    /// Finishes the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Returned from [`Serializer::serialize_seq`].
+pub trait SerializeSeq {
+    /// Output type, matching the parent serializer.
+    type Ok;
+    /// Error type, matching the parent serializer.
+    type Error: Error;
+    /// Serializes one element.
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Returned from [`Serializer::serialize_map`].
+pub trait SerializeMap {
+    /// Output type, matching the parent serializer.
+    type Ok;
+    /// Error type, matching the parent serializer.
+    type Error: Error;
+    /// Serializes one key-value entry (keys must be strings in this shim).
+    fn serialize_entry<V: ?Sized + Serialize>(
+        &mut self,
+        key: &str,
+        value: &V,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}

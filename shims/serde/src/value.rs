@@ -1,0 +1,344 @@
+//! The self-describing value tree this shim serializes through, plus the
+//! [`ValueSerializer`] / [`ValueDeserializer`] bridging it to the trait API.
+
+use crate::{de, ser, Deserializer, Serialize, Serializer};
+
+/// A JSON-shaped number.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point.
+    F64(f64),
+}
+
+/// A self-describing value tree (the shim's equivalent of
+/// `serde_json::Value`). Maps preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Null / `None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number.
+    Num(Number),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// String-keyed map in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(Number::U64(n)) => Some(*n),
+            Value::Num(Number::I64(n)) if *n >= 0 => Some(*n as u64),
+            Value::Num(Number::F64(f))
+                if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+            {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integral number in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(Number::I64(n)) => Some(*n),
+            Value::Num(Number::U64(n)) if *n <= i64::MAX as u64 => Some(*n as i64),
+            Value::Num(Number::F64(f))
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(Number::U64(n)) => Some(*n as f64),
+            Value::Num(Number::I64(n)) => Some(*n as f64),
+            Value::Num(Number::F64(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the value for `key` from a map value, replacing it
+    /// with nothing. Returns [`Value::Null`] when absent (used by generated
+    /// `Deserialize` impls: `Option` fields treat null as `None`).
+    pub fn take(&mut self, key: &str) -> Value {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .position(|(k, _)| k == key)
+                .map(|i| entries.remove(i).1)
+                .unwrap_or(Value::Null),
+            _ => Value::Null,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Seq(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_i64() == i64::try_from(*other).ok()
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+impl_value_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+/// A [`Serializer`] that builds a [`Value`] tree.
+pub struct ValueSerializer;
+
+/// Struct/map builder for [`ValueSerializer`].
+pub struct ValueMapBuilder {
+    entries: Vec<(String, Value)>,
+}
+
+/// Sequence builder for [`ValueSerializer`].
+pub struct ValueSeqBuilder {
+    items: Vec<Value>,
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ser::SimpleError;
+    type SerializeStruct = ValueMapBuilder;
+    type SerializeSeq = ValueSeqBuilder;
+    type SerializeMap = ValueMapBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Self::Error> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, Self::Error> {
+        Ok(Value::Num(Number::U64(v)))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value, Self::Error> {
+        Ok(Value::Num(Number::I64(v)))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value, Self::Error> {
+        Ok(Value::Num(Number::F64(v)))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value, Self::Error> {
+        Ok(Value::Str(v.to_string()))
+    }
+    fn serialize_unit(self) -> Result<Value, Self::Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_none(self) -> Result<Value, Self::Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Value, Self::Error> {
+        value.serialize(ValueSerializer)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value, Self::Error> {
+        Ok(Value::Str(variant.to_string()))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<ValueSeqBuilder, Self::Error> {
+        Ok(ValueSeqBuilder {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<ValueMapBuilder, Self::Error> {
+        Ok(ValueMapBuilder {
+            entries: Vec::with_capacity(len),
+        })
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<ValueMapBuilder, Self::Error> {
+        Ok(ValueMapBuilder {
+            entries: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+}
+
+impl ser::SerializeStruct for ValueMapBuilder {
+    type Ok = Value;
+    type Error = ser::SimpleError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error> {
+        let v = value.serialize(ValueSerializer)?;
+        self.entries.push((key.to_string(), v));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Self::Error> {
+        Ok(Value::Map(self.entries))
+    }
+}
+
+impl ser::SerializeMap for ValueMapBuilder {
+    type Ok = Value;
+    type Error = ser::SimpleError;
+    fn serialize_entry<V: ?Sized + Serialize>(
+        &mut self,
+        key: &str,
+        value: &V,
+    ) -> Result<(), Self::Error> {
+        let v = value.serialize(ValueSerializer)?;
+        self.entries.push((key.to_string(), v));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Self::Error> {
+        Ok(Value::Map(self.entries))
+    }
+}
+
+impl ser::SerializeSeq for ValueSeqBuilder {
+    type Ok = Value;
+    type Error = ser::SimpleError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Self::Error> {
+        Ok(Value::Seq(self.items))
+    }
+}
+
+/// A [`Deserializer`] over an owned [`Value`].
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wraps a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = de::SimpleError;
+    fn deserialize_value(self) -> Result<Value, Self::Error> {
+        Ok(self.value)
+    }
+}
+
+/// Re-serializes a [`Value`] tree into an arbitrary serializer (used by the
+/// `Serialize` impl for `Value`).
+pub fn serialize_value<S: Serializer>(value: &Value, s: S) -> Result<S::Ok, S::Error> {
+    match value {
+        Value::Null => s.serialize_none(),
+        Value::Bool(b) => s.serialize_bool(*b),
+        Value::Num(Number::U64(n)) => s.serialize_u64(*n),
+        Value::Num(Number::I64(n)) => s.serialize_i64(*n),
+        Value::Num(Number::F64(f)) => s.serialize_f64(*f),
+        Value::Str(st) => s.serialize_str(st),
+        Value::Seq(items) => {
+            use ser::SerializeSeq;
+            let mut seq = s.serialize_seq(Some(items.len()))?;
+            for item in items {
+                seq.serialize_element(item)?;
+            }
+            seq.end()
+        }
+        Value::Map(entries) => {
+            use ser::SerializeMap;
+            let mut map = s.serialize_map(Some(entries.len()))?;
+            for (k, v) in entries {
+                map.serialize_entry(k, v)?;
+            }
+            map.end()
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Supports the subset of shapes this workspace derives on:
+//! plain structs with named fields (optionally `#[serde(skip)]` per field)
+//! and enums whose variants are all unit variants. No generics.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+use parse::{parse_item, Item};
+
+/// Derives `serde::Serialize` for a named-field struct or unit-variant enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            let active: Vec<_> = fields.iter().filter(|f| !f.skip).collect();
+            body.push_str(&format!(
+                "let mut __st = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {}usize)?;\n",
+                active.len()
+            ));
+            for f in &active {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{0}\", &self.{0})?;\n",
+                    f.name
+                ));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__st)\n");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (i, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {i}u32, \"{vname}\"),\n"
+                    )),
+                    Some(fields) => {
+                        // Externally tagged: {"Variant": {fields...}}
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::new();
+                        inner.push_str("let mut __fields = ::std::vec::Vec::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "__fields.push((\"{0}\".to_string(), ::serde::to_value({0}).map_err(|__e| <__S::Error as ::serde::ser::Error>::custom(__e))?));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n{inner}\
+                             let __val = ::serde::Value::Map(__fields);\n\
+                             let mut __map = ::serde::Serializer::serialize_map(__serializer, ::core::option::Option::Some(1usize))?;\n\
+                             ::serde::ser::SerializeMap::serialize_entry(&mut __map, \"{vname}\", &__val)?;\n\
+                             ::serde::ser::SerializeMap::end(__map)\n}}\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    };
+    src.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a named-field struct or unit-variant enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            body.push_str("let mut __v = ::serde::Deserializer::deserialize_value(__d)?;\n");
+            body.push_str(&format!(
+                "if __v.as_map().is_none() {{\n\
+                 return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                 ::std::format!(\"expected map for struct {name}, got {{}}\", __v.kind())));\n}}\n"
+            ));
+            body.push_str(&format!("::core::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                if f.skip {
+                    body.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else if let Some(default) = &f.default {
+                    let default_expr = match default {
+                        None => "::core::default::Default::default()".to_string(),
+                        Some(path) => format!("{path}()"),
+                    };
+                    body.push_str(&format!(
+                        "{0}: {{\n\
+                         let __f = __v.take(\"{0}\");\n\
+                         if ::core::matches!(__f, ::serde::Value::Null) {{ {default_expr} }}\n\
+                         else {{ ::serde::from_value(__f).map_err(|__e| \
+                         <__D::Error as ::serde::de::Error>::custom(\
+                         ::std::format!(\"field `{0}` of {name}: {{}}\", __e)))? }}\n\
+                         }},\n",
+                        f.name
+                    ));
+                } else {
+                    body.push_str(&format!(
+                        "{0}: ::serde::from_value(__v.take(\"{0}\")).map_err(|__e| \
+                         <__D::Error as ::serde::de::Error>::custom(\
+                         ::std::format!(\"field `{0}` of {name}: {{}}\", __e)))?,\n",
+                        f.name
+                    ));
+                }
+            }
+            body.push_str("})\n");
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n{body}}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Some(fields) => {
+                        let mut inner = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inner.push_str(&format!(
+                                    "{}: ::core::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inner.push_str(&format!(
+                                    "{0}: ::serde::from_value(__inner.take(\"{0}\")).map_err(|__e| \
+                                     <__D::Error as ::serde::de::Error>::custom(\
+                                     ::std::format!(\"field `{0}` of {name}::{vname}: {{}}\", __e)))?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let mut __inner = __val;\n\
+                             ::core::result::Result::Ok({name}::{vname} {{\n{inner}}})\n}}\n",
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 let __v = ::serde::Deserializer::deserialize_value(__d)?;\n\
+                 if let ::core::option::Option::Some(__s) = __v.as_str() {{\n\
+                 return match __s {{\n{unit_arms}\
+                 __other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n}};\n}}\n\
+                 if let ::serde::Value::Map(__entries) = __v {{\n\
+                 if __entries.len() == 1 {{\n\
+                 let (__tag, __val) = __entries.into_iter().next().expect(\"len 1\");\n\
+                 #[allow(unused_mut, unused_variables)]\n\
+                 return match __tag.as_str() {{\n{data_arms}\
+                 __other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n}};\n}}\n\
+                 return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 \"expected single-key map for enum {name}\"));\n}}\n\
+                 ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 \"expected string or map for enum {name}\"))\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    src.parse().expect("generated Deserialize impl parses")
+}
+
+pub(crate) fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+pub(crate) fn is_group(tt: &TokenTree, delim: Delimiter) -> bool {
+    matches!(tt, TokenTree::Group(g) if g.delimiter() == delim)
+}

@@ -1,0 +1,216 @@
+//! A tiny recursive-descent parser over `proc_macro::TokenTree` for the
+//! restricted item grammar the shim derives support.
+
+use crate::{is_group, is_punct};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A named struct field.
+pub struct Field {
+    pub name: String,
+    /// `#[serde(skip)]` was present on the field.
+    pub skip: bool,
+    /// `#[serde(default)]` / `#[serde(default = "path")]`: `Some(None)` uses
+    /// the field type's `Default`, `Some(Some(path))` calls `path()`.
+    pub default: Option<Option<String>>,
+}
+
+/// An enum variant: unit (`A`) or named-field (`A { x: T }`).
+pub struct EnumVariant {
+    pub name: String,
+    /// `None` for unit variants, field names for struct variants.
+    pub fields: Option<Vec<Field>>,
+}
+
+/// A parsed derive input item.
+pub enum Item {
+    /// `struct Name { fields... }`
+    Struct { name: String, fields: Vec<Field> },
+    /// `enum Name { Variant, Variant { .. }, ... }`
+    Enum {
+        name: String,
+        variants: Vec<EnumVariant>,
+    },
+}
+
+/// The serde attributes found on one field (or item).
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    default: Option<Option<String>>,
+}
+
+/// Consumes leading attributes from `toks[*idx..]`, collecting the supported
+/// `#[serde(...)]` arguments (`skip`, `default`, `default = "path"`).
+fn eat_attributes(toks: &[TokenTree], idx: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while *idx < toks.len() && is_punct(&toks[*idx], '#') {
+        *idx += 1;
+        if *idx < toks.len() && is_group(&toks[*idx], Delimiter::Bracket) {
+            if let TokenTree::Group(g) = &toks[*idx] {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(attr_name)) = inner.first() {
+                    if attr_name.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            let body = args.stream().to_string();
+                            for part in body.split(',') {
+                                let part = part.trim();
+                                if part == "skip" {
+                                    attrs.skip = true;
+                                } else if part == "default" {
+                                    attrs.default = Some(None);
+                                } else if let Some(path) = part
+                                    .strip_prefix("default")
+                                    .map(str::trim_start)
+                                    .and_then(|rest| rest.strip_prefix('='))
+                                {
+                                    attrs.default =
+                                        Some(Some(path.trim().trim_matches('"').to_string()));
+                                } else {
+                                    panic!(
+                                        "serde shim derive: unsupported serde attribute \
+                                         `{part}` (only `skip` and `default` are supported)"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            *idx += 1;
+        }
+    }
+    attrs
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn eat_visibility(toks: &[TokenTree], idx: &mut usize) {
+    if *idx < toks.len() {
+        if let TokenTree::Ident(i) = &toks[*idx] {
+            if i.to_string() == "pub" {
+                *idx += 1;
+                if *idx < toks.len() && is_group(&toks[*idx], Delimiter::Parenthesis) {
+                    *idx += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses the derive input into an [`Item`].
+pub fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0usize;
+    eat_attributes(&toks, &mut idx);
+    eat_visibility(&toks, &mut idx);
+
+    let keyword = match toks.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    idx += 1;
+    let name = match toks.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    idx += 1;
+    if idx < toks.len() && is_punct(&toks[idx], '<') {
+        panic!("serde shim derive: generic types are not supported (type {name})");
+    }
+    let body = match toks.get(idx) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde shim derive: expected braced body for {name} \
+             (tuple/unit items unsupported), got {other:?}"
+        ),
+    };
+
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut idx = 0usize;
+    let mut fields = Vec::new();
+    while idx < toks.len() {
+        let attrs = eat_attributes(&toks, &mut idx);
+        eat_visibility(&toks, &mut idx);
+        let fname = match toks.get(idx) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        idx += 1;
+        assert!(
+            idx < toks.len() && is_punct(&toks[idx], ':'),
+            "serde shim derive: expected `:` after field `{fname}` \
+             (tuple structs are unsupported)"
+        );
+        idx += 1;
+        // Skip the type: consume until a top-level comma. Groups are atomic
+        // token trees, but `<...>` generics are flat punctuation, so track
+        // angle-bracket depth (`->` cannot appear in field types).
+        let mut angle_depth = 0i32;
+        while idx < toks.len() {
+            match &toks[idx] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    idx += 1;
+                    break;
+                }
+                _ => {}
+            }
+            idx += 1;
+        }
+        fields.push(Field {
+            name: fname,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<EnumVariant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut idx = 0usize;
+    let mut variants = Vec::new();
+    while idx < toks.len() {
+        eat_attributes(&toks, &mut idx);
+        let vname = match toks.get(idx) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        idx += 1;
+        let fields = match toks.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                idx += 1;
+                Some(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => panic!(
+                "serde shim derive: tuple variant `{vname}` is unsupported \
+                 (use named fields)"
+            ),
+            _ => None,
+        };
+        if matches!(toks.get(idx), Some(tt) if is_punct(tt, ',')) {
+            idx += 1;
+        }
+        variants.push(EnumVariant {
+            name: vname,
+            fields,
+        });
+    }
+    variants
+}

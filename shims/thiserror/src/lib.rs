@@ -1,0 +1,5 @@
+//! Offline API-compatible shim for `thiserror`: re-exports the `Error`
+//! derive macro, which generates `std::fmt::Display` (from `#[error("...")]`
+//! attributes) and `std::error::Error` implementations.
+
+pub use thiserror_impl::Error;

@@ -1,0 +1,240 @@
+//! `#[derive(Error)]` for the offline `thiserror` shim.
+//!
+//! Supports enums whose variants carry `#[error("format string")]`
+//! attributes. The format string may reference named fields (`{field}`) for
+//! struct variants or positional fields (`{0}`) for tuple variants, exactly
+//! like real thiserror. `#[from]`/`#[source]` are not supported (unused in
+//! this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    /// The `#[error("...")]` format literal, including quotes.
+    format: String,
+    /// Field shape: named field list, tuple arity, or unit.
+    fields: FieldShape,
+}
+
+enum FieldShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `Display` + `std::error::Error` from `#[error("...")]` attributes.
+#[proc_macro_derive(Error, attributes(error))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0usize;
+    skip_attributes(&toks, &mut idx);
+    skip_visibility(&toks, &mut idx);
+    match toks.get(idx) {
+        Some(TokenTree::Ident(i)) if i.to_string() == "enum" => {}
+        other => panic!("thiserror shim: only enums are supported, got {other:?}"),
+    }
+    idx += 1;
+    let name = match toks.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("thiserror shim: expected enum name, got {other:?}"),
+    };
+    idx += 1;
+    let body = match toks.get(idx) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("thiserror shim: expected enum body, got {other:?}"),
+    };
+
+    let variants = parse_variants(body);
+    let mut arms = String::new();
+    for v in &variants {
+        match &v.fields {
+            FieldShape::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{v_name} => ::std::write!(__f, {fmt}),\n",
+                    v_name = v.name,
+                    fmt = v.format
+                ));
+            }
+            FieldShape::Tuple(arity) => {
+                let binders: Vec<String> = (0..*arity).map(|i| format!("__a{i}")).collect();
+                // `{0}`, `{1}`... in the format string become positional
+                // arguments in binder order.
+                arms.push_str(&format!(
+                    "{name}::{v_name}({binds}) => ::std::write!(__f, {fmt}, {args}),\n",
+                    v_name = v.name,
+                    binds = binders.join(", "),
+                    fmt = v.format,
+                    args = binders.join(", ")
+                ));
+            }
+            FieldShape::Named(fields) => {
+                // Named fields bind directly, so `{field}` inline captures
+                // resolve against the match bindings.
+                arms.push_str(&format!(
+                    "{name}::{v_name} {{ {binds} }} => ::std::write!(__f, {fmt}),\n",
+                    v_name = v.name,
+                    binds = fields.join(", "),
+                    fmt = v.format
+                ));
+            }
+        }
+    }
+
+    let src = format!(
+        "impl ::std::fmt::Display for {name} {{\n\
+         fn fmt(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+         match self {{\n{arms}}}\n}}\n}}\n\
+         impl ::std::error::Error for {name} {{}}\n"
+    );
+    src.parse().expect("generated Error impl parses")
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn skip_attributes(toks: &[TokenTree], idx: &mut usize) {
+    while *idx < toks.len() && is_punct(&toks[*idx], '#') {
+        *idx += 1;
+        if matches!(toks.get(*idx), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *idx += 1;
+        }
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], idx: &mut usize) {
+    if matches!(toks.get(*idx), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *idx += 1;
+        if matches!(toks.get(*idx), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *idx += 1;
+        }
+    }
+}
+
+/// Extracts the `#[error("...")]` literal from leading attributes, skipping
+/// doc comments and other attributes.
+fn take_error_attr(toks: &[TokenTree], idx: &mut usize) -> Option<String> {
+    let mut format = None;
+    while *idx < toks.len() && is_punct(&toks[*idx], '#') {
+        *idx += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(*idx) {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(i)) = inner.first() {
+                    if i.to_string() == "error" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            format = Some(args.stream().to_string());
+                        }
+                    }
+                }
+                *idx += 1;
+            }
+        }
+    }
+    format
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut idx = 0usize;
+    let mut variants = Vec::new();
+    while idx < toks.len() {
+        let format = take_error_attr(&toks, &mut idx);
+        let vname = match toks.get(idx) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("thiserror shim: expected variant name, got {other:?}"),
+        };
+        idx += 1;
+        let format = format.unwrap_or_else(|| {
+            panic!("thiserror shim: variant `{vname}` is missing #[error(\"...\")]")
+        });
+        let fields = match toks.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                idx += 1;
+                FieldShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                idx += 1;
+                FieldShape::Named(named_field_names(g.stream()))
+            }
+            _ => FieldShape::Unit,
+        };
+        if matches!(toks.get(idx), Some(tt) if is_punct(tt, ',')) {
+            idx += 1;
+        }
+        variants.push(Variant {
+            name: vname,
+            format,
+            fields,
+        });
+    }
+    variants
+}
+
+/// Counts tuple-variant fields: top-level commas + 1 (angle-bracket aware).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for tt in &toks {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Collects named-variant field names (skipping attrs, vis and types).
+fn named_field_names(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut idx = 0usize;
+    let mut names = Vec::new();
+    while idx < toks.len() {
+        skip_attributes(&toks, &mut idx);
+        skip_visibility(&toks, &mut idx);
+        let fname = match toks.get(idx) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("thiserror shim: expected field name, got {other:?}"),
+        };
+        idx += 1;
+        assert!(
+            matches!(toks.get(idx), Some(tt) if is_punct(tt, ':')),
+            "thiserror shim: expected `:` after field `{fname}`"
+        );
+        idx += 1;
+        let mut angle_depth = 0i32;
+        while idx < toks.len() {
+            match &toks[idx] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    idx += 1;
+                    break;
+                }
+                _ => {}
+            }
+            idx += 1;
+        }
+        names.push(fname);
+    }
+    names
+}

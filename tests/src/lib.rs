@@ -36,12 +36,26 @@ pub fn small_test_graphs() -> Vec<(&'static str, Graph)> {
         ),
         (
             "c-plus-7",
-            wx_constructions::families::complete_plus_graph(7).unwrap().0,
+            wx_constructions::families::complete_plus_graph(7)
+                .unwrap()
+                .0,
         ),
-        ("cycle-12", Graph::from_edges(12, (0..12).map(|i| (i, (i + 1) % 12))).unwrap()),
-        ("grid-3x4", wx_constructions::families::grid_graph(3, 4).unwrap()),
-        ("hypercube-3", wx_constructions::families::hypercube_graph(3).unwrap()),
-        ("tree-2-3", wx_constructions::families::complete_k_ary_tree(2, 3).unwrap()),
+        (
+            "cycle-12",
+            Graph::from_edges(12, (0..12).map(|i| (i, (i + 1) % 12))).unwrap(),
+        ),
+        (
+            "grid-3x4",
+            wx_constructions::families::grid_graph(3, 4).unwrap(),
+        ),
+        (
+            "hypercube-3",
+            wx_constructions::families::hypercube_graph(3).unwrap(),
+        ),
+        (
+            "tree-2-3",
+            wx_constructions::families::complete_k_ary_tree(2, 3).unwrap(),
+        ),
     ]
 }
 

@@ -25,19 +25,24 @@ fn collision_free_protocols_complete_everywhere() {
             "expander",
             wx_constructions::families::random_regular_graph(96, 4, 1).unwrap(),
         ),
-        ("grid", wx_constructions::families::grid_graph(8, 8).unwrap()),
+        (
+            "grid",
+            wx_constructions::families::grid_graph(8, 8).unwrap(),
+        ),
         (
             "c-plus",
-            wx_constructions::families::complete_plus_graph(10).unwrap().0,
+            wx_constructions::families::complete_plus_graph(10)
+                .unwrap()
+                .0,
         ),
-        (
-            "chain",
-            BroadcastChain::new(8, 2, 1).unwrap().graph,
-        ),
+        ("chain", BroadcastChain::new(8, 2, 1).unwrap().graph),
     ];
     for (name, g) in graphs {
         for (pname, mut proto) in [
-            ("round-robin", Box::new(RoundRobin::default()) as Box<dyn BroadcastProtocol>),
+            (
+                "round-robin",
+                Box::new(RoundRobin::default()) as Box<dyn BroadcastProtocol>,
+            ),
             ("decay", Box::new(DecayProtocol::default())),
             ("spokesman", Box::new(SpokesmanBroadcast::default())),
         ] {
@@ -47,10 +52,7 @@ fn collision_free_protocols_complete_everywhere() {
                 "{pname} failed to complete on {name}"
             );
             // monotone coverage curve
-            assert!(outcome
-                .informed_per_round
-                .windows(2)
-                .all(|w| w[1] >= w[0]));
+            assert!(outcome.informed_per_round.windows(2).all(|w| w[1] >= w[0]));
         }
     }
 }
@@ -134,13 +136,21 @@ fn broadcast_time_on_chain_grows_with_log_of_stage_size() {
     for s in [8usize, 64, 256] {
         let chain = BroadcastChain::new(s, stages, 13).unwrap();
         let exp = ChainExperiment::new(&chain, cfg.clone());
-        // decay is the protocol the lower bound is usually stated against
-        let run = exp.run(&mut DecayProtocol::default(), 5);
-        times.push(run.completed_at.expect("decay completes") as f64);
+        // decay is the protocol the lower bound is usually stated against;
+        // one run is noisy, so compare medians over several seeds
+        let mut completions: Vec<usize> = (0..7u64)
+            .map(|seed| {
+                exp.run(&mut DecayProtocol::default(), 5 + seed)
+                    .completed_at
+                    .expect("decay completes")
+            })
+            .collect();
+        completions.sort_unstable();
+        times.push(completions[completions.len() / 2] as f64);
     }
     assert!(
         times[1] > times[0] && times[2] > times[1],
-        "broadcast times {times:?} do not grow with s"
+        "median broadcast times {times:?} do not grow with s"
     );
 }
 

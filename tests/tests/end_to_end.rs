@@ -20,7 +20,10 @@ fn analysis_runs_on_every_family_and_observation_2_1_always_holds() {
             "bad-unique",
             BadUniqueExpander::new(12, 6, 4).unwrap().graph.to_graph(),
         ),
-        ("broadcast-chain", BroadcastChain::new(4, 2, 3).unwrap().graph),
+        (
+            "broadcast-chain",
+            BroadcastChain::new(4, 2, 3).unwrap().graph,
+        ),
     ];
     for (name, g) in graphs {
         let analysis = GraphAnalysis::run(&g, &AnalysisConfig::light());
@@ -30,8 +33,7 @@ fn analysis_runs_on_every_family_and_observation_2_1_always_holds() {
             analysis.summary()
         );
         assert!(
-            analysis.profile.wireless.value >= 0.0
-                && analysis.profile.ordinary.value.is_finite(),
+            analysis.profile.wireless.value >= 0.0 && analysis.profile.ordinary.value.is_finite(),
             "{name}: nonsensical profile {}",
             analysis.summary()
         );

@@ -40,8 +40,15 @@ fn lemma_3_1_spectral_bound_on_regular_graphs() {
         if g.num_vertices() > 16 {
             continue;
         }
-        let beta_u = wx_expansion::unique::exact(&g, alpha_u).unwrap().value;
-        let beta = wx_expansion::ordinary::exact(&g, alpha_u).unwrap().value;
+        let engine = wx_expansion::MeasurementEngine::builder()
+            .alpha(alpha_u)
+            .strategy(wx_expansion::MeasureStrategy::Exact)
+            .build();
+        let beta_u = engine
+            .measure(&g, &wx_expansion::UniqueNeighbor)
+            .unwrap()
+            .value;
+        let beta = engine.measure(&g, &wx_expansion::Ordinary).unwrap().value;
         let check = lemma_3_1_graph(&g, alpha_u, beta_u, beta, 1)
             .unwrap_or_else(|| panic!("{name} should be regular"));
         assert!(check.holds, "{name}: Lemma 3.1 violated: {check:?}");
@@ -62,9 +69,7 @@ fn lemma_3_3_gadget_is_tight_for_unique_expansion() {
         );
         // Lemma 3.2's lower bound 2β − Δ is therefore met with equality.
         // And the wireless expansion is at least max{2β − Δ, Δ/2} (Remark 1):
-        let cert = gadget
-            .alternating_certificate()
-            .max(measured);
+        let cert = gadget.alternating_certificate().max(measured);
         assert!(
             cert + 1e-9 >= ((2 * beta) as f64 - delta as f64).max(delta as f64 / 2.0),
             "Δ={delta}, β={beta}: wireless certificate {cert} below Remark-1 bound"

@@ -28,10 +28,18 @@ fn sandwich_holds_for_graph_level_minima_small_graphs() {
         if g.num_vertices() > 12 {
             continue;
         }
-        let alpha = 0.5;
-        let beta = wx_expansion::ordinary::exact(&g, alpha).unwrap().value;
-        let beta_w = wx_expansion::wireless::exact(&g, alpha).unwrap().value;
-        let beta_u = wx_expansion::unique::exact(&g, alpha).unwrap().value;
+        let engine = wx_expansion::MeasurementEngine::builder()
+            .alpha(0.5)
+            .strategy(wx_expansion::MeasureStrategy::Exact)
+            .build();
+        let triple = engine
+            .measure_all(&g, &wx_expansion::Wireless::default())
+            .unwrap();
+        let (beta, beta_w, beta_u) = (
+            triple.ordinary.value,
+            triple.wireless.value,
+            triple.unique.value,
+        );
         assert!(
             beta + 1e-9 >= beta_w && beta_w + 1e-9 >= beta_u,
             "{name}: graph-level sandwich violated: β={beta} βw={beta_w} βu={beta_u}"

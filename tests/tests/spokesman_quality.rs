@@ -75,10 +75,15 @@ fn deterministic_guarantees_hold_on_structured_instances() {
     // Core graph, bad-unique gadget, skewed instances: the Appendix A solvers
     // must meet their stated bounds on all of them.
     let instances: Vec<(&str, wx_graph::BipartiteGraph)> = vec![
-        ("core-32", wx_constructions::CoreGraph::new(32).unwrap().graph),
+        (
+            "core-32",
+            wx_constructions::CoreGraph::new(32).unwrap().graph,
+        ),
         (
             "gadget-24-8-5",
-            wx_constructions::BadUniqueExpander::new(24, 8, 5).unwrap().graph,
+            wx_constructions::BadUniqueExpander::new(24, 8, 5)
+                .unwrap()
+                .graph,
         ),
         (
             "random-left-regular",
@@ -86,12 +91,15 @@ fn deterministic_guarantees_hold_on_structured_instances() {
         ),
     ];
     for (name, g) in instances {
-        let gamma = (0..g.num_right()).filter(|&w| g.right_degree(w) > 0).count();
+        let gamma = (0..g.num_right())
+            .filter(|&w| g.right_degree(w) > 0)
+            .count();
         let delta_n = g.num_edges() as f64 / gamma.max(1) as f64;
 
         let partition = PartitionSolver::default().solve(&g, 1);
         assert!(
-            partition.unique_coverage as f64 >= bounds::lemma_a_13_guarantee(gamma, delta_n).floor(),
+            partition.unique_coverage as f64
+                >= bounds::lemma_a_13_guarantee(gamma, delta_n).floor(),
             "{name}: partition below Lemma A.13"
         );
 
@@ -104,7 +112,8 @@ fn deterministic_guarantees_hold_on_structured_instances() {
 
         let low_degree = PartitionSolver::low_degree_once().solve(&g, 1);
         assert!(
-            low_degree.unique_coverage as f64 >= bounds::lemma_a_3_guarantee(gamma, delta_n).floor(),
+            low_degree.unique_coverage as f64
+                >= bounds::lemma_a_3_guarantee(gamma, delta_n).floor(),
             "{name}: single-pass partition below Lemma A.3"
         );
 
@@ -123,10 +132,12 @@ fn paper_solvers_dominate_the_baseline_on_low_degree_wide_instances() {
     // the baseline's |N|/log|S|. On such instances the portfolio should
     // cover at least as much as the baseline actually achieves.
     for seed in 0..5u64 {
-        let g = wx_constructions::families::random_left_regular_bipartite(200, 400, 2, seed)
-            .unwrap();
+        let g =
+            wx_constructions::families::random_left_regular_bipartite(200, 400, 2, seed).unwrap();
         let portfolio = PortfolioSolver::default().solve(&g, seed).unique_coverage;
-        let baseline = ChlamtacWeinsteinSolver::default().solve(&g, seed).unique_coverage;
+        let baseline = ChlamtacWeinsteinSolver::default()
+            .solve(&g, seed)
+            .unique_coverage;
         // Both solvers are randomized (and the portfolio re-seeds its members
         // internally), so allow a small noise margin rather than demanding
         // strict dominance on every seed.
@@ -138,7 +149,9 @@ fn paper_solvers_dominate_the_baseline_on_low_degree_wide_instances() {
         // baseline's log|S| on this wide, sparse instance (the constants in
         // the explicit guarantees differ, so we compare the loss factors —
         // which is what Section 4.2.1 claims).
-        let gamma = (0..g.num_right()).filter(|&w| g.right_degree(w) > 0).count();
+        let gamma = (0..g.num_right())
+            .filter(|&w| g.right_degree(w) > 0)
+            .count();
         let delta_n = g.num_edges() as f64 / gamma as f64;
         assert!((2.0 * delta_n).log2() < (g.num_left() as f64).log2());
     }

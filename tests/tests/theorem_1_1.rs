@@ -43,8 +43,14 @@ fn portfolio_check_on_expander_families() {
             "random-regular-200-10",
             wx_constructions::families::random_regular_graph(200, 10, 5).unwrap(),
         ),
-        ("hypercube-7", wx_constructions::families::hypercube_graph(7).unwrap()),
-        ("margulis-10", wx_constructions::families::margulis_graph(10).unwrap()),
+        (
+            "hypercube-7",
+            wx_constructions::families::hypercube_graph(7).unwrap(),
+        ),
+        (
+            "margulis-10",
+            wx_constructions::families::margulis_graph(10).unwrap(),
+        ),
     ];
     for (name, g) in graphs {
         let pool = CandidateSets::generate(&g, &SamplerConfig::light(0.5), 11);
@@ -67,8 +73,14 @@ fn arboricity_corollary_grids_and_trees_lose_only_a_constant() {
     // so βw ≥ β/c for a small constant c. We check the measured graph-level
     // ratio is below 4.
     let graphs: Vec<(&str, wx_graph::Graph)> = vec![
-        ("grid-10x10", wx_constructions::families::grid_graph(10, 10).unwrap()),
-        ("torus-8x8", wx_constructions::families::torus_graph(8, 8).unwrap()),
+        (
+            "grid-10x10",
+            wx_constructions::families::grid_graph(10, 10).unwrap(),
+        ),
+        (
+            "torus-8x8",
+            wx_constructions::families::torus_graph(8, 8).unwrap(),
+        ),
         (
             "binary-tree-63",
             wx_constructions::families::complete_k_ary_tree(2, 6).unwrap(),
@@ -95,12 +107,13 @@ fn lemma_4_2_and_4_3_bounds_hold_on_bipartite_views() {
     for seed in 0..5u64 {
         let g = wx_constructions::families::random_left_regular_bipartite(24, 48, 5, seed).unwrap();
         let result = PortfolioSolver::default().solve(&g, seed);
-        let gamma = (0..g.num_right()).filter(|&w| g.right_degree(w) > 0).count();
+        let gamma = (0..g.num_right())
+            .filter(|&w| g.right_degree(w) > 0)
+            .count();
         let delta_n = g.num_edges() as f64 / gamma as f64;
         // Lemma 4.2 guarantee with the e^{-3} constant made explicit and a
         // further factor-2 safety margin for the bucketing loss.
-        let guarantee =
-            (gamma as f64 * (-3.0f64).exp()) / (2.0 * (2.0 * delta_n).log2().max(1.0));
+        let guarantee = (gamma as f64 * (-3.0f64).exp()) / (2.0 * (2.0 * delta_n).log2().max(1.0));
         assert!(
             result.unique_coverage as f64 >= guarantee.floor(),
             "seed {seed}: coverage {} below Lemma 4.2 floor {guarantee}",

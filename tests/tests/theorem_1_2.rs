@@ -84,8 +84,7 @@ fn generalized_core_graphs_meet_lemma_4_6_assertions() {
         };
         // assertion 1 (sizes): |N*| = realized_beta·|S*| with realized ≥ β*.
         assert!(
-            g.graph.num_right() as f64 + 1e-9
-                >= beta_star * g.graph.num_left() as f64,
+            g.graph.num_right() as f64 + 1e-9 >= beta_star * g.graph.num_left() as f64,
             "({delta_star}, {beta_star}): |N*| too small"
         );
         // assertions 2 & 3 on random subsets
