@@ -1,0 +1,240 @@
+//! Kernel-vs-legacy benchmarks for the zero-allocation neighborhood refactor.
+//!
+//! The "legacy" competitors reproduce the pre-refactor operators exactly as
+//! they were written: `Γ⁻(S)` materialized by inserting into a fresh
+//! `VertexSet` once per incident edge, `Γ¹`-style counts through a fresh
+//! `vec![0; n]` per evaluation. The "kernel" side runs the same quantities
+//! through a reused epoch-stamped [`NeighborhoodScratch`]. Two end-to-end
+//! scenarios mirror the acceptance criteria of the refactor: exhaustive
+//! ordinary+unique measurement on `complete_plus` with n = 24 vertices, and
+//! a sampled wireless sweep on a random 8-regular graph with n = 2000.
+//!
+//! Results land in `BENCH_neighborhood_kernel.json` (see the criterion shim).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wx_core::graph::NeighborhoodScratch;
+use wx_core::prelude::*;
+
+// ---- faithful copies of the pre-refactor operators -------------------------
+
+fn legacy_external_neighborhood(g: &Graph, s: &VertexSet) -> VertexSet {
+    let mut out = VertexSet::empty(g.num_vertices());
+    for v in s.iter() {
+        for &u in g.neighbors(v) {
+            if !s.contains(u) {
+                out.insert(u);
+            }
+        }
+    }
+    out
+}
+
+fn legacy_neighborhood(g: &Graph, s: &VertexSet) -> VertexSet {
+    let mut out = VertexSet::empty(g.num_vertices());
+    for v in s.iter() {
+        for &u in g.neighbors(v) {
+            out.insert(u);
+        }
+    }
+    out
+}
+
+fn legacy_s_excluding_unique_neighborhood(
+    g: &Graph,
+    s: &VertexSet,
+    s_prime: &VertexSet,
+) -> VertexSet {
+    let mut count: Vec<u32> = vec![0; g.num_vertices()];
+    for v in s_prime.iter() {
+        for &u in g.neighbors(v) {
+            if !s.contains(u) {
+                count[u] = count[u].saturating_add(1);
+            }
+        }
+    }
+    VertexSet::from_iter(
+        g.num_vertices(),
+        count
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == 1)
+            .map(|(u, _)| u),
+    )
+}
+
+fn legacy_unique_neighborhood(g: &Graph, s: &VertexSet) -> VertexSet {
+    legacy_s_excluding_unique_neighborhood(g, s, s)
+}
+
+fn legacy_expansion_of_set(g: &Graph, s: &VertexSet) -> f64 {
+    if s.is_empty() {
+        return f64::INFINITY;
+    }
+    legacy_external_neighborhood(g, s).len() as f64 / s.len() as f64
+}
+
+fn legacy_unique_expansion_of_set(g: &Graph, s: &VertexSet) -> f64 {
+    if s.is_empty() {
+        return f64::INFINITY;
+    }
+    legacy_unique_neighborhood(g, s).len() as f64 / s.len() as f64
+}
+
+// ---- per-operator comparison ----------------------------------------------
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighborhood_kernel/ops");
+    let (n, d) = (2048usize, 8usize);
+    let g = random_regular_graph(n, d, 3).unwrap();
+    let s = g.vertex_set(0..n / 4);
+    let s_prime = g.vertex_set(0..n / 8);
+
+    group.bench_with_input(BenchmarkId::new("legacy_gamma", n), &g, |b, g| {
+        b.iter(|| legacy_neighborhood(g, &s).len())
+    });
+    group.bench_with_input(BenchmarkId::new("kernel_gamma", n), &g, |b, g| {
+        let mut scr = NeighborhoodScratch::new(g.num_vertices());
+        b.iter(|| scr.count_neighborhood(g, &s))
+    });
+
+    group.bench_with_input(BenchmarkId::new("legacy_gamma_minus", n), &g, |b, g| {
+        b.iter(|| legacy_external_neighborhood(g, &s).len())
+    });
+    group.bench_with_input(BenchmarkId::new("kernel_gamma_minus", n), &g, |b, g| {
+        let mut scr = NeighborhoodScratch::new(g.num_vertices());
+        b.iter(|| scr.count_external_neighborhood(g, &s))
+    });
+
+    group.bench_with_input(BenchmarkId::new("legacy_gamma_unique", n), &g, |b, g| {
+        b.iter(|| legacy_unique_neighborhood(g, &s).len())
+    });
+    group.bench_with_input(BenchmarkId::new("kernel_gamma_unique", n), &g, |b, g| {
+        let mut scr = NeighborhoodScratch::new(g.num_vertices());
+        b.iter(|| scr.count_unique_neighborhood(g, &s))
+    });
+
+    group.bench_with_input(
+        BenchmarkId::new("legacy_s_excluding_unique", n),
+        &g,
+        |b, g| b.iter(|| legacy_s_excluding_unique_neighborhood(g, &s, &s_prime).len()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("kernel_s_excluding_unique", n),
+        &g,
+        |b, g| {
+            let mut scr = NeighborhoodScratch::new(g.num_vertices());
+            b.iter(|| scr.count_s_excluding_unique(g, &s, &s_prime))
+        },
+    );
+    group.finish();
+}
+
+// ---- end-to-end: exhaustive ordinary+unique, n = 24 ------------------------
+
+fn bench_exhaustive_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighborhood_kernel/exhaustive_n24");
+    group.sample_size(10);
+    // complete_plus with 23 clique vertices + source = 24 vertices; alpha
+    // 0.25 caps candidate sets at size 6 (~190k sets). The exhaustive pool is
+    // built once, outside the timed region, for both sides: what the refactor
+    // changes — and what this group times — is the per-candidate evaluation
+    // sweep itself.
+    let (g, _src) = complete_plus_graph(23).unwrap();
+    let alpha = 0.25f64;
+    let max = ((alpha * 24.0).floor() as usize).max(1);
+    let pool = CandidateSets {
+        sets: wx_core::expansion::sampling::all_small_sets(24, max),
+        alpha,
+    };
+
+    group.bench_function("legacy_ordinary_unique", |b| {
+        b.iter(|| {
+            let beta = pool
+                .sets
+                .iter()
+                .map(|s| legacy_expansion_of_set(&g, s))
+                .fold(f64::INFINITY, f64::min);
+            let beta_u = pool
+                .sets
+                .iter()
+                .map(|s| legacy_unique_expansion_of_set(&g, s))
+                .fold(f64::INFINITY, f64::min);
+            black_box((beta, beta_u))
+        })
+    });
+    group.bench_function("kernel_ordinary_unique", |b| {
+        // sequential engine so both sides run single-threaded
+        let engine = MeasurementEngine::builder()
+            .alpha(alpha)
+            .parallel(false)
+            .build();
+        b.iter(|| {
+            let beta = engine
+                .measure_with_pool(&g, &Ordinary, &pool)
+                .unwrap()
+                .value;
+            let beta_u = engine
+                .measure_with_pool(&g, &UniqueNeighbor, &pool)
+                .unwrap()
+                .value;
+            black_box((beta, beta_u))
+        })
+    });
+    group.finish();
+}
+
+// ---- end-to-end: sampled wireless, n = 2000 --------------------------------
+
+fn bench_wireless_sampled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighborhood_kernel/wireless_sampled_n2000");
+    group.sample_size(5);
+    let g = random_regular_graph(2000, 8, 7).unwrap();
+    let engine = MeasurementEngine::builder()
+        .alpha(0.25)
+        .strategy(MeasureStrategy::Sampled)
+        .sampler(SamplerConfig::light(0.25))
+        .parallel(false)
+        .seed(11)
+        .build();
+    let pool = engine.candidate_pool(&g);
+
+    group.bench_function("legacy_per_candidate_alloc", |b| {
+        // pre-refactor shape: fresh scratch (boundary bitset + index array)
+        // per candidate set
+        let portfolio = PortfolioSolver::fast();
+        b.iter(|| {
+            pool.sets
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    wx_core::expansion::wireless::of_set_lower_bound(&g, s, &portfolio, i as u64).0
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+    });
+    group.bench_function("kernel_scratch_reuse", |b| {
+        let portfolio = PortfolioSolver::fast();
+        let mut scr = NeighborhoodScratch::new(g.num_vertices());
+        b.iter(|| {
+            pool.sets
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    wx_core::expansion::wireless::of_set_lower_bound_with(
+                        &g, s, &portfolio, i as u64, &mut scr,
+                    )
+                    .0
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_operators,
+    bench_exhaustive_small,
+    bench_wireless_sampled
+);
+criterion_main!(benches);

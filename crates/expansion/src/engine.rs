@@ -24,9 +24,12 @@
 //! # Strategy selection rules
 //!
 //! * [`MeasureStrategy::Exact`] enumerates every non-empty `S` up to the size
-//!   cap (feasible for `n ≤ 22`; panics above) and, for [`Wireless`], solves
-//!   the inner maximization optimally (feasible for `|S| ≤ 25`). The result
-//!   has `exact = true` and is ground truth.
+//!   cap (feasible for `n ≤ 22` with any cap, or for larger `n` whenever the
+//!   number of sets `Σ_k C(n, k)` stays under the enumeration budget — see
+//!   [`crate::sampling::all_small_sets`]; panics when the enumeration would
+//!   be astronomically large) and, for [`Wireless`], solves the inner
+//!   maximization optimally (feasible for `|S| ≤ 25`). The result has
+//!   `exact = true` and is ground truth.
 //! * [`MeasureStrategy::Sampled`] evaluates the shared candidate pool
 //!   generated from the engine's [`SamplerConfig`]. For [`Ordinary`] and
 //!   [`UniqueNeighbor`] the result is an *upper bound* on the true minimum
@@ -42,6 +45,22 @@
 //! Determinism: every randomized component is derived from the engine's
 //! `seed` via `derive_seed`, so measurements are reproducible regardless of
 //! the rayon thread schedule.
+//!
+//! # Performance: epoch-stamped scratch spaces
+//!
+//! Candidate evaluation is the engine's hot loop — an exact run visits every
+//! set under the size cap and a profile sweep evaluates three measures over a
+//! shared pool — so the per-set cost must be pure graph traversal. Each
+//! [`ExpansionMeasure::evaluate`] call receives a borrowed
+//! [`NeighborhoodScratch`]: the engine draws it from a per-rayon-worker pool
+//! ([`with_thread_scratch`]), and the measures run their neighborhood
+//! counting through its `count_*` kernels, which tag vertices with an epoch
+//! stamp instead of allocating fresh sets and reset in O(1) by bumping the
+//! epoch. The result: [`Ordinary`] and [`UniqueNeighbor`] perform **no heap
+//! allocation per candidate** in steady state, and [`Wireless`] allocates
+//! only the bipartite view its spokesman solvers need (the `Γ⁻(S)`
+//! resolution inside that construction runs through the same scratch). See
+//! `wx_graph::scratch` for the kernel itself.
 //!
 //! ```
 //! use wx_expansion::engine::{MeasurementEngine, Ordinary, UniqueNeighbor, Wireless};
@@ -61,7 +80,8 @@
 use crate::sampling::{all_small_sets, CandidateSets, SamplerConfig};
 use rayon::prelude::*;
 use wx_graph::random::derive_seed;
-use wx_graph::{Graph, VertexSet};
+use wx_graph::scratch::with_thread_scratch;
+use wx_graph::{Graph, NeighborhoodScratch, VertexSet};
 use wx_spokesman::PortfolioSolver;
 
 /// How a [`MeasurementEngine`] chooses its candidate sets.
@@ -69,7 +89,8 @@ use wx_spokesman::PortfolioSolver;
 #[non_exhaustive]
 pub enum MeasureStrategy {
     /// Enumerate every non-empty set up to the size cap (ground truth;
-    /// `n ≤ 22` only).
+    /// requires the enumeration to fit the budget of
+    /// [`crate::sampling::all_small_sets`]).
     Exact,
     /// Evaluate the sampled candidate pool.
     Sampled,
@@ -137,7 +158,20 @@ pub trait ExpansionMeasure: Sync {
     /// panic if that is infeasible for `|s|`. With `exact = false` a
     /// certified lower bound on the set quantity is acceptable. `seed`
     /// drives any internal randomness.
-    fn evaluate(&self, g: &Graph, s: &VertexSet, exact: bool, seed: u64) -> SetEvaluation;
+    ///
+    /// `scratch` is a borrowed [`NeighborhoodScratch`] the implementation
+    /// should run its neighborhood counting through; the engine hands each
+    /// rayon worker its per-thread scratch, which is what makes the candidate
+    /// loop allocation-free in steady state. Implementations must not call
+    /// [`with_thread_scratch`] themselves (the pool is already borrowed).
+    fn evaluate(
+        &self,
+        g: &Graph,
+        s: &VertexSet,
+        exact: bool,
+        seed: u64,
+        scratch: &mut NeighborhoodScratch,
+    ) -> SetEvaluation;
 
     /// `true` if `evaluate(.., exact = true, ..)` is feasible for sets of
     /// this size.
@@ -155,8 +189,15 @@ impl ExpansionMeasure for Ordinary {
     fn name(&self) -> &'static str {
         "ordinary"
     }
-    fn evaluate(&self, g: &Graph, s: &VertexSet, _exact: bool, _seed: u64) -> SetEvaluation {
-        SetEvaluation::plain(crate::ordinary::of_set(g, s))
+    fn evaluate(
+        &self,
+        g: &Graph,
+        s: &VertexSet,
+        _exact: bool,
+        _seed: u64,
+        scratch: &mut NeighborhoodScratch,
+    ) -> SetEvaluation {
+        SetEvaluation::plain(crate::ordinary::of_set_with(g, s, scratch))
     }
 }
 
@@ -168,8 +209,15 @@ impl ExpansionMeasure for UniqueNeighbor {
     fn name(&self) -> &'static str {
         "unique"
     }
-    fn evaluate(&self, g: &Graph, s: &VertexSet, _exact: bool, _seed: u64) -> SetEvaluation {
-        SetEvaluation::plain(crate::unique::of_set(g, s))
+    fn evaluate(
+        &self,
+        g: &Graph,
+        s: &VertexSet,
+        _exact: bool,
+        _seed: u64,
+        scratch: &mut NeighborhoodScratch,
+    ) -> SetEvaluation {
+        SetEvaluation::plain(crate::unique::of_set_with(g, s, scratch))
     }
 }
 
@@ -210,11 +258,18 @@ impl ExpansionMeasure for Wireless {
         "wireless"
     }
 
-    fn evaluate(&self, g: &Graph, s: &VertexSet, exact: bool, seed: u64) -> SetEvaluation {
+    fn evaluate(
+        &self,
+        g: &Graph,
+        s: &VertexSet,
+        exact: bool,
+        seed: u64,
+        scratch: &mut NeighborhoodScratch,
+    ) -> SetEvaluation {
         let (value, certificate) = if exact {
-            crate::wireless::of_set_exact(g, s)
+            crate::wireless::of_set_exact_with(g, s, scratch)
         } else {
-            crate::wireless::of_set_lower_bound(g, s, &self.portfolio, seed)
+            crate::wireless::of_set_lower_bound_with(g, s, &self.portfolio, seed, scratch)
         };
         SetEvaluation {
             value,
@@ -436,18 +491,15 @@ impl MeasurementEngine {
         pool: &CandidateSets,
     ) -> Vec<SetEvaluation> {
         let seed = self.seed;
+        let eval_one = |(i, s): (usize, &VertexSet)| {
+            with_thread_scratch(g.num_vertices(), |scratch| {
+                measure.evaluate(g, s, false, derive_seed(seed, i as u64), scratch)
+            })
+        };
         if self.parallel {
-            pool.sets
-                .par_iter()
-                .enumerate()
-                .map(|(i, s)| measure.evaluate(g, s, false, derive_seed(seed, i as u64)))
-                .collect()
+            pool.sets.par_iter().enumerate().map(eval_one).collect()
         } else {
-            pool.sets
-                .iter()
-                .enumerate()
-                .map(|(i, s)| measure.evaluate(g, s, false, derive_seed(seed, i as u64)))
-                .collect()
+            pool.sets.iter().enumerate().map(eval_one).collect()
         }
     }
 
@@ -495,7 +547,9 @@ impl MeasurementEngine {
         sets.into_iter()
             .enumerate()
             .map(|(i, s)| {
-                let eval = measure.evaluate(g, &s, exact, derive_seed(seed, i as u64));
+                let eval = with_thread_scratch(g.num_vertices(), |scratch| {
+                    measure.evaluate(g, &s, exact, derive_seed(seed, i as u64), scratch)
+                });
                 Measurement {
                     value: eval.value,
                     witness: s,
@@ -538,7 +592,11 @@ impl MeasurementEngine {
         self.check_exact_feasible(measure, sets, exact);
         let seed = self.seed;
         let eval_one = |(i, s): (usize, &VertexSet)| {
-            let eval = measure.evaluate(g, s, exact, derive_seed(seed, i as u64));
+            // one scratch per rayon worker: candidate evaluation allocates
+            // nothing for the counting measures in steady state
+            let eval = with_thread_scratch(g.num_vertices(), |scratch| {
+                measure.evaluate(g, s, exact, derive_seed(seed, i as u64), scratch)
+            });
             (i, eval)
         };
         let keep_min = |a: (usize, SetEvaluation), b: (usize, SetEvaluation)| {

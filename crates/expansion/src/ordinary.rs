@@ -6,11 +6,17 @@
 //! driving the [`crate::engine::Ordinary`] measure.
 
 use wx_graph::neighborhood::expansion_of_set;
-use wx_graph::{Graph, VertexSet};
+use wx_graph::{Graph, NeighborhoodScratch, VertexSet};
 
 /// The expansion of a single set, `|Γ⁻(S)|/|S|` (re-exported convenience).
 pub fn of_set(g: &Graph, s: &VertexSet) -> f64 {
     expansion_of_set(g, s)
+}
+
+/// [`of_set`] against a caller-provided scratch — the allocation-free form
+/// the [`crate::engine::Ordinary`] measure drives per candidate set.
+pub fn of_set_with(g: &Graph, s: &VertexSet, scratch: &mut NeighborhoodScratch) -> f64 {
+    scratch.external_expansion(g, s)
 }
 
 #[cfg(test)]

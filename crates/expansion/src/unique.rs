@@ -8,11 +8,17 @@
 //! [`crate::engine::UniqueNeighbor`] measure.
 
 use wx_graph::neighborhood::unique_expansion_of_set;
-use wx_graph::{Graph, VertexSet};
+use wx_graph::{Graph, NeighborhoodScratch, VertexSet};
 
 /// The unique-neighbor expansion of a single set, `|Γ¹(S)|/|S|`.
 pub fn of_set(g: &Graph, s: &VertexSet) -> f64 {
     unique_expansion_of_set(g, s)
+}
+
+/// [`of_set`] against a caller-provided scratch — the allocation-free form
+/// the [`crate::engine::UniqueNeighbor`] measure drives per candidate set.
+pub fn of_set_with(g: &Graph, s: &VertexSet, scratch: &mut NeighborhoodScratch) -> f64 {
+    scratch.unique_expansion(g, s)
 }
 
 #[cfg(test)]

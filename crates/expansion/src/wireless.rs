@@ -24,7 +24,7 @@
 //! exact strategy resolves both quantifiers exhaustively and is the ground
 //! truth used in tests.
 
-use wx_graph::{BipartiteGraph, Graph, VertexSet};
+use wx_graph::{BipartiteGraph, Graph, NeighborhoodScratch, VertexSet};
 use wx_spokesman::{ExactSolver, PortfolioSolver, SpokesmanSolver};
 
 /// The exact wireless expansion of a single set `S`: the optimal unique
@@ -34,10 +34,20 @@ use wx_spokesman::{ExactSolver, PortfolioSolver, SpokesmanSolver};
 /// # Panics
 /// Panics if `|S| > 25` (the exact spokesman solver's limit).
 pub fn of_set_exact(g: &Graph, s: &VertexSet) -> (f64, VertexSet) {
+    of_set_exact_with(g, s, &mut NeighborhoodScratch::new(g.num_vertices()))
+}
+
+/// [`of_set_exact`] against a caller-provided scratch (used by the engine to
+/// resolve `Γ⁻(S)` for the bipartite view without per-candidate allocation).
+pub fn of_set_exact_with(
+    g: &Graph,
+    s: &VertexSet,
+    scratch: &mut NeighborhoodScratch,
+) -> (f64, VertexSet) {
     if s.is_empty() {
         return (f64::INFINITY, s.clone());
     }
-    let (bip, left_ids, _right_ids) = BipartiteGraph::from_set_in_graph(g, s);
+    let (bip, left_ids, _right_ids) = BipartiteGraph::from_set_in_graph_with(g, s, scratch);
     let (cov, local_subset) = ExactSolver::optimum(&bip);
     let subset = VertexSet::from_iter(g.num_vertices(), local_subset.iter().map(|i| left_ids[i]));
     (cov as f64 / s.len() as f64, subset)
@@ -53,10 +63,27 @@ pub fn of_set_lower_bound(
     portfolio: &PortfolioSolver,
     seed: u64,
 ) -> (f64, VertexSet) {
+    of_set_lower_bound_with(
+        g,
+        s,
+        portfolio,
+        seed,
+        &mut NeighborhoodScratch::new(g.num_vertices()),
+    )
+}
+
+/// [`of_set_lower_bound`] against a caller-provided scratch.
+pub fn of_set_lower_bound_with(
+    g: &Graph,
+    s: &VertexSet,
+    portfolio: &PortfolioSolver,
+    seed: u64,
+    scratch: &mut NeighborhoodScratch,
+) -> (f64, VertexSet) {
     if s.is_empty() {
         return (f64::INFINITY, s.clone());
     }
-    let (bip, left_ids, _right_ids) = BipartiteGraph::from_set_in_graph(g, s);
+    let (bip, left_ids, _right_ids) = BipartiteGraph::from_set_in_graph_with(g, s, scratch);
     let result = portfolio.solve(&bip, seed);
     let subset = VertexSet::from_iter(g.num_vertices(), result.subset.iter().map(|i| left_ids[i]));
     (result.unique_coverage as f64 / s.len() as f64, subset)

@@ -8,6 +8,7 @@
 //! this representation, and all explicit constructions in Section 4.3 and
 //! Appendix A are naturally bipartite.
 
+use crate::scratch::NeighborhoodScratch;
 use crate::{Graph, GraphError, Result, Vertex, VertexSet};
 use serde::{Deserialize, Serialize};
 
@@ -243,25 +244,26 @@ impl BipartiteGraph {
         g: &Graph,
         s: &VertexSet,
     ) -> (BipartiteGraph, Vec<Vertex>, Vec<Vertex>) {
+        Self::from_set_in_graph_with(g, s, &mut NeighborhoodScratch::new(g.num_vertices()))
+    }
+
+    /// [`BipartiteGraph::from_set_in_graph`] against a caller-provided
+    /// scratch: the external neighborhood `Γ⁻(S)` is resolved through the
+    /// epoch-stamped kernel instead of a fresh bitset plus an O(n) index
+    /// array, so repeated bipartite extractions (the wireless measure
+    /// evaluates one per candidate set) only allocate the returned graph.
+    pub fn from_set_in_graph_with(
+        g: &Graph,
+        s: &VertexSet,
+        scratch: &mut NeighborhoodScratch,
+    ) -> (BipartiteGraph, Vec<Vertex>, Vec<Vertex>) {
         let left_vertices: Vec<Vertex> = s.to_vec();
-        let mut right_set = VertexSet::empty(g.num_vertices());
-        for &u in &left_vertices {
-            for &w in g.neighbors(u) {
-                if !s.contains(w) {
-                    right_set.insert(w);
-                }
-            }
-        }
-        let right_vertices: Vec<Vertex> = right_set.to_vec();
-        let mut right_index = vec![usize::MAX; g.num_vertices()];
-        for (i, &w) in right_vertices.iter().enumerate() {
-            right_index[w] = i;
-        }
+        let right_vertices: Vec<Vertex> = scratch.external_neighborhood_ranked(g, s).to_vec();
         let mut b = BipartiteBuilder::new(left_vertices.len(), right_vertices.len());
         for (i, &u) in left_vertices.iter().enumerate() {
             for &w in g.neighbors(u) {
                 if !s.contains(w) {
-                    b.add_edge(i, right_index[w])
+                    b.add_edge(i, scratch.rank_of(w))
                         .expect("in range by construction");
                 }
             }

@@ -14,6 +14,9 @@
 //!   the object all expansion notions quantify over.
 //! * [`neighborhood`] — the neighborhood operators `Γ(S)`, `Γ⁻(S)`, `Γ¹(S)`
 //!   and the `S`-excluding unique neighborhood `Γ¹_S(S')` (Section 2.1).
+//! * [`scratch`] — the epoch-stamped [`NeighborhoodScratch`] counting kernel
+//!   behind those operators: allocation-free set-size evaluation for the
+//!   expansion engine's hot loop, with a per-thread scratch pool.
 //! * [`degree`] — degree statistics (maximum degree `Δ`, average degrees
 //!   `δ_S`, `δ_N`, degree histograms).
 //! * [`arboricity`] — arboricity / maximum-average-degree estimation
@@ -43,6 +46,7 @@ pub mod neighborhood;
 pub mod parallel;
 pub mod petgraph_compat;
 pub mod random;
+pub mod scratch;
 pub mod traversal;
 pub mod vertex_set;
 
@@ -50,6 +54,7 @@ pub use bipartite::{BipartiteBuilder, BipartiteGraph, Side};
 pub use builder::GraphBuilder;
 pub use csr::Graph;
 pub use error::GraphError;
+pub use scratch::NeighborhoodScratch;
 pub use vertex_set::VertexSet;
 
 /// A vertex identifier. Vertices of a [`Graph`] with `n` vertices are the

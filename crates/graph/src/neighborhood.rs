@@ -12,113 +12,91 @@
 //!
 //! These are the primitives from which ordinary, unique-neighbor and wireless
 //! expansion are all defined.
+//!
+//! Since the zero-allocation refactor, every function here is a thin
+//! compatibility wrapper over the epoch-stamped counting kernel in
+//! [`crate::scratch`], run against the calling thread's shared
+//! [`crate::scratch::NeighborhoodScratch`]. Hot loops that evaluate many sets
+//! should hold a scratch themselves (or use
+//! [`crate::scratch::with_thread_scratch`] once around the whole loop's
+//! caller) and call the kernel's `count_*` methods, which return sizes
+//! without materializing sets at all.
 
+use crate::scratch::with_thread_scratch;
 use crate::{Graph, Vertex, VertexSet};
 
 /// `Γ(v)` as a [`VertexSet`].
 pub fn neighbors_of_vertex(g: &Graph, v: Vertex) -> VertexSet {
-    VertexSet::from_iter(g.num_vertices(), g.neighbors(v).iter().copied())
+    VertexSet::from_sorted(g.num_vertices(), g.neighbors(v).to_vec())
 }
 
 /// `Γ(S)`: the union of neighborhoods of the vertices of `S` (which may
 /// include vertices of `S` itself).
 pub fn neighborhood(g: &Graph, s: &VertexSet) -> VertexSet {
-    let mut out = VertexSet::empty(g.num_vertices());
-    for v in s.iter() {
-        for &u in g.neighbors(v) {
-            out.insert(u);
-        }
-    }
-    out
+    with_thread_scratch(g.num_vertices(), |scr| scr.neighborhood(g, s))
 }
 
 /// `Γ⁻(S) = Γ(S) \ S`: the external neighborhood of `S`.
+///
+/// Each member of `Γ⁻(S)` is inserted exactly once (the kernel's epoch marks
+/// skip vertices already seen), so dense sets no longer pay for re-inserting
+/// the same neighbor per incident edge.
 pub fn external_neighborhood(g: &Graph, s: &VertexSet) -> VertexSet {
-    let mut out = VertexSet::empty(g.num_vertices());
-    for v in s.iter() {
-        for &u in g.neighbors(v) {
-            if !s.contains(u) {
-                out.insert(u);
-            }
-        }
-    }
-    out
+    with_thread_scratch(g.num_vertices(), |scr| scr.external_neighborhood(g, s))
+}
+
+/// `|Γ⁻(S)|` without materializing the set.
+pub fn external_neighborhood_size(g: &Graph, s: &VertexSet) -> usize {
+    with_thread_scratch(g.num_vertices(), |scr| {
+        scr.count_external_neighborhood(g, s)
+    })
 }
 
 /// `Γ¹(S)`: vertices outside `S` adjacent to exactly one vertex of `S`.
 pub fn unique_neighborhood(g: &Graph, s: &VertexSet) -> VertexSet {
-    s_excluding_unique_neighborhood(g, s, s)
+    with_thread_scratch(g.num_vertices(), |scr| scr.unique_neighborhood(g, s))
+}
+
+/// `|Γ¹(S)|` without materializing the set.
+pub fn unique_neighborhood_size(g: &Graph, s: &VertexSet) -> usize {
+    with_thread_scratch(g.num_vertices(), |scr| scr.count_unique_neighborhood(g, s))
 }
 
 /// `Γ_S(S')`: vertices outside `S` adjacent to at least one vertex of `S'`.
 ///
 /// `s_prime` must be a subset of `s`; this is debug-asserted.
 pub fn s_excluding_neighborhood(g: &Graph, s: &VertexSet, s_prime: &VertexSet) -> VertexSet {
-    debug_assert!(s_prime.is_subset_of(s), "S' must be a subset of S");
-    let mut out = VertexSet::empty(g.num_vertices());
-    for v in s_prime.iter() {
-        for &u in g.neighbors(v) {
-            if !s.contains(u) {
-                out.insert(u);
-            }
-        }
-    }
-    out
+    with_thread_scratch(g.num_vertices(), |scr| {
+        scr.s_excluding_neighborhood(g, s, s_prime)
+    })
 }
 
 /// `Γ¹_S(S')`: vertices outside `S` adjacent to exactly one vertex of `S'`.
 ///
 /// `s_prime` must be a subset of `s`; this is debug-asserted.
 pub fn s_excluding_unique_neighborhood(g: &Graph, s: &VertexSet, s_prime: &VertexSet) -> VertexSet {
-    debug_assert!(s_prime.is_subset_of(s), "S' must be a subset of S");
-    let mut count: Vec<u32> = vec![0; g.num_vertices()];
-    for v in s_prime.iter() {
-        for &u in g.neighbors(v) {
-            if !s.contains(u) {
-                count[u] = count[u].saturating_add(1);
-            }
-        }
-    }
-    VertexSet::from_iter(
-        g.num_vertices(),
-        count
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c == 1)
-            .map(|(u, _)| u),
-    )
+    with_thread_scratch(g.num_vertices(), |scr| {
+        scr.s_excluding_unique_neighborhood(g, s, s_prime)
+    })
 }
 
 /// `|Γ¹_S(S')|` without materializing the set.
 pub fn s_excluding_unique_coverage(g: &Graph, s: &VertexSet, s_prime: &VertexSet) -> usize {
-    debug_assert!(s_prime.is_subset_of(s), "S' must be a subset of S");
-    let mut count: Vec<u32> = vec![0; g.num_vertices()];
-    for v in s_prime.iter() {
-        for &u in g.neighbors(v) {
-            if !s.contains(u) {
-                count[u] = count[u].saturating_add(1);
-            }
-        }
-    }
-    count.iter().filter(|&&c| c == 1).count()
+    with_thread_scratch(g.num_vertices(), |scr| {
+        scr.count_s_excluding_unique(g, s, s_prime)
+    })
 }
 
 /// The ordinary expansion of a single set, `|Γ⁻(S)| / |S|` (Section 2.1).
 /// Returns `f64::INFINITY` for the empty set, matching the convention that
 /// the minimum over non-empty sets is what matters.
 pub fn expansion_of_set(g: &Graph, s: &VertexSet) -> f64 {
-    if s.is_empty() {
-        return f64::INFINITY;
-    }
-    external_neighborhood(g, s).len() as f64 / s.len() as f64
+    with_thread_scratch(g.num_vertices(), |scr| scr.external_expansion(g, s))
 }
 
 /// The unique-neighbor expansion of a single set, `|Γ¹(S)| / |S|`.
 pub fn unique_expansion_of_set(g: &Graph, s: &VertexSet) -> f64 {
-    if s.is_empty() {
-        return f64::INFINITY;
-    }
-    unique_neighborhood(g, s).len() as f64 / s.len() as f64
+    with_thread_scratch(g.num_vertices(), |scr| scr.unique_expansion(g, s))
 }
 
 #[cfg(test)]

@@ -34,13 +34,52 @@ impl VertexSet {
         }
     }
 
-    /// Creates the full set `{0, 1, …, universe-1}`.
+    /// Creates the full set `{0, 1, …, universe-1}` by filling whole words
+    /// directly (O(n/64) for the bitset plus O(n) for the member list, with
+    /// no per-bit insertion).
     pub fn full(universe: usize) -> Self {
-        let mut s = Self::empty(universe);
-        for v in 0..universe {
-            s.insert(v);
+        let mut words = vec![!0u64; universe.div_ceil(WORD_BITS)];
+        let tail = universe % WORD_BITS;
+        if tail != 0 {
+            *words
+                .last_mut()
+                .expect("non-empty words for non-empty tail") = (1u64 << tail) - 1;
         }
-        s
+        VertexSet {
+            universe,
+            words,
+            members: (0..universe).collect(),
+        }
+    }
+
+    /// Creates a set from an already sorted, duplicate-free member list,
+    /// setting bits directly instead of going through [`VertexSet::insert`].
+    /// This is the fast path used by the neighborhood kernels in
+    /// [`crate::scratch`] when materializing witness sets.
+    ///
+    /// # Panics
+    /// Panics if the members are not strictly increasing or any member is
+    /// `>= universe`.
+    pub fn from_sorted(universe: usize, members: Vec<usize>) -> Self {
+        let mut words = vec![0u64; universe.div_ceil(WORD_BITS)];
+        let mut prev: Option<usize> = None;
+        for &v in &members {
+            assert!(
+                prev.is_none_or(|p| p < v),
+                "members must be strictly increasing"
+            );
+            assert!(
+                v < universe,
+                "vertex {v} out of range for universe {universe}"
+            );
+            words[v / WORD_BITS] |= 1u64 << (v % WORD_BITS);
+            prev = Some(v);
+        }
+        VertexSet {
+            universe,
+            words,
+            members,
+        }
     }
 
     /// Creates a set from an iterator of vertices. Duplicates are ignored.
@@ -111,7 +150,9 @@ impl VertexSet {
         true
     }
 
-    /// Removes all vertices.
+    /// Removes all vertices, keeping the allocated bitset words and member
+    /// capacity for reuse (no reallocation on subsequent inserts up to the
+    /// previous size).
     pub fn clear(&mut self) {
         for w in &mut self.words {
             *w = 0;
@@ -286,6 +327,47 @@ mod tests {
         let f = VertexSet::full(10);
         assert_eq!(f.len(), 10);
         assert!((0..10).all(|v| f.contains(v)));
+    }
+
+    #[test]
+    fn full_matches_per_bit_construction() {
+        for n in [0usize, 1, 63, 64, 65, 130] {
+            let fast = VertexSet::full(n);
+            let slow = VertexSet::from_iter(n, 0..n);
+            assert_eq!(fast, slow, "universe {n}");
+            assert_eq!(fast.len(), n);
+            assert!(!fast.contains(n));
+        }
+    }
+
+    #[test]
+    fn from_sorted_matches_from_iter() {
+        let members = vec![0, 3, 63, 64, 99];
+        let fast = VertexSet::from_sorted(100, members.clone());
+        let slow = VertexSet::from_iter(100, members);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_sorted_rejects_unsorted() {
+        VertexSet::from_sorted(10, vec![3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_sorted_rejects_out_of_range() {
+        VertexSet::from_sorted(4, vec![1, 4]);
+    }
+
+    #[test]
+    fn clear_empties_and_allows_reuse() {
+        let mut s = VertexSet::from_iter(80, [1, 40, 79]);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(40));
+        assert!(s.insert(40));
+        assert_eq!(s.to_vec(), vec![40]);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use std::collections::BTreeSet;
-use wx_graph::{BipartiteGraph, Graph, VertexSet};
+use wx_graph::{BipartiteGraph, Graph, NeighborhoodScratch, VertexSet};
 
 /// Strategy: a small random edge list over `n` vertices.
 fn edge_list(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
@@ -111,6 +111,60 @@ proptest! {
         prop_assert_eq!(
             wx_graph::neighborhood::s_excluding_unique_coverage(&g, &s, &s_prime),
             ex.len()
+        );
+    }
+
+    /// The epoch-stamped scratch kernel agrees with naive set-materializing
+    /// recomputation from the definitions, for all five neighborhood
+    /// primitives (`Γ`, `Γ⁻`, `Γ¹`, `Γ_S(S')`, `Γ¹_S(S')`), in both its
+    /// counting and materializing forms — including when one scratch is
+    /// reused across consecutive evaluations (epoch isolation).
+    #[test]
+    fn kernel_counts_match_naive_operators(edges in edge_list(14),
+                                           members in prop::collection::btree_set(0usize..14, 1..9),
+                                           sub in prop::collection::btree_set(0usize..14, 0..9)) {
+        let g = Graph::from_edges(14, edges).unwrap();
+        let s = VertexSet::from_iter(14, members.iter().copied());
+        let s_prime = VertexSet::from_iter(14, sub.iter().copied().filter(|v| s.contains(*v)));
+
+        // naive reference: per-vertex counts straight from the definitions
+        let nbrs_in = |set: &VertexSet, v: usize| {
+            g.neighbors(v).iter().filter(|&&u| set.contains(u)).count()
+        };
+        let naive_gamma: Vec<usize> = (0..14).filter(|&v| nbrs_in(&s, v) > 0).collect();
+        let naive_gamma_minus: Vec<usize> =
+            (0..14).filter(|&v| nbrs_in(&s, v) > 0 && !s.contains(v)).collect();
+        let naive_gamma_one: Vec<usize> =
+            (0..14).filter(|&v| nbrs_in(&s, v) == 1 && !s.contains(v)).collect();
+        let naive_s_excl: Vec<usize> =
+            (0..14).filter(|&v| nbrs_in(&s_prime, v) > 0 && !s.contains(v)).collect();
+        let naive_s_excl_one: Vec<usize> =
+            (0..14).filter(|&v| nbrs_in(&s_prime, v) == 1 && !s.contains(v)).collect();
+
+        // one scratch reused across all ten kernel calls
+        let mut scr = NeighborhoodScratch::default();
+        prop_assert_eq!(scr.count_neighborhood(&g, &s), naive_gamma.len());
+        prop_assert_eq!(scr.count_external_neighborhood(&g, &s), naive_gamma_minus.len());
+        prop_assert_eq!(scr.count_unique_neighborhood(&g, &s), naive_gamma_one.len());
+        prop_assert_eq!(scr.count_s_excluding(&g, &s, &s_prime), naive_s_excl.len());
+        prop_assert_eq!(scr.count_s_excluding_unique(&g, &s, &s_prime), naive_s_excl_one.len());
+        prop_assert_eq!(scr.neighborhood(&g, &s).to_vec(), naive_gamma);
+        prop_assert_eq!(scr.external_neighborhood(&g, &s).to_vec(), naive_gamma_minus.clone());
+        prop_assert_eq!(scr.unique_neighborhood(&g, &s).to_vec(), naive_gamma_one.clone());
+        prop_assert_eq!(scr.s_excluding_neighborhood(&g, &s, &s_prime).to_vec(), naive_s_excl);
+        prop_assert_eq!(
+            scr.s_excluding_unique_neighborhood(&g, &s, &s_prime).to_vec(),
+            naive_s_excl_one
+        );
+
+        // the compatibility wrappers (thread-scratch pool) agree too
+        prop_assert_eq!(
+            wx_graph::neighborhood::external_neighborhood(&g, &s).to_vec(),
+            naive_gamma_minus
+        );
+        prop_assert_eq!(
+            wx_graph::neighborhood::unique_neighborhood(&g, &s).to_vec(),
+            naive_gamma_one
         );
     }
 

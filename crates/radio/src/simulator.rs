@@ -3,7 +3,7 @@
 use crate::metrics::BroadcastOutcome;
 use crate::protocols::BroadcastProtocol;
 use wx_graph::random::{rng_from_seed, WxRng};
-use wx_graph::{Graph, Vertex, VertexSet};
+use wx_graph::{Graph, NeighborhoodScratch, Vertex, VertexSet};
 
 /// Read-only view of the simulation state handed to protocols each round.
 ///
@@ -77,18 +77,13 @@ impl<'a> RadioSimulator<'a> {
     /// were already informed).
     ///
     /// The collision rule is applied literally: a vertex receives iff it is
-    /// not itself transmitting and exactly one neighbor transmits.
+    /// not itself transmitting and exactly one neighbor transmits — which is
+    /// precisely the unique neighborhood `Γ¹(T)` of the transmitter set, so
+    /// this is a thin wrapper over the `wx_graph` neighborhood kernel.
+    /// [`RadioSimulator::run`] resolves receivers through a scratch it reuses
+    /// across rounds instead of calling this materializing form.
     pub fn step(graph: &Graph, transmitters: &VertexSet) -> VertexSet {
-        let mut heard_from: Vec<u32> = vec![0; graph.num_vertices()];
-        for t in transmitters.iter() {
-            for &u in graph.neighbors(t) {
-                heard_from[u] = heard_from[u].saturating_add(1);
-            }
-        }
-        VertexSet::from_iter(
-            graph.num_vertices(),
-            (0..graph.num_vertices()).filter(|&v| heard_from[v] == 1 && !transmitters.contains(v)),
-        )
+        wx_graph::neighborhood::unique_neighborhood(graph, transmitters)
     }
 
     /// Runs the protocol until completion or the round cap, returning the
@@ -105,6 +100,9 @@ impl<'a> RadioSimulator<'a> {
         let mut informed_per_round = vec![1usize];
         let target = self.reachable_count();
         let mut completed_at = None;
+        // one scratch for the whole run: per-round receiver resolution
+        // (counting who hears exactly one transmitter) allocates nothing
+        let mut scratch = NeighborhoodScratch::new(n);
 
         protocol.reset(self.graph, self.source);
 
@@ -122,9 +120,9 @@ impl<'a> RadioSimulator<'a> {
                 "protocol {} transmitted from uninformed vertices",
                 protocol.name()
             );
-            let receivers = Self::step(self.graph, &transmitters);
+            let receivers = scratch.unique_neighborhood_sorted(self.graph, &transmitters);
             let mut fresh = VertexSet::empty(n);
-            for v in receivers.iter() {
+            for &v in receivers {
                 if informed.insert(v) {
                     fresh.insert(v);
                     first_informed_round[v] = Some(round + 1);

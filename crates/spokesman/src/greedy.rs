@@ -42,18 +42,18 @@ impl GreedyMinDegreeSolver {
         let mut n_tmp =
             VertexSet::from_iter(num_right, (0..num_right).filter(|&w| g.right_degree(w) > 0));
         let mut n_uni = VertexSet::empty(num_right);
+        // remaining[w] = |Γ(w, S_tmp)|, maintained incrementally: when a left
+        // vertex leaves S_tmp, each of its right neighbors loses one
+        // remaining neighbor (O(deg) per removal). This replaces the
+        // re-filtered neighborhood counts in the min-degree selection below.
+        let mut remaining: Vec<u32> = (0..num_right).map(|w| g.right_degree(w) as u32).collect();
 
         while !n_tmp.is_empty() {
             // Pick v in N_tmp minimizing |Γ(v, S_tmp)| (invariant I4 ensures
             // this is at least 1).
             let v = n_tmp
                 .iter()
-                .min_by_key(|&w| {
-                    g.right_neighbors(w)
-                        .iter()
-                        .filter(|&&u| s_tmp.contains(u))
-                        .count()
-                })
+                .min_by_key(|&w| remaining[w])
                 .expect("n_tmp is non-empty");
             let gamma_v: Vec<usize> = g
                 .right_neighbors(v)
@@ -61,6 +61,7 @@ impl GreedyMinDegreeSolver {
                 .copied()
                 .filter(|&u| s_tmp.contains(u))
                 .collect();
+            debug_assert_eq!(gamma_v.len(), remaining[v] as usize);
             debug_assert!(
                 !gamma_v.is_empty(),
                 "invariant I4 violated: a vertex of N_tmp lost all its S_tmp neighbors"
@@ -70,21 +71,20 @@ impl GreedyMinDegreeSolver {
 
             // Q_v: right vertices of N_tmp incident on at least one vertex of
             // Γ(v, S_tmp); split into Q'_v (identical remaining neighborhood)
-            // and Q''_v (the rest).
+            // and Q''_v (the rest). `Γ(w, S_tmp) = Γ(v, S_tmp)` iff the two
+            // sets have equal size (the maintained counter) and
+            // `Γ(w, S_tmp) ⊆ Γ(v, S_tmp)` — checked without materializing
+            // `Γ(w, S_tmp)`.
             let mut q_prime: Vec<usize> = Vec::new();
             let mut q_double: Vec<usize> = Vec::new();
             let mut q_seen = VertexSet::empty(num_right);
             for &u in &gamma_v {
                 for &w in g.left_neighbors(u) {
                     if n_tmp.contains(w) && q_seen.insert(w) {
-                        let gamma_w: Vec<usize> = g
-                            .right_neighbors(w)
-                            .iter()
-                            .copied()
-                            .filter(|&x| s_tmp.contains(x))
-                            .collect();
-                        let identical = gamma_w.len() == gamma_v.len()
-                            && gamma_w.iter().all(|x| gamma_v_set.contains(*x));
+                        let identical = remaining[w] as usize == gamma_v.len()
+                            && g.right_neighbors(w)
+                                .iter()
+                                .all(|&x| !s_tmp.contains(x) || gamma_v_set.contains(x));
                         if identical {
                             q_prime.push(w);
                         } else {
@@ -98,10 +98,17 @@ impl GreedyMinDegreeSolver {
             // Promote an arbitrary vertex w of Γ(v, S_tmp) (we take the
             // smallest index for determinism), drop the others from S_tmp.
             let w_star = gamma_v[0];
-            s_tmp.remove(w_star);
+            let mut drop_from_s_tmp = |u: usize, s_tmp: &mut VertexSet| {
+                if s_tmp.remove(u) {
+                    for &w in g.left_neighbors(u) {
+                        remaining[w] -= 1;
+                    }
+                }
+            };
+            drop_from_s_tmp(w_star, &mut s_tmp);
             s_uni.insert(w_star);
             for &u in gamma_v.iter().skip(1) {
-                s_tmp.remove(u);
+                drop_from_s_tmp(u, &mut s_tmp);
             }
 
             // Move Q'_v into N_uni; they all neighbor w_star and, because the

@@ -30,6 +30,7 @@
 pub mod bounds;
 pub mod chlamtac_weinstein;
 pub mod degree_class;
+pub mod delta;
 pub mod exact;
 pub mod greedy;
 pub mod local_search;
@@ -41,6 +42,7 @@ pub use solver::{PortfolioSolver, SolverKind, SpokesmanResult, SpokesmanSolver};
 
 pub use chlamtac_weinstein::ChlamtacWeinsteinSolver;
 pub use degree_class::DegreeClassSolver;
+pub use delta::CoverageTracker;
 pub use exact::ExactSolver;
 pub use greedy::GreedyMinDegreeSolver;
 pub use local_search::{LocalSearchImprover, LocalSearchSolver};

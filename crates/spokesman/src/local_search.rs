@@ -9,10 +9,14 @@
 //! hurts, terminates after at most `|N|` improving flips, and in practice
 //! closes most of the gap to the exact optimum on small instances.
 //!
+//! Flip deltas are evaluated incrementally (O(deg v) per probe, no full
+//! re-measurement) through the shared [`CoverageTracker`] counter kernel.
+//!
 //! The improver is also exposed as a standalone [`SpokesmanSolver`]
 //! ([`LocalSearchSolver`]) that starts from the output of an inner solver
 //! (greedy by default).
 
+use crate::delta::CoverageTracker;
 use crate::solver::{SolverKind, SpokesmanResult, SpokesmanSolver};
 use wx_graph::{BipartiteGraph, VertexSet};
 
@@ -34,58 +38,19 @@ impl LocalSearchImprover {
     /// Improves `subset` by single-vertex flips until no flip strictly
     /// increases the unique coverage. Returns the improved subset and its
     /// coverage.
+    ///
+    /// Flips are evaluated and applied incrementally through a
+    /// [`CoverageTracker`], so probing a flip costs O(deg u) rather than a
+    /// full re-measurement of `|Γ¹_S(S')|`.
     pub fn improve(&self, g: &BipartiteGraph, subset: &VertexSet) -> (VertexSet, usize) {
-        let mut current = subset.clone();
-        // coverage_count[w] = number of chosen left neighbors of right vertex w
-        let mut cover_count = vec![0u32; g.num_right()];
-        for u in current.iter() {
-            for &w in g.left_neighbors(u) {
-                cover_count[w] += 1;
-            }
-        }
-        let mut coverage = cover_count.iter().filter(|&&c| c == 1).count();
-
+        let mut tracker = CoverageTracker::new(g, subset);
         let mut flips = 0usize;
         let mut improved = true;
         while improved && flips < self.max_flips {
             improved = false;
             for u in 0..g.num_left() {
-                // Compute the coverage delta of flipping u in O(deg u).
-                let adding = !current.contains(u);
-                let mut delta: i64 = 0;
-                for &w in g.left_neighbors(u) {
-                    let c = cover_count[w];
-                    if adding {
-                        // 0 -> 1 gains a unique vertex, 1 -> 2 loses one
-                        if c == 0 {
-                            delta += 1;
-                        } else if c == 1 {
-                            delta -= 1;
-                        }
-                    } else {
-                        // 1 -> 0 loses, 2 -> 1 gains
-                        if c == 1 {
-                            delta -= 1;
-                        } else if c == 2 {
-                            delta += 1;
-                        }
-                    }
-                }
-                if delta > 0 {
-                    // apply the flip
-                    for &w in g.left_neighbors(u) {
-                        if adding {
-                            cover_count[w] += 1;
-                        } else {
-                            cover_count[w] -= 1;
-                        }
-                    }
-                    if adding {
-                        current.insert(u);
-                    } else {
-                        current.remove(u);
-                    }
-                    coverage = (coverage as i64 + delta) as usize;
+                if tracker.flip_delta(u) > 0 {
+                    tracker.flip(u);
                     improved = true;
                     flips += 1;
                     if flips >= self.max_flips {
@@ -94,6 +59,7 @@ impl LocalSearchImprover {
                 }
             }
         }
+        let (current, coverage) = tracker.into_parts();
         debug_assert_eq!(coverage, g.unique_coverage(&current));
         (current, coverage)
     }

@@ -3,10 +3,11 @@
 //! as ground truth on tiny instances.
 
 use proptest::prelude::*;
-use wx_graph::BipartiteGraph;
+use wx_graph::{BipartiteGraph, VertexSet};
 use wx_spokesman::{
-    ChlamtacWeinsteinSolver, DegreeClassSolver, ExactSolver, GreedyMinDegreeSolver,
-    LocalSearchSolver, PartitionSolver, PortfolioSolver, RandomDecaySolver, SpokesmanSolver,
+    ChlamtacWeinsteinSolver, CoverageTracker, DegreeClassSolver, ExactSolver,
+    GreedyMinDegreeSolver, LocalSearchSolver, PartitionSolver, PortfolioSolver, RandomDecaySolver,
+    SpokesmanSolver,
 };
 
 fn bipartite(s: usize, n: usize) -> impl Strategy<Value = BipartiteGraph> {
@@ -90,6 +91,34 @@ proptest! {
             }
             let dup = BipartiteGraph::from_edges(g.num_left(), g.num_right() + 1, edges).unwrap();
             prop_assert!(ExactSolver::optimum(&dup).0 >= opt);
+        }
+    }
+
+    /// Incremental-delta consistency: over an arbitrary move sequence, the
+    /// local-search [`CoverageTracker`]'s O(deg v) delta evaluation and its
+    /// maintained coverage agree with a full re-measurement
+    /// (`BipartiteGraph::unique_coverage`) after every single flip.
+    #[test]
+    fn delta_evaluation_agrees_with_full_remeasurement(
+        g in bipartite(9, 15),
+        moves in prop::collection::vec(0usize..9, 1..60),
+        start in prop::collection::btree_set(0usize..9, 0..9),
+    ) {
+        let start_set = VertexSet::from_iter(g.num_left(), start.iter().copied());
+        let mut tracker = CoverageTracker::new(&g, &start_set);
+        prop_assert_eq!(tracker.coverage(), g.unique_coverage(&start_set));
+        for &u in &moves {
+            let was_chosen = tracker.contains(u);
+            let before = tracker.coverage() as i64;
+            let predicted = tracker.flip_delta(u);
+            let applied = tracker.flip(u);
+            prop_assert_eq!(predicted, applied);
+            prop_assert_eq!(tracker.contains(u), !was_chosen);
+            // the maintained coverage matches a from-scratch re-measurement
+            let full = g.unique_coverage(tracker.chosen());
+            prop_assert_eq!(tracker.coverage(), full,
+                "delta path drifted from full re-measurement after flipping {u}");
+            prop_assert_eq!(before + applied, full as i64);
         }
     }
 

@@ -1,0 +1,238 @@
+//! Offline API-compatible shim for the `criterion` benchmarking surface this
+//! workspace uses. Instead of criterion's statistical machinery it runs a
+//! short warm-up plus a fixed sample loop and prints mean wall-clock times —
+//! enough to compare implementations locally while keeping `cargo bench`
+//! compiling offline.
+//!
+//! Beyond printing, every completed benchmark is recorded in a process-wide
+//! result list; [`criterion_main!`] flushes the list to a
+//! `BENCH_<bench-name>.json` file next to the working directory so runs
+//! leave a machine-readable record (label, mean nanoseconds, iterations).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(id, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl BenchId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label());
+        run_bench(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl BenchId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label());
+        run_bench(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier types accepted by `bench_function`/`bench_with_input`.
+pub trait BenchId {
+    /// The display label.
+    fn label(&self) -> String;
+}
+
+impl BenchId for &str {
+    fn label(&self) -> String {
+        (*self).to_string()
+    }
+}
+impl BenchId for String {
+    fn label(&self) -> String {
+        self.clone()
+    }
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds from only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl BenchId for BenchmarkId {
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// time.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = self.samples as u64;
+    }
+}
+
+/// One finished benchmark, as recorded for the JSON report.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// `group/function/parameter` label.
+    pub label: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Number of timed iterations.
+    pub iters: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn run_bench(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let mean = if bencher.iters > 0 {
+        bencher.total / bencher.iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "bench {label:<60} {mean:>12.2?}/iter ({} iters)",
+        bencher.iters
+    );
+    RESULTS.lock().expect("results lock").push(BenchRecord {
+        label: label.to_string(),
+        mean_ns: mean.as_secs_f64() * 1e9,
+        iters: bencher.iters,
+    });
+}
+
+/// Writes all benchmarks recorded so far to `path` as a JSON array and clears
+/// the record list. Called by [`criterion_main!`]'s generated `main` with a
+/// `BENCH_<bench-name>.json` path; harmless no-op when nothing was recorded.
+pub fn write_results_json(path: &str) {
+    let records = std::mem::take(&mut *RESULTS.lock().expect("results lock"));
+    if records.is_empty() {
+        return;
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!(
+            "  {{\"label\": {:?}, \"mean_ns\": {:.1}, \"iters\": {}}}{comma}\n",
+            r.label, r.mean_ns, r.iters
+        ));
+    }
+    out.push_str("]\n");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("bench results written to {path}"),
+        Err(e) => eprintln!("could not write bench results to {path}: {e}"),
+    }
+}
+
+/// Declares a group of benchmark functions (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups, then records all
+/// results to `BENCH_<bench-name>.json` in the working directory.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::write_results_json(concat!("BENCH_", env!("CARGO_CRATE_NAME"), ".json"));
+        }
+    };
+}
