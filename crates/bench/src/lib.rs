@@ -95,4 +95,39 @@ mod tests {
             );
         }
     }
+
+    /// The checked runner records a pass for every experiment and converts
+    /// panics into failed outcomes instead of aborting.
+    #[test]
+    fn checked_runner_reports_pass_fail() {
+        fn panicking(_: &ExperimentOptions) -> String {
+            panic!("synthetic failure");
+        }
+        fn empty(_: &ExperimentOptions) -> String {
+            String::new()
+        }
+        let opts = ExperimentOptions {
+            quick: true,
+            seed: 0xE0,
+        };
+        let outcome = experiments::run_checked("e3", "E3 (Lemma 3.1)", experiments::e3::run, &opts);
+        assert!(outcome.passed, "{:?}", outcome.error);
+
+        // a panicking experiment is captured, not propagated
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let failed = experiments::run_checked("eX", "synthetic", panicking, &opts);
+        std::panic::set_hook(prev);
+        assert!(!failed.passed);
+        assert!(failed
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("synthetic failure"));
+
+        // an experiment that prints no table counts as failed too
+        let tableless = experiments::run_checked("eY", "tableless", empty, &opts);
+        assert!(!tableless.passed);
+        assert_eq!(experiments::ALL.len(), 11);
+    }
 }

@@ -10,7 +10,7 @@ pub use wx_graph::{
 pub use wx_expansion::{
     engine::{
         ExpansionMeasure, ExpansionTriple, MeasureStrategy, Measurement, MeasurementEngine,
-        MeasurementEngineBuilder, Ordinary, UniqueNeighbor, Wireless,
+        MeasurementEngineBuilder, NotionKind, Ordinary, UniqueNeighbor, Wireless,
     },
     profile::{ExpansionProfile, ProfileConfig, ProfileConfigBuilder},
     sampling::{CandidateSets, SamplerConfig},

@@ -5,7 +5,7 @@
 //! theoretical references). This module keeps that formatting in one place so
 //! every harness produces consistently aligned, diffable output.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One row of a report table: a label plus a list of cell strings.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -94,6 +94,58 @@ pub fn to_json_pretty<T: Serialize>(records: &T) -> String {
     serde_json::to_string_pretty(records).expect("records serialize")
 }
 
+/// Aggregate statistics over a sample of measured values — the summary the
+/// scenario lab attaches to every metric of a multi-trial run.
+///
+/// Construction via [`AggregateStats::from_samples`] ignores non-finite
+/// samples (a trial that diverged contributes nothing rather than poisoning
+/// the mean) and returns `None` when no finite sample remains, so a metrics
+/// map simply omits keys that never produced a finite value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AggregateStats {
+    /// Number of finite samples aggregated.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (midpoint average for even sample counts).
+    pub median: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// 95th percentile (nearest-rank; equals `max` for small samples).
+    pub p95: f64,
+}
+
+impl AggregateStats {
+    /// Aggregates a sample slice, skipping NaN/±∞ entries. `None` when no
+    /// finite sample remains.
+    pub fn from_samples(samples: &[f64]) -> Option<AggregateStats> {
+        let mut finite: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        if finite.is_empty() {
+            return None;
+        }
+        finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values are ordered"));
+        let count = finite.len();
+        let mean = finite.iter().sum::<f64>() / count as f64;
+        let median = if count % 2 == 1 {
+            finite[count / 2]
+        } else {
+            (finite[count / 2 - 1] + finite[count / 2]) / 2.0
+        };
+        // nearest-rank percentile: the ⌈0.95·count⌉-th smallest sample
+        let rank = ((0.95 * count as f64).ceil() as usize).clamp(1, count);
+        Some(AggregateStats {
+            count,
+            mean,
+            median,
+            min: finite[0],
+            max: finite[count - 1],
+            p95: finite[rank - 1],
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +186,48 @@ mod tests {
             value: 1.0,
         }]);
         assert!(json.contains("\"name\": \"a\""));
+    }
+
+    #[test]
+    fn aggregate_stats_basic() {
+        let s = AggregateStats::from_samples(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p95, 4.0);
+
+        let odd = AggregateStats::from_samples(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(odd.median, 3.0);
+    }
+
+    #[test]
+    fn aggregate_stats_p95_nearest_rank() {
+        // 100 samples 1..=100: ⌈0.95·100⌉ = 95 → the 95th smallest is 95.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = AggregateStats::from_samples(&samples).unwrap();
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.median, 50.5);
+    }
+
+    #[test]
+    fn aggregate_stats_filters_non_finite() {
+        let s =
+            AggregateStats::from_samples(&[f64::NAN, 2.0, f64::INFINITY, 4.0, f64::NEG_INFINITY])
+                .unwrap();
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!(AggregateStats::from_samples(&[]).is_none());
+        assert!(AggregateStats::from_samples(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn aggregate_stats_serialize_round_trip() {
+        let s = AggregateStats::from_samples(&[1.0, 2.0]).unwrap();
+        let json = to_json_pretty(&s);
+        let back: AggregateStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
     }
 
     #[test]

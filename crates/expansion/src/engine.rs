@@ -79,6 +79,7 @@
 
 use crate::sampling::{all_small_sets, CandidateSets, SamplerConfig};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 use wx_graph::random::derive_seed;
 use wx_graph::scratch::with_thread_scratch;
 use wx_graph::{Graph, NeighborhoodScratch, VertexSet};
@@ -178,6 +179,68 @@ pub trait ExpansionMeasure: Sync {
     fn exact_feasible_for(&self, set_size: usize) -> bool {
         let _ = set_size;
         true
+    }
+}
+
+/// Names one of the paper's three expansion notions — the serializable
+/// handle declarative callers (the `wx-lab` scenario specs, CLI flags) use
+/// to pick an [`ExpansionMeasure`] without constructing one themselves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NotionKind {
+    /// Ordinary expansion `β` ([`Ordinary`]).
+    Ordinary,
+    /// Unique-neighbor expansion `βu` ([`UniqueNeighbor`]).
+    Unique,
+    /// Wireless expansion `βw` ([`Wireless`]).
+    Wireless,
+}
+
+impl NotionKind {
+    /// All three notions, in the paper's `β ≥ βw ≥ βu` presentation order.
+    pub const ALL: [NotionKind; 3] = [
+        NotionKind::Ordinary,
+        NotionKind::Wireless,
+        NotionKind::Unique,
+    ];
+
+    /// The short lowercase name used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            NotionKind::Ordinary => "ordinary",
+            NotionKind::Unique => "unique",
+            NotionKind::Wireless => "wireless",
+        }
+    }
+
+    /// Parses a [`NotionKind::name`] string (case-insensitive).
+    pub fn parse(s: &str) -> Option<NotionKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "ordinary" | "beta" => Some(NotionKind::Ordinary),
+            "unique" | "unique-neighbor" => Some(NotionKind::Unique),
+            "wireless" => Some(NotionKind::Wireless),
+            _ => None,
+        }
+    }
+
+    /// Builds the measure this notion names. `fast` selects the cheap
+    /// wireless portfolio ([`Wireless::fast`]) for inner loops; ordinary and
+    /// unique measures are unaffected.
+    pub fn measure(self, fast: bool) -> Box<dyn ExpansionMeasure + Send + Sync> {
+        match self {
+            NotionKind::Ordinary => Box::new(Ordinary),
+            NotionKind::Unique => Box::new(UniqueNeighbor),
+            NotionKind::Wireless => Box::new(if fast {
+                Wireless::fast()
+            } else {
+                Wireless::default()
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for NotionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -642,6 +705,30 @@ mod tests {
         b.add_edge(k, 0).unwrap();
         b.add_edge(k, 1).unwrap();
         b.build()
+    }
+
+    #[test]
+    fn notion_kind_round_trips_and_measures() {
+        for kind in NotionKind::ALL {
+            assert_eq!(NotionKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(NotionKind::parse("WIRELESS"), Some(NotionKind::Wireless));
+        assert!(NotionKind::parse("bogus").is_none());
+
+        // the boxed measure drives the engine exactly like the concrete type
+        let g = cycle(8);
+        let engine = MeasurementEngine::builder().alpha(0.5).build();
+        let direct = engine.measure(&g, &Ordinary).unwrap();
+        let boxed = engine
+            .measure(&g, NotionKind::Ordinary.measure(false).as_ref())
+            .unwrap();
+        assert_eq!(direct.value, boxed.value);
+
+        let json = serde_json::to_string(&NotionKind::Wireless).unwrap();
+        assert_eq!(json, "\"Wireless\"");
+        let back: NotionKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, NotionKind::Wireless);
     }
 
     #[test]

@@ -30,6 +30,28 @@ pub enum GraphError {
     /// A randomized construction failed to converge within its retry budget.
     #[error("randomized construction did not converge: {0}")]
     DidNotConverge(String),
+
+    /// A graph file could not be parsed. `line` is the 1-based line number
+    /// of the offending input line (0 for whole-file defects such as a
+    /// missing header or a truncated edge section).
+    #[error("parse error at line {line}: {msg}")]
+    Parse {
+        /// 1-based line number (0 when no single line is at fault).
+        line: usize,
+        /// What went wrong on that line.
+        msg: String,
+    },
+
+    /// An underlying filesystem operation failed (message includes the
+    /// path and the OS error).
+    #[error("I/O error: {0}")]
+    Io(String),
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
 }
 
 impl GraphError {
@@ -63,6 +85,16 @@ mod tests {
 
         let e = GraphError::structure("graph must be d-regular");
         assert!(e.to_string().contains("regular"));
+
+        let e = GraphError::Parse {
+            line: 12,
+            msg: "expected two integers".to_string(),
+        };
+        assert!(e.to_string().contains("line 12"));
+
+        let e: GraphError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(e.to_string().contains("nope"));
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! Graph file I/O: plain edge lists and DIMACS.
+//!
+//! Two line-oriented text formats, each with a parser and a writer that
+//! round-trip exactly (write → read reproduces the original CSR graph,
+//! including isolated vertices):
+//!
+//! * **Edge list** ([`parse_edge_list`] / [`format_edge_list`]): `#`/`%`
+//!   comment lines, a mandatory `<n> <m>` header line, then one `u v` pair
+//!   per line with 0-based vertex ids.
+//! * **DIMACS** ([`parse_dimacs`] / [`format_dimacs`]): the classic
+//!   `c` (comment) / `p edge <n> <m>` (problem) / `e <u> <v>` (edge, 1-based)
+//!   format used by graph-coloring and clique benchmarks.
+//!
+//! Malformed input never panics: every defect maps to a precise
+//! [`GraphError`] variant — [`GraphError::Parse`] with the 1-based line
+//! number for syntax problems, [`GraphError::VertexOutOfRange`] /
+//! [`GraphError::SelfLoop`] (wrapped with the line number) for semantic
+//! ones, and [`GraphError::Io`] for filesystem failures in the path-based
+//! helpers [`load_graph`] / [`save_graph`].
+//!
+//! Duplicate edges are collapsed (the underlying [`GraphBuilder`] dedupes at
+//! build time) but the declared edge count must match the number of edge
+//! *lines*, so truncated files are detected.
+
+use crate::{Graph, GraphBuilder, GraphError, Result};
+use std::path::Path;
+
+/// The on-disk formats [`load_graph`] / [`save_graph`] understand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphFileFormat {
+    /// `#` comments, `n m` header, `u v` edges (0-based).
+    EdgeList,
+    /// DIMACS `c` / `p edge` / `e` lines (1-based).
+    Dimacs,
+}
+
+impl GraphFileFormat {
+    /// Picks a format from a file extension: `.col`, `.dimacs` and `.clq`
+    /// mean DIMACS, anything else (`.edges`, `.txt`, no extension, …) is an
+    /// edge list.
+    pub fn from_path(path: &Path) -> GraphFileFormat {
+        match path
+            .extension()
+            .and_then(|e| e.to_str())
+            .map(|e| e.to_ascii_lowercase())
+            .as_deref()
+        {
+            Some("col") | Some("dimacs") | Some("clq") => GraphFileFormat::Dimacs,
+            _ => GraphFileFormat::EdgeList,
+        }
+    }
+}
+
+fn parse_err(line: usize, msg: impl std::fmt::Display) -> GraphError {
+    GraphError::Parse {
+        line,
+        msg: msg.to_string(),
+    }
+}
+
+/// Splits a line into whitespace-separated tokens.
+fn tokens(line: &str) -> Vec<&str> {
+    line.split_whitespace().collect()
+}
+
+fn parse_usize(tok: &str, line: usize, what: &str) -> Result<usize> {
+    tok.parse::<usize>().map_err(|_| {
+        parse_err(
+            line,
+            format!("{what}: expected a non-negative integer, got `{tok}`"),
+        )
+    })
+}
+
+/// Parses the edge-list format.
+///
+/// Grammar (line-oriented): blank lines and lines starting with `#` or `%`
+/// are ignored; the first significant line must be the header `<n> <m>`;
+/// each following significant line is one edge `<u> <v>` with
+/// `0 ≤ u, v < n`. Exactly `m` edge lines must follow the header.
+pub fn parse_edge_list(text: &str) -> Result<Graph> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut builder: Option<GraphBuilder> = None;
+    let mut edge_lines = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let toks = tokens(line);
+        if toks.len() != 2 {
+            return Err(parse_err(
+                lineno,
+                format!("expected two integers, got {} token(s)", toks.len()),
+            ));
+        }
+        match header {
+            None => {
+                let n = parse_usize(toks[0], lineno, "vertex count")?;
+                let m = parse_usize(toks[1], lineno, "edge count")?;
+                header = Some((n, m));
+                builder = Some(GraphBuilder::new(n));
+            }
+            Some((_, m)) => {
+                if edge_lines == m {
+                    return Err(parse_err(
+                        lineno,
+                        format!("more than the declared {m} edge line(s)"),
+                    ));
+                }
+                let u = parse_usize(toks[0], lineno, "edge endpoint")?;
+                let v = parse_usize(toks[1], lineno, "edge endpoint")?;
+                builder
+                    .as_mut()
+                    .expect("builder exists once the header is read")
+                    .add_edge(u, v)
+                    .map_err(|e| parse_err(lineno, e))?;
+                edge_lines += 1;
+            }
+        }
+    }
+    let (_, m) = header.ok_or_else(|| parse_err(0, "missing `<n> <m>` header line"))?;
+    if edge_lines != m {
+        return Err(parse_err(
+            0,
+            format!("header declares {m} edge(s) but the file has {edge_lines}"),
+        ));
+    }
+    Ok(builder
+        .expect("builder exists once the header is read")
+        .build())
+}
+
+/// Writes the edge-list format (round-trips through [`parse_edge_list`]).
+pub fn format_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str("# wireless-expanders edge list: `n m` header, then `u v` per edge (0-based)\n");
+    out.push_str(&format!("{} {}\n", g.num_vertices(), g.num_edges()));
+    for (u, v) in g.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+/// Parses the DIMACS format: `c` comment lines, one `p edge <n> <m>` problem
+/// line, then `e <u> <v>` edge lines with **1-based** endpoints.
+pub fn parse_dimacs(text: &str) -> Result<Graph> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut builder: Option<GraphBuilder> = None;
+    let mut edge_lines = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks = tokens(line);
+        match toks[0] {
+            "c" => continue,
+            "p" => {
+                if header.is_some() {
+                    return Err(parse_err(lineno, "duplicate `p` line"));
+                }
+                if toks.len() != 4 || toks[1] != "edge" {
+                    return Err(parse_err(lineno, "expected `p edge <n> <m>`"));
+                }
+                let n = parse_usize(toks[2], lineno, "vertex count")?;
+                let m = parse_usize(toks[3], lineno, "edge count")?;
+                header = Some((n, m));
+                builder = Some(GraphBuilder::new(n));
+            }
+            "e" => {
+                let (n, m) =
+                    header.ok_or_else(|| parse_err(lineno, "`e` line before the `p edge` line"))?;
+                if edge_lines == m {
+                    return Err(parse_err(
+                        lineno,
+                        format!("more than the declared {m} edge line(s)"),
+                    ));
+                }
+                if toks.len() != 3 {
+                    return Err(parse_err(lineno, "expected `e <u> <v>`"));
+                }
+                let u = parse_usize(toks[1], lineno, "edge endpoint")?;
+                let v = parse_usize(toks[2], lineno, "edge endpoint")?;
+                if u == 0 || v == 0 {
+                    return Err(parse_err(lineno, "DIMACS vertices are 1-based, got 0"));
+                }
+                if u > n || v > n {
+                    return Err(parse_err(
+                        lineno,
+                        format!("vertex {} out of range 1..={n}", u.max(v)),
+                    ));
+                }
+                builder
+                    .as_mut()
+                    .expect("builder exists once the `p` line is read")
+                    .add_edge(u - 1, v - 1)
+                    .map_err(|e| parse_err(lineno, e))?;
+                edge_lines += 1;
+            }
+            other => {
+                return Err(parse_err(
+                    lineno,
+                    format!("unknown DIMACS line type `{other}` (expected c/p/e)"),
+                ));
+            }
+        }
+    }
+    let (_, m) = header.ok_or_else(|| parse_err(0, "missing `p edge <n> <m>` line"))?;
+    if edge_lines != m {
+        return Err(parse_err(
+            0,
+            format!("`p` line declares {m} edge(s) but the file has {edge_lines}"),
+        ));
+    }
+    Ok(builder
+        .expect("builder exists once the `p` line is read")
+        .build())
+}
+
+/// Writes the DIMACS format (round-trips through [`parse_dimacs`]).
+pub fn format_dimacs(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str("c wireless-expanders DIMACS export\n");
+    out.push_str(&format!("p edge {} {}\n", g.num_vertices(), g.num_edges()));
+    for (u, v) in g.edges() {
+        out.push_str(&format!("e {} {}\n", u + 1, v + 1));
+    }
+    out
+}
+
+/// Parses `text` in the given format.
+pub fn parse_graph(text: &str, format: GraphFileFormat) -> Result<Graph> {
+    match format {
+        GraphFileFormat::EdgeList => parse_edge_list(text),
+        GraphFileFormat::Dimacs => parse_dimacs(text),
+    }
+}
+
+/// Formats `g` in the given format.
+pub fn format_graph(g: &Graph, format: GraphFileFormat) -> String {
+    match format {
+        GraphFileFormat::EdgeList => format_edge_list(g),
+        GraphFileFormat::Dimacs => format_dimacs(g),
+    }
+}
+
+/// Loads a graph from `path`, picking the format from the extension
+/// ([`GraphFileFormat::from_path`]).
+pub fn load_graph(path: impl AsRef<Path>) -> Result<Graph> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| GraphError::Io(format!("reading {}: {e}", path.display())))?;
+    parse_graph(&text, GraphFileFormat::from_path(path)).map_err(|e| match e {
+        // name the file, so multi-file scenarios point at the broken input
+        GraphError::Parse { line, msg } => GraphError::Parse {
+            line,
+            msg: format!("{}: {msg}", path.display()),
+        },
+        other => other,
+    })
+}
+
+/// Saves a graph to `path`, picking the format from the extension.
+pub fn save_graph(g: &Graph, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let text = format_graph(g, GraphFileFormat::from_path(path));
+    std::fs::write(path, text)
+        .map_err(|e| GraphError::Io(format!("writing {}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn petersen_outer() -> Graph {
+        // C5 plus an isolated vertex to exercise isolated-vertex round-trips.
+        Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap()
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = petersen_outer();
+        let text = format_edge_list(&g);
+        let h = parse_edge_list(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        let g = petersen_outer();
+        let text = format_dimacs(&g);
+        let h = parse_dimacs(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn edge_list_accepts_comments_and_blank_lines() {
+        let g = parse_edge_list("# hello\n% also a comment\n\n3 2\n0 1\n\n1 2\n").unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_duplicate_edges_collapse() {
+        let g = parse_edge_list("2 3\n0 1\n1 0\n0 1\n").unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn edge_list_missing_header() {
+        let err = parse_edge_list("# only comments\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn edge_list_bad_token_reports_line() {
+        let err = parse_edge_list("3 1\n0 x\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, ref msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains('x'), "{msg}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_self_loop_is_rejected_with_line() {
+        let err = parse_edge_list("3 1\n1 1\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, ref msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("self-loop"), "{msg}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_out_of_range_vertex() {
+        let err = parse_edge_list("3 1\n0 7\n").unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn edge_list_truncated_file_detected() {
+        let err = parse_edge_list("4 3\n0 1\n").unwrap_err();
+        assert!(err.to_string().contains("declares 3"), "{err}");
+    }
+
+    #[test]
+    fn edge_list_excess_edges_detected() {
+        let err = parse_edge_list("4 1\n0 1\n1 2\n").unwrap_err();
+        assert!(err.to_string().contains("more than"), "{err}");
+    }
+
+    #[test]
+    fn dimacs_requires_problem_line_first() {
+        let err = parse_dimacs("e 1 2\n").unwrap_err();
+        assert!(err.to_string().contains("before the `p edge`"), "{err}");
+    }
+
+    #[test]
+    fn dimacs_rejects_zero_based_vertices() {
+        let err = parse_dimacs("p edge 3 1\ne 0 1\n").unwrap_err();
+        assert!(err.to_string().contains("1-based"), "{err}");
+    }
+
+    #[test]
+    fn dimacs_rejects_unknown_line_type() {
+        let err = parse_dimacs("p edge 2 0\nq 1 2\n").unwrap_err();
+        assert!(
+            err.to_string().contains("unknown DIMACS line type"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn dimacs_rejects_duplicate_problem_line() {
+        let err = parse_dimacs("p edge 2 0\np edge 2 0\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn format_from_path_dispatch() {
+        assert_eq!(
+            GraphFileFormat::from_path(Path::new("g.col")),
+            GraphFileFormat::Dimacs
+        );
+        assert_eq!(
+            GraphFileFormat::from_path(Path::new("g.DIMACS")),
+            GraphFileFormat::Dimacs
+        );
+        assert_eq!(
+            GraphFileFormat::from_path(Path::new("g.edges")),
+            GraphFileFormat::EdgeList
+        );
+        assert_eq!(
+            GraphFileFormat::from_path(Path::new("noext")),
+            GraphFileFormat::EdgeList
+        );
+    }
+
+    #[test]
+    fn load_and_save_round_trip_via_files() {
+        let g = petersen_outer();
+        let dir = std::env::temp_dir().join("wx-graph-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["roundtrip.edges", "roundtrip.col"] {
+            let path = dir.join(name);
+            save_graph(&g, &path).unwrap();
+            assert_eq!(load_graph(&path).unwrap(), g);
+        }
+        let err = load_graph(dir.join("does-not-exist.edges")).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn load_graph_parse_errors_name_the_file() {
+        let dir = std::env::temp_dir().join("wx-graph-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.edges");
+        std::fs::write(&path, "3 1\n0 x\n").unwrap();
+        let err = load_graph(&path).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("broken.edges"), "{err}");
+    }
+}

@@ -23,6 +23,9 @@
 //!   (Section 2.1), used for the low-arboricity corollary.
 //! * [`traversal`] — BFS, connected components, distances, diameter.
 //! * [`parallel`] — rayon-parallel sweeps over vertices and vertex sets.
+//! * [`io`] — edge-list and DIMACS file readers/writers with precise
+//!   per-line parse errors (the loaders behind the scenario lab's
+//!   file-based graph sources).
 //! * [`random`] — reproducible random number utilities shared by the
 //!   workspace (every randomized routine takes an explicit `u64` seed).
 //! * [`petgraph_compat`] — conversions to and from [`petgraph`] for interop.
@@ -42,6 +45,7 @@ pub mod builder;
 pub mod csr;
 pub mod degree;
 pub mod error;
+pub mod io;
 pub mod neighborhood;
 pub mod parallel;
 pub mod petgraph_compat;

@@ -1,0 +1,88 @@
+//! Property-based round-trip tests for `wx_graph::io`: for random graphs,
+//! write → read reproduces the original CSR graph exactly, in both formats,
+//! and mutating the serialized header is always detected.
+
+use proptest::prelude::*;
+use wx_graph::io::{
+    format_dimacs, format_edge_list, parse_dimacs, parse_edge_list, parse_graph, GraphFileFormat,
+};
+use wx_graph::{Graph, GraphError};
+
+/// Strategy: a random graph on up to `max_n` vertices (possibly with
+/// isolated vertices and no edges at all).
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
+    (
+        1..=max_n,
+        prop::collection::vec((0..10_000usize, 0..10_000usize), 0..80),
+    )
+        .prop_map(|(n, pairs)| {
+            Graph::from_edges(
+                n,
+                pairs
+                    .into_iter()
+                    .map(|(u, v)| (u % n, v % n))
+                    .filter(|(u, v)| u != v),
+            )
+            .expect("endpoints are reduced into range and loops are filtered")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Edge list: write → read is the identity on CSR graphs.
+    #[test]
+    fn edge_list_round_trips(g in graph_strategy(40)) {
+        let text = format_edge_list(&g);
+        let h = parse_edge_list(&text).expect("writer output parses");
+        prop_assert_eq!(g, h);
+    }
+
+    /// DIMACS: write → read is the identity on CSR graphs.
+    #[test]
+    fn dimacs_round_trips(g in graph_strategy(40)) {
+        let text = format_dimacs(&g);
+        let h = parse_dimacs(&text).expect("writer output parses");
+        prop_assert_eq!(g, h);
+    }
+
+    /// The two formats agree: parsing a graph written in either format
+    /// yields the same graph.
+    #[test]
+    fn formats_agree(g in graph_strategy(30)) {
+        let via_edges = parse_graph(&format_edge_list(&g), GraphFileFormat::EdgeList).unwrap();
+        let via_dimacs = parse_graph(&format_dimacs(&g), GraphFileFormat::Dimacs).unwrap();
+        prop_assert_eq!(via_edges, via_dimacs);
+    }
+
+    /// Understating the edge count in the header is always detected (the
+    /// reader refuses both truncated and over-full edge sections).
+    #[test]
+    fn edge_count_mismatch_is_detected(g in graph_strategy(30), delta in 1usize..3) {
+        prop_assume!(g.num_edges() >= delta);
+        let text = format_edge_list(&g);
+        let understated = text.replacen(
+            &format!("{} {}\n", g.num_vertices(), g.num_edges()),
+            &format!("{} {}\n", g.num_vertices(), g.num_edges() - delta),
+            1,
+        );
+        let err = parse_edge_list(&understated).expect_err("mismatch must be rejected");
+        prop_assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    /// Shrinking the declared vertex count makes some endpoint out of range,
+    /// which surfaces as a parse error, never a panic.
+    #[test]
+    fn shrunken_vertex_count_is_rejected(g in graph_strategy(30)) {
+        prop_assume!(g.num_edges() > 0);
+        let max_endpoint = g.edges().map(|(u, v)| u.max(v)).max().unwrap();
+        let text = format_edge_list(&g);
+        let shrunk = text.replacen(
+            &format!("{} {}\n", g.num_vertices(), g.num_edges()),
+            &format!("{} {}\n", max_endpoint, g.num_edges()),
+            1,
+        );
+        let err = parse_edge_list(&shrunk).expect_err("out-of-range endpoint must be rejected");
+        prop_assert!(matches!(err, GraphError::Parse { .. }));
+    }
+}

@@ -1,0 +1,7 @@
+//! The `wx` CLI: declarative scenario lab for the wireless-expanders
+//! reproduction. See `wx help` or the `wx_lab::cli` module docs.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(wx_lab::cli::main_with_args(&args));
+}

@@ -1,0 +1,571 @@
+//! The `wx` command-line interface.
+//!
+//! ```text
+//! wx run <scenario.json> [--out PATH] [--sequential]
+//! wx measure   --source SRC --notion ordinary|unique|wireless [--alpha F]
+//!              [--exact-up-to N] [--fast] [--trials N] [--seed N] [--out PATH]
+//! wx profile   --source SRC [--alpha F] [--exact-up-to N] [--fast] [...]
+//! wx spokesman --source SRC --set-size N [--solvers a,b,c] [...]
+//! wx radio     --source SRC --protocol NAME [--source-vertex V]
+//!              [--max-rounds N] [...]
+//! wx sweep     (--all | NAME...) [--quick] [--seed N] [--out PATH]
+//! wx list
+//! wx validate <report.json>
+//! ```
+//!
+//! `SRC` is either inline JSON (`'{"RandomRegular": {"n": 64, "d": 4}}'`) or
+//! a graph file path (extension picks edge-list vs DIMACS). The ad-hoc
+//! subcommands (`measure`/`profile`/`spokesman`/`radio`) are sugar: each
+//! assembles a [`ScenarioSpec`] and feeds it to the same [`Runner`] that
+//! `wx run` uses, so a flag combination can always be frozen into a JSON
+//! file later.
+//!
+//! Reports go to `--out` as pretty JSON (stdout when absent); the human
+//! summary table goes to stderr so stdout stays machine-readable. Exit
+//! codes: 0 success, 1 runtime/sweep failure, 2 usage error.
+
+use crate::error::{LabError, Result};
+use crate::registry;
+use crate::runner::{Runner, ScenarioReport};
+use crate::source::GraphSource;
+use crate::spec::{ScenarioSpec, Task};
+use wx_core::expansion::engine::NotionKind;
+use wx_core::radio::protocols::ProtocolKind;
+use wx_core::spokesman::SolverKind;
+
+/// Entry point used by the `wx` binary: parses `args` (without the program
+/// name) and returns the process exit code.
+pub fn main_with_args(args: &[String]) -> i32 {
+    match dispatch(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("wx: {e}");
+            match e {
+                LabError::InvalidSpec(_) | LabError::Json { .. } => 2,
+                _ => 1,
+            }
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<i32> {
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return Ok(2);
+    };
+    match command.as_str() {
+        "run" => cmd_run(rest),
+        "measure" | "profile" | "spokesman" | "radio" => cmd_adhoc(command, rest),
+        "sweep" => cmd_sweep(rest),
+        "list" => cmd_list(),
+        "validate" => cmd_validate(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(0)
+        }
+        other => Err(LabError::invalid(format!(
+            "unknown command `{other}` (try `wx help`)"
+        ))),
+    }
+}
+
+/// The top-level help text.
+pub fn usage() -> &'static str {
+    "wx — declarative scenario lab for the wireless-expanders reproduction
+
+USAGE:
+  wx run <scenario.json> [--out PATH] [--sequential]
+  wx measure   --source SRC --notion ordinary|unique|wireless [--alpha F]
+               [--exact-up-to N] [--fast] [--trials N] [--seed N] [--out PATH]
+  wx profile   --source SRC [--alpha F] [--exact-up-to N] [--fast] [...]
+  wx spokesman --source SRC --set-size N [--solvers a,b,c] [...]
+  wx radio     --source SRC --protocol NAME [--source-vertex V]
+               [--max-rounds N] [...]
+  wx sweep     (--all | NAME...) [--quick] [--seed N] [--out PATH]
+  wx list
+  wx validate <report.json>
+
+SRC is inline JSON like '{\"RandomRegular\": {\"n\": 64, \"d\": 4}}' or a
+graph file path (.edges/.txt = edge list, .col/.dimacs/.clq = DIMACS).
+`wx sweep --all` reproduces every registered paper experiment (e1..e11)
+plus the demo scenarios; `wx list` shows everything available."
+}
+
+/// A tiny flag parser: consumes `--flag value` pairs and boolean flags from
+/// an argument list, leaving positional arguments behind.
+struct Flags {
+    rest: Vec<String>,
+}
+
+impl Flags {
+    fn new(args: &[String]) -> Flags {
+        Flags {
+            rest: args.to_vec(),
+        }
+    }
+
+    /// Removes `--name <value>` and returns the value. A following token
+    /// that is itself a `--flag` counts as a missing value, not a value, so
+    /// `--out --sequential` errors instead of writing to `--sequential`.
+    fn take_value(&mut self, name: &str) -> Result<Option<String>> {
+        if let Some(i) = self.rest.iter().position(|a| a == name) {
+            match self.rest.get(i + 1) {
+                None => Err(LabError::invalid(format!("{name} needs a value"))),
+                Some(next) if next.starts_with("--") => Err(LabError::invalid(format!(
+                    "{name} needs a value, found flag `{next}`"
+                ))),
+                Some(_) => {
+                    let value = self.rest.remove(i + 1);
+                    self.rest.remove(i);
+                    Ok(Some(value))
+                }
+            }
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Removes `--name <value>` and parses it.
+    fn take_parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>> {
+        match self.take_value(name)? {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| LabError::invalid(format!("{name}: cannot parse `{raw}`"))),
+        }
+    }
+
+    /// Removes a boolean `--name` flag.
+    fn take_flag(&mut self, name: &str) -> bool {
+        if let Some(i) = self.rest.iter().position(|a| a == name) {
+            self.rest.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The remaining positional arguments; errors on leftover `--flags`.
+    fn finish(self) -> Result<Vec<String>> {
+        if let Some(flag) = self.rest.iter().find(|a| a.starts_with("--")) {
+            return Err(LabError::invalid(format!("unknown flag `{flag}`")));
+        }
+        Ok(self.rest)
+    }
+
+    /// Like [`Flags::finish`] but for commands that take no positionals:
+    /// any leftover argument is an error rather than silently ignored.
+    fn finish_no_positionals(self) -> Result<()> {
+        let rest = self.finish()?;
+        if let Some(arg) = rest.first() {
+            return Err(LabError::invalid(format!(
+                "unexpected argument `{arg}` (flags start with --)"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Parses a `--source` value: inline JSON or a graph file path.
+fn parse_source(raw: &str) -> Result<GraphSource> {
+    if raw.trim_start().starts_with('{') {
+        serde_json::from_str(raw).map_err(|e| LabError::json("inline --source", e))
+    } else {
+        Ok(GraphSource::from_file_path(raw))
+    }
+}
+
+/// Shared report output: JSON to `--out` (or stdout), summary to stderr.
+fn emit_report(report: &ScenarioReport, out: Option<&str>) -> Result<()> {
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| LabError::Io(format!("writing {path}: {e}")))?;
+            eprintln!("report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    eprintln!("{}", report.summary_table());
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<i32> {
+    let mut flags = Flags::new(args);
+    let out = flags.take_value("--out")?;
+    let sequential = flags.take_flag("--sequential");
+    let positional = flags.finish()?;
+    let [path] = positional.as_slice() else {
+        return Err(LabError::invalid(
+            "usage: wx run <scenario.json> [--out PATH]",
+        ));
+    };
+    let spec = ScenarioSpec::from_file(path)?;
+    let runner = if sequential {
+        Runner::new().sequential()
+    } else {
+        Runner::new()
+    };
+    let report = runner.run(&spec)?;
+    emit_report(&report, out.as_deref())?;
+    Ok(0)
+}
+
+/// Assembles a spec from ad-hoc `wx measure|profile|spokesman|radio` flags
+/// and runs it through the same runner `wx run` uses.
+fn cmd_adhoc(command: &str, args: &[String]) -> Result<i32> {
+    let mut flags = Flags::new(args);
+    let source = parse_source(&flags.take_value("--source")?.ok_or_else(|| {
+        LabError::invalid(format!("wx {command} requires --source (see `wx help`)"))
+    })?)?;
+    let trials = flags.take_parsed::<usize>("--trials")?.unwrap_or(1);
+    let seed = flags.take_parsed::<u64>("--seed")?.unwrap_or(0);
+    let out = flags.take_value("--out")?;
+    let sequential = flags.take_flag("--sequential");
+    let name = flags
+        .take_value("--name")?
+        .unwrap_or_else(|| format!("adhoc-{command}"));
+
+    let task = match command {
+        "measure" => {
+            let notion_raw = flags.take_value("--notion")?.ok_or_else(|| {
+                LabError::invalid("wx measure requires --notion ordinary|unique|wireless")
+            })?;
+            let notion = NotionKind::parse(&notion_raw)
+                .ok_or_else(|| LabError::invalid(format!("unknown notion `{notion_raw}`")))?;
+            Task::Measure {
+                notion,
+                alpha: flags.take_parsed("--alpha")?,
+                exact_up_to: flags.take_parsed("--exact-up-to")?,
+                fast: flags.take_flag("--fast").then_some(true),
+            }
+        }
+        "profile" => Task::Profile {
+            alpha: flags.take_parsed("--alpha")?,
+            exact_up_to: flags.take_parsed("--exact-up-to")?,
+            fast: flags.take_flag("--fast").then_some(true),
+        },
+        "spokesman" => {
+            let set_size = flags
+                .take_parsed::<usize>("--set-size")?
+                .ok_or_else(|| LabError::invalid("wx spokesman requires --set-size N"))?;
+            let solvers = match flags.take_value("--solvers")? {
+                None => None,
+                Some(raw) => Some(
+                    raw.split(',')
+                        .map(|s| {
+                            SolverKind::parse(s.trim())
+                                .ok_or_else(|| LabError::invalid(format!("unknown solver `{s}`")))
+                        })
+                        .collect::<Result<Vec<_>>>()?,
+                ),
+            };
+            Task::Spokesman { set_size, solvers }
+        }
+        "radio" => {
+            let proto_raw = flags
+                .take_value("--protocol")?
+                .ok_or_else(|| LabError::invalid("wx radio requires --protocol NAME"))?;
+            let protocol = ProtocolKind::parse(&proto_raw)
+                .ok_or_else(|| LabError::invalid(format!("unknown protocol `{proto_raw}`")))?;
+            Task::Radio {
+                protocol,
+                source_vertex: flags.take_parsed("--source-vertex")?,
+                max_rounds: flags.take_parsed("--max-rounds")?,
+            }
+        }
+        other => unreachable!("dispatch only routes known ad-hoc commands, got {other}"),
+    };
+    flags.finish_no_positionals()?;
+
+    let spec = ScenarioSpec {
+        name,
+        description: format!("ad-hoc `wx {command}` invocation"),
+        source,
+        task,
+        trials,
+        seed,
+    };
+    let runner = if sequential {
+        Runner::new().sequential()
+    } else {
+        Runner::new()
+    };
+    let report = runner.run(&spec)?;
+    emit_report(&report, out.as_deref())?;
+    Ok(0)
+}
+
+fn cmd_sweep(args: &[String]) -> Result<i32> {
+    let mut flags = Flags::new(args);
+    let all = flags.take_flag("--all");
+    let quick = flags.take_flag("--quick");
+    let seed = flags.take_parsed::<u64>("--seed")?.unwrap_or(0xE0);
+    let out = flags.take_value("--out")?;
+    let names = flags.finish()?;
+    if all && !names.is_empty() {
+        return Err(LabError::invalid(
+            "pass either --all or explicit scenario names, not both",
+        ));
+    }
+    if !all && names.is_empty() {
+        return Err(LabError::invalid(
+            "usage: wx sweep (--all | NAME...) — see `wx list` for names",
+        ));
+    }
+    let selection = names;
+    let report = registry::run_sweep(
+        &selection,
+        &Runner::new(),
+        registry::SweepOptions { quick, seed },
+    )?;
+
+    for entry in &report.entries {
+        eprintln!(
+            "[{}] {:<22} {}",
+            if entry.passed { "pass" } else { "FAIL" },
+            entry.name,
+            entry.error.as_deref().unwrap_or(entry.title.as_str()),
+        );
+    }
+    eprintln!("{} passed, {} failed", report.passed, report.failed);
+
+    let json = report.to_json();
+    match out.as_deref() {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| LabError::Io(format!("writing {path}: {e}")))?;
+            eprintln!("sweep report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(if report.all_passed() { 0 } else { 1 })
+}
+
+fn cmd_list() -> Result<i32> {
+    println!("built-in scenarios (run with `wx sweep NAME` or `wx sweep --all`):");
+    for entry in registry::builtins() {
+        let kind = match entry.kind {
+            registry::BuiltinKind::Scenario(_) => "scenario",
+            registry::BuiltinKind::Paper(_) => "paper",
+        };
+        println!("  {:<22} [{kind}] {}", entry.name, entry.title);
+    }
+    println!("\ngraph families (usable as --source / scenario `source`):");
+    for family in wx_core::constructions::families::CATALOG {
+        println!(
+            "  {:<16} ({:<14}) {}{}",
+            family.name,
+            family.params,
+            family.summary,
+            if family.randomized {
+                " [randomized]"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "  {:<16} ({:<14}) graph loaded from an edge-list file",
+        "EdgeListFile", "path"
+    );
+    println!(
+        "  {:<16} ({:<14}) graph loaded from a DIMACS file",
+        "DimacsFile", "path"
+    );
+    Ok(0)
+}
+
+fn cmd_validate(args: &[String]) -> Result<i32> {
+    let [path] = args else {
+        return Err(LabError::invalid("usage: wx validate <report.json>"));
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| LabError::Io(format!("reading {path}: {e}")))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| LabError::json(path.clone(), e))?;
+    if value.as_map().is_none() {
+        return Err(LabError::json(
+            path.clone(),
+            "expected a top-level JSON object",
+        ));
+    }
+    println!("{path}: valid JSON report");
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_command_is_a_usage_error() {
+        assert_eq!(main_with_args(&strs(&["frobnicate"])), 2);
+        assert_eq!(main_with_args(&[]), 2);
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert_eq!(main_with_args(&strs(&["help"])), 0);
+        assert_eq!(main_with_args(&strs(&["list"])), 0);
+    }
+
+    #[test]
+    fn flags_parser_takes_values_and_rejects_leftovers() {
+        let mut f = Flags::new(&strs(&["--seed", "7", "pos", "--quick"]));
+        assert_eq!(f.take_parsed::<u64>("--seed").unwrap(), Some(7));
+        assert!(f.take_flag("--quick"));
+        assert!(!f.take_flag("--quick"));
+        assert_eq!(f.finish().unwrap(), vec!["pos".to_string()]);
+
+        let mut f = Flags::new(&strs(&["--seed"]));
+        assert!(f.take_value("--seed").is_err());
+
+        // a flag where a value belongs is a missing value, not a value
+        let mut f = Flags::new(&strs(&["--out", "--sequential"]));
+        let err = f.take_value("--out").unwrap_err();
+        assert!(err.to_string().contains("--sequential"), "{err}");
+
+        let f = Flags::new(&strs(&["--bogus"]));
+        assert!(f.finish().is_err());
+
+        // commands without positionals reject stray arguments
+        let f = Flags::new(&strs(&["trials", "5"]));
+        assert!(f.finish_no_positionals().is_err());
+    }
+
+    #[test]
+    fn source_parses_inline_json_and_paths() {
+        let inline = parse_source(r#"{"Hypercube": {"dim": 4}}"#).unwrap();
+        assert_eq!(inline, GraphSource::Hypercube { dim: 4 });
+        assert!(matches!(
+            parse_source("graphs/karate.col").unwrap(),
+            GraphSource::DimacsFile { .. }
+        ));
+        assert!(parse_source(r#"{"Hypercube": }"#).is_err());
+    }
+
+    #[test]
+    fn measure_requires_its_flags() {
+        assert_eq!(main_with_args(&strs(&["measure"])), 2);
+        assert_eq!(
+            main_with_args(&strs(&[
+                "measure",
+                "--source",
+                r#"{"Hypercube": {"dim": 3}}"#
+            ])),
+            2
+        );
+    }
+
+    #[test]
+    fn end_to_end_measure_writes_a_valid_report() {
+        let dir = std::env::temp_dir().join("wx-lab-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("report.json");
+        let code = main_with_args(&strs(&[
+            "measure",
+            "--source",
+            r#"{"CompletePlus": {"k": 6}}"#,
+            "--notion",
+            "unique",
+            "--trials",
+            "2",
+            "--seed",
+            "5",
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        let code = main_with_args(&strs(&["validate", out.to_str().unwrap()]));
+        assert_eq!(code, 0);
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("\"value\""), "{text}");
+    }
+
+    #[test]
+    fn end_to_end_run_from_scenario_file() {
+        let dir = std::env::temp_dir().join("wx-lab-cli-run-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("scenario.json");
+        std::fs::write(
+            &spec_path,
+            r#"{
+                "name": "cli-e2e",
+                "source": {"Grid": {"rows": 3, "cols": 3}},
+                "task": {"Radio": {"protocol": "NaiveFlooding"}},
+                "trials": 2,
+                "seed": 1
+            }"#,
+        )
+        .unwrap();
+        let out = dir.join("report.json");
+        let code = main_with_args(&strs(&[
+            "run",
+            spec_path.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        assert_eq!(
+            main_with_args(&strs(&["validate", out.to_str().unwrap()])),
+            0
+        );
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        let dir = std::env::temp_dir().join("wx-lab-cli-validate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{ not json").unwrap();
+        assert_eq!(
+            main_with_args(&strs(&["validate", bad.to_str().unwrap()])),
+            2
+        );
+        assert_ne!(
+            main_with_args(&strs(&["validate", "/definitely/not/there.json"])),
+            0
+        );
+    }
+
+    #[test]
+    fn adhoc_rejects_stray_positionals() {
+        // `trials 5` (missing the --) must error, not silently run 1 trial
+        let code = main_with_args(&strs(&[
+            "measure",
+            "--source",
+            r#"{"Hypercube": {"dim": 3}}"#,
+            "--notion",
+            "ordinary",
+            "trials",
+            "5",
+        ]));
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn sweep_requires_selection_and_reports_quick_entry() {
+        assert_eq!(main_with_args(&strs(&["sweep"])), 2);
+        // --all plus explicit names is ambiguous and refused
+        assert_eq!(main_with_args(&strs(&["sweep", "--all", "e1"])), 2);
+        let dir = std::env::temp_dir().join("wx-lab-cli-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("sweep.json");
+        let code = main_with_args(&strs(&[
+            "sweep",
+            "c-plus-profile",
+            "--quick",
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("\"passed\": 1"), "{text}");
+    }
+}

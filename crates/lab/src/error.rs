@@ -1,0 +1,77 @@
+//! Error type for the scenario lab.
+
+use thiserror::Error;
+use wx_core::graph::GraphError;
+
+/// Everything that can go wrong between a scenario file and its report.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum LabError {
+    /// Building or loading a graph failed.
+    #[error("graph error: {0}")]
+    Graph(GraphError),
+
+    /// The scenario itself is inconsistent (e.g. a set size larger than the
+    /// graph, zero trials, an unknown built-in name).
+    #[error("invalid scenario: {0}")]
+    InvalidSpec(String),
+
+    /// A JSON document failed to parse or deserialize.
+    #[error("JSON error in {context}: {message}")]
+    Json {
+        /// What was being parsed (a file path or "inline spec").
+        context: String,
+        /// The underlying parse/deserialize message.
+        message: String,
+    },
+
+    /// A filesystem operation failed.
+    #[error("I/O error: {0}")]
+    Io(String),
+}
+
+impl From<GraphError> for LabError {
+    fn from(e: GraphError) -> Self {
+        LabError::Graph(e)
+    }
+}
+
+impl From<std::io::Error> for LabError {
+    fn from(e: std::io::Error) -> Self {
+        LabError::Io(e.to_string())
+    }
+}
+
+impl LabError {
+    /// Builds [`LabError::InvalidSpec`] from anything displayable.
+    pub fn invalid(msg: impl std::fmt::Display) -> Self {
+        LabError::InvalidSpec(msg.to_string())
+    }
+
+    /// Builds [`LabError::Json`] with a context label.
+    pub fn json(context: impl Into<String>, message: impl std::fmt::Display) -> Self {
+        LabError::Json {
+            context: context.into(),
+            message: message.to_string(),
+        }
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LabError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e: LabError = GraphError::SelfLoop(3).into();
+        assert!(e.to_string().contains('3'));
+        let e = LabError::invalid("trials must be positive");
+        assert!(e.to_string().contains("trials"));
+        let e = LabError::json("scenario.json", "expected map");
+        assert!(e.to_string().contains("scenario.json"));
+        let e: LabError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+    }
+}

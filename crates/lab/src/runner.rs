@@ -1,0 +1,509 @@
+//! The scenario runner: spec → deterministic trial plan → parallel
+//! execution → aggregated JSON report.
+//!
+//! # Determinism contract
+//!
+//! [`Runner::plan`] expands a [`ScenarioSpec`] into a [`TrialPlan`] whose
+//! per-trial seeds are derived from the spec's base seed with
+//! [`derive_seed`], never from global state. Trials execute rayon-parallel
+//! but collect **in trial order**, every randomized component inside a trial
+//! is seeded from that trial's seed, and aggregated metrics are stored in
+//! `BTreeMap`s — so two runs of the same spec produce byte-identical JSON
+//! reports regardless of thread scheduling.
+//!
+//! # Performance
+//!
+//! The hot paths reuse the workspace's fast inner loops: expansion tasks run
+//! through the [`MeasurementEngine`]'s per-rayon-worker
+//! `NeighborhoodScratch` pool, the spokesman task extracts its bipartite
+//! views through [`with_thread_scratch`], and the radio simulator resolves
+//! per-round receivers through one scratch reused across rounds.
+//! Deterministic graph sources are built once and shared across trials;
+//! randomized sources draw one instance per trial from the trial seed.
+
+use crate::error::{LabError, Result};
+use crate::spec::{ScenarioSpec, Task};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use wx_core::expansion::engine::{MeasurementEngine, Wireless};
+use wx_core::graph::random::{derive_seed, random_subset_of_size, rng_from_seed};
+use wx_core::graph::scratch::with_thread_scratch;
+use wx_core::graph::{BipartiteGraph, Graph};
+use wx_core::radio::{RadioSimulator, SimulatorConfig};
+use wx_core::report::{fmt_f64, render_table, to_json_pretty, AggregateStats, TableRow};
+use wx_core::spokesman::SolverKind;
+
+/// One planned trial: its index and its derived seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub struct TrialSpec {
+    /// Trial index `0..trials`.
+    pub index: usize,
+    /// Seed derived from the scenario seed (`derive_seed(spec.seed, index)`).
+    pub seed: u64,
+}
+
+/// The deterministic expansion of a spec into trials.
+#[derive(Clone, Debug)]
+pub struct TrialPlan {
+    /// The spec the plan was derived from.
+    pub spec: ScenarioSpec,
+    /// One entry per trial, in execution order.
+    pub trials: Vec<TrialSpec>,
+}
+
+/// The measured metrics of one executed trial.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TrialRecord {
+    /// Trial index.
+    pub trial: usize,
+    /// The trial's derived seed.
+    pub seed: u64,
+    /// Metric name → value. Non-finite values serialize as `null` and are
+    /// skipped by aggregation.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// The aggregated, serializable result of one scenario run.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ScenarioReport {
+    /// Scenario name (from the spec).
+    pub name: String,
+    /// Scenario description (from the spec).
+    pub description: String,
+    /// Human-readable graph-source label.
+    pub source: String,
+    /// Human-readable task label.
+    pub task: String,
+    /// The base seed.
+    pub seed: u64,
+    /// Number of executed trials.
+    pub trials: usize,
+    /// Metric name → aggregate statistics over the trials.
+    pub metrics: BTreeMap<String, AggregateStats>,
+    /// The raw per-trial records (in trial order).
+    pub per_trial: Vec<TrialRecord>,
+}
+
+impl ScenarioReport {
+    /// Serializes the report to pretty JSON (the `wx` CLI's output format).
+    pub fn to_json(&self) -> String {
+        to_json_pretty(self)
+    }
+
+    /// Renders a human-readable summary table of the aggregated metrics.
+    pub fn summary_table(&self) -> String {
+        let rows: Vec<TableRow> = self
+            .metrics
+            .iter()
+            .map(|(name, s)| {
+                TableRow::new(
+                    name.clone(),
+                    vec![
+                        s.count.to_string(),
+                        fmt_f64(s.mean),
+                        fmt_f64(s.median),
+                        fmt_f64(s.min),
+                        fmt_f64(s.max),
+                        fmt_f64(s.p95),
+                    ],
+                )
+            })
+            .collect();
+        render_table(
+            &format!(
+                "{} — {} · {} · {} trial(s), seed {}",
+                self.name, self.source, self.task, self.trials, self.seed
+            ),
+            &["metric", "count", "mean", "median", "min", "max", "p95"],
+            &rows,
+        )
+    }
+}
+
+/// Executes scenarios. See the module docs for the determinism contract.
+#[derive(Clone, Copy, Debug)]
+pub struct Runner {
+    parallel: bool,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::new()
+    }
+}
+
+impl Runner {
+    /// A runner with rayon-parallel trial execution (the default).
+    pub fn new() -> Runner {
+        Runner { parallel: true }
+    }
+
+    /// Disables parallel trial execution (useful for debugging; results are
+    /// identical either way).
+    pub fn sequential(mut self) -> Runner {
+        self.parallel = false;
+        self
+    }
+
+    /// Expands a spec into its deterministic trial plan.
+    pub fn plan(&self, spec: &ScenarioSpec) -> TrialPlan {
+        TrialPlan {
+            spec: spec.clone(),
+            trials: (0..spec.trials)
+                .map(|index| TrialSpec {
+                    index,
+                    seed: derive_seed(spec.seed, index as u64),
+                })
+                .collect(),
+        }
+    }
+
+    /// Runs a scenario end to end: plan, execute every trial, aggregate.
+    pub fn run(&self, spec: &ScenarioSpec) -> Result<ScenarioReport> {
+        spec.validate()?;
+        let plan = self.plan(spec);
+
+        // Deterministic sources are built once and shared by every trial;
+        // randomized sources draw a per-trial instance from the trial seed.
+        let shared: Option<Graph> = if spec.source.is_randomized() {
+            None
+        } else {
+            Some(spec.source.build(0)?)
+        };
+
+        let run_one = |trial: &TrialSpec| -> Result<TrialRecord> {
+            let built;
+            let graph = match &shared {
+                Some(g) => g,
+                None => {
+                    built = spec.source.build(derive_seed(trial.seed, 0))?;
+                    &built
+                }
+            };
+            let task_seed = derive_seed(trial.seed, 1);
+            let mut metrics = execute_task(graph, &spec.task, task_seed)?;
+            metrics.insert("graph_n".to_string(), graph.num_vertices() as f64);
+            metrics.insert("graph_m".to_string(), graph.num_edges() as f64);
+            metrics.insert("graph_max_degree".to_string(), graph.max_degree() as f64);
+            Ok(TrialRecord {
+                trial: trial.index,
+                seed: trial.seed,
+                metrics,
+            })
+        };
+
+        let results: Vec<Result<TrialRecord>> = if self.parallel {
+            plan.trials.par_iter().map(run_one).collect()
+        } else {
+            plan.trials.iter().map(run_one).collect()
+        };
+        let per_trial: Vec<TrialRecord> = results.into_iter().collect::<Result<_>>()?;
+
+        Ok(ScenarioReport {
+            name: spec.name.clone(),
+            description: spec.description.clone(),
+            source: spec.source.label(),
+            task: spec.task.label(),
+            seed: spec.seed,
+            trials: per_trial.len(),
+            metrics: aggregate(&per_trial),
+            per_trial,
+        })
+    }
+}
+
+/// Aggregates per-trial metrics into per-key [`AggregateStats`]. Keys whose
+/// samples are all non-finite (or absent) are omitted.
+fn aggregate(records: &[TrialRecord]) -> BTreeMap<String, AggregateStats> {
+    let mut by_key: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for record in records {
+        for (key, value) in &record.metrics {
+            by_key.entry(key).or_default().push(*value);
+        }
+    }
+    by_key
+        .into_iter()
+        .filter_map(|(key, samples)| {
+            AggregateStats::from_samples(&samples).map(|s| (key.to_string(), s))
+        })
+        .collect()
+}
+
+/// Executes one task on one graph instance, returning its metric map.
+fn execute_task(g: &Graph, task: &Task, seed: u64) -> Result<BTreeMap<String, f64>> {
+    let mut metrics = BTreeMap::new();
+    match task {
+        Task::Measure {
+            notion,
+            alpha,
+            exact_up_to,
+            fast,
+        } => {
+            let engine = engine_for(*alpha, *exact_up_to, seed);
+            let measure = notion.measure(fast.unwrap_or(false));
+            let m = engine
+                .measure(g, measure.as_ref())
+                .ok_or_else(|| LabError::invalid("cannot measure an empty graph"))?;
+            metrics.insert("value".to_string(), m.value);
+            metrics.insert("witness_size".to_string(), m.witness.len() as f64);
+            metrics.insert("exact".to_string(), if m.exact { 1.0 } else { 0.0 });
+            if let Some(cert) = &m.certificate {
+                metrics.insert("certificate_size".to_string(), cert.len() as f64);
+            }
+        }
+        Task::Profile {
+            alpha,
+            exact_up_to,
+            fast,
+        } => {
+            let engine = engine_for(*alpha, *exact_up_to, seed);
+            let wireless = if fast.unwrap_or(false) {
+                Wireless::fast()
+            } else {
+                Wireless::default()
+            };
+            let t = engine
+                .measure_all(g, &wireless)
+                .ok_or_else(|| LabError::invalid("cannot profile an empty graph"))?;
+            metrics.insert("ordinary".to_string(), t.ordinary.value);
+            metrics.insert("wireless".to_string(), t.wireless.value);
+            metrics.insert("unique".to_string(), t.unique.value);
+            // Theorem 1.1's loss β/βw; non-finite (βw = 0) drops out of the
+            // aggregate but stays visible (as null) in the per-trial record.
+            metrics.insert(
+                "loss_ordinary_over_wireless".to_string(),
+                t.ordinary.value / t.wireless.value,
+            );
+            metrics.insert(
+                "gap_wireless_minus_unique".to_string(),
+                t.wireless.value - t.unique.value,
+            );
+        }
+        Task::Spokesman { set_size, solvers } => {
+            let n = g.num_vertices();
+            if *set_size > n {
+                return Err(LabError::invalid(format!(
+                    "spokesman set_size {set_size} exceeds the graph's {n} vertices"
+                )));
+            }
+            let mut rng = rng_from_seed(derive_seed(seed, 0));
+            let s = random_subset_of_size(&mut rng, n, *set_size);
+            let (view, _, _) = with_thread_scratch(n, |scratch| {
+                BipartiteGraph::from_set_in_graph_with(g, &s, scratch)
+            });
+            let kinds: Vec<SolverKind> = solvers
+                .clone()
+                .unwrap_or_else(|| SolverKind::POLYNOMIAL.to_vec());
+            let mut best = 0.0f64;
+            for (i, kind) in kinds.iter().enumerate() {
+                let result = kind.build().solve(&view, derive_seed(seed, 1 + i as u64));
+                let certificate = result.expansion_certificate(&view);
+                metrics.insert(
+                    format!("coverage_fraction:{kind}"),
+                    result.coverage_fraction(&view),
+                );
+                metrics.insert(format!("certificate:{kind}"), certificate);
+                if certificate.is_finite() {
+                    best = best.max(certificate);
+                }
+            }
+            metrics.insert("best_certificate".to_string(), best);
+            metrics.insert("right_side".to_string(), view.num_right() as f64);
+        }
+        Task::Radio {
+            protocol,
+            source_vertex,
+            max_rounds,
+        } => {
+            let n = g.num_vertices();
+            let source = source_vertex.unwrap_or(0);
+            if source >= n {
+                return Err(LabError::invalid(format!(
+                    "radio source vertex {source} out of range for {n} vertices"
+                )));
+            }
+            let config = SimulatorConfig {
+                max_rounds: max_rounds.unwrap_or(10 * n + 100),
+                stop_when_complete: true,
+            };
+            let sim = RadioSimulator::new(g, source, config);
+            let mut proto = protocol.build();
+            let outcome = sim.run(&mut proto, seed);
+            metrics.insert(
+                "completed".to_string(),
+                if outcome.completed() { 1.0 } else { 0.0 },
+            );
+            metrics.insert("reachable".to_string(), outcome.reachable as f64);
+            if let Some(rounds) = outcome.completed_at {
+                metrics.insert("rounds".to_string(), rounds as f64);
+            }
+            if let Some(half) = outcome.rounds_to_reach_fraction(0.5) {
+                metrics.insert("rounds_to_half".to_string(), half as f64);
+            }
+        }
+    }
+    Ok(metrics)
+}
+
+fn engine_for(alpha: Option<f64>, exact_up_to: Option<usize>, seed: u64) -> MeasurementEngine {
+    MeasurementEngine::builder()
+        .alpha(alpha.unwrap_or(0.5))
+        .exact_up_to(exact_up_to.unwrap_or(14))
+        .seed(seed)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::GraphSource;
+    use wx_core::expansion::engine::NotionKind;
+    use wx_core::radio::protocols::ProtocolKind;
+
+    fn measure_spec(trials: usize) -> ScenarioSpec {
+        ScenarioSpec {
+            name: "t".to_string(),
+            description: String::new(),
+            source: GraphSource::CompletePlus { k: 6 },
+            task: Task::Measure {
+                notion: NotionKind::Unique,
+                alpha: None,
+                exact_up_to: None,
+                fast: None,
+            },
+            trials,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_indexed() {
+        let runner = Runner::new();
+        let plan = runner.plan(&measure_spec(4));
+        assert_eq!(plan.trials.len(), 4);
+        assert_eq!(plan.trials[0].index, 0);
+        assert_eq!(plan.trials, runner.plan(&measure_spec(4)).trials);
+        // distinct derived seeds per trial
+        let mut seeds: Vec<u64> = plan.trials.iter().map(|t| t.seed).collect();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn measure_task_reproduces_the_headline_phenomenon() {
+        // C⁺ has βu = 0 — every trial must agree exactly.
+        let report = Runner::new().run(&measure_spec(3)).unwrap();
+        assert_eq!(report.trials, 3);
+        let value = &report.metrics["value"];
+        assert_eq!(value.count, 3);
+        assert_eq!(value.min, 0.0);
+        assert_eq!(value.max, 0.0);
+        assert_eq!(report.metrics["graph_n"].mean, 7.0);
+        assert_eq!(report.per_trial.len(), 3);
+    }
+
+    #[test]
+    fn parallel_and_sequential_reports_are_identical() {
+        let spec = ScenarioSpec {
+            source: GraphSource::RandomRegular { n: 20, d: 3 },
+            trials: 4,
+            ..measure_spec(4)
+        };
+        let par = Runner::new().run(&spec).unwrap();
+        let seq = Runner::new().sequential().run(&spec).unwrap();
+        assert_eq!(par.to_json(), seq.to_json());
+    }
+
+    #[test]
+    fn profile_task_reports_the_sandwich() {
+        let spec = ScenarioSpec {
+            name: "profile".to_string(),
+            description: String::new(),
+            source: GraphSource::Hypercube { dim: 3 },
+            task: Task::Profile {
+                alpha: Some(0.5),
+                exact_up_to: Some(10),
+                fast: None,
+            },
+            trials: 1,
+            seed: 1,
+        };
+        let report = Runner::new().run(&spec).unwrap();
+        let beta = report.metrics["ordinary"].mean;
+        let beta_w = report.metrics["wireless"].mean;
+        let beta_u = report.metrics["unique"].mean;
+        assert!(beta + 1e-9 >= beta_w && beta_w + 1e-9 >= beta_u);
+    }
+
+    #[test]
+    fn spokesman_task_compares_solvers() {
+        let spec = ScenarioSpec {
+            name: "spokesman".to_string(),
+            description: String::new(),
+            source: GraphSource::RandomRegular { n: 40, d: 4 },
+            task: Task::Spokesman {
+                set_size: 10,
+                solvers: Some(vec![SolverKind::GreedyMinDegree, SolverKind::Partition]),
+            },
+            trials: 3,
+            seed: 9,
+        };
+        let report = Runner::new().run(&spec).unwrap();
+        assert!(report.metrics.contains_key("certificate:greedy-min-degree"));
+        assert!(report.metrics.contains_key("certificate:partition"));
+        assert!(report.metrics["best_certificate"].min >= 0.0);
+    }
+
+    #[test]
+    fn radio_task_aggregates_round_counts() {
+        let spec = ScenarioSpec {
+            name: "radio".to_string(),
+            description: String::new(),
+            source: GraphSource::Grid { rows: 4, cols: 4 },
+            task: Task::Radio {
+                protocol: ProtocolKind::Decay,
+                source_vertex: None,
+                max_rounds: None,
+            },
+            trials: 5,
+            seed: 11,
+        };
+        let report = Runner::new().run(&spec).unwrap();
+        assert_eq!(report.metrics["completed"].mean, 1.0);
+        assert!(report.metrics["rounds"].min >= 1.0);
+        assert_eq!(report.metrics["rounds"].count, 5);
+    }
+
+    #[test]
+    fn runtime_validation_errors_are_clean() {
+        let too_big = ScenarioSpec {
+            task: Task::Spokesman {
+                set_size: 1000,
+                solvers: None,
+            },
+            ..measure_spec(1)
+        };
+        let err = Runner::new().run(&too_big).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+
+        let bad_source = ScenarioSpec {
+            task: Task::Radio {
+                protocol: ProtocolKind::Decay,
+                source_vertex: Some(99),
+                max_rounds: None,
+            },
+            ..measure_spec(1)
+        };
+        let err = Runner::new().run(&bad_source).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn summary_table_lists_every_metric() {
+        let report = Runner::new().run(&measure_spec(2)).unwrap();
+        let table = report.summary_table();
+        for key in report.metrics.keys() {
+            assert!(table.contains(key.as_str()), "missing {key} in:\n{table}");
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! The graph-source registry: one serializable enum unifying every way the
+//! workspace can produce a graph.
+//!
+//! A [`GraphSource`] names either a generator from
+//! [`wx_constructions::families`](wx_core::constructions::families) (with
+//! its parameters), a random generator, or a file loader backed by
+//! [`wx_graph::io`](wx_core::graph::io). Scenario specs embed one, the
+//! runner calls [`GraphSource::build`] once per trial with a derived seed,
+//! and randomized sources ([`GraphSource::is_randomized`]) draw a fresh
+//! instance per trial while deterministic ones are built once and shared.
+//!
+//! The JSON shape is the serde external tag:
+//! `{"RandomRegular": {"n": 64, "d": 4}}`, `{"Hypercube": {"dim": 6}}`,
+//! `{"EdgeListFile": {"path": "graphs/foo.edges"}}`, …
+
+use serde::{Deserialize, Serialize};
+use wx_core::constructions::families;
+use wx_core::graph::{io as graph_io, Graph};
+
+/// A declarative graph source: family generators, random generators and
+/// file loaders behind one serializable enum.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum GraphSource {
+    /// Random `d`-regular graph on `n` vertices (seeded per trial).
+    RandomRegular {
+        /// Number of vertices.
+        n: usize,
+        /// Degree.
+        d: usize,
+    },
+    /// Boolean hypercube `Q_dim` on `2^dim` vertices.
+    Hypercube {
+        /// Dimension.
+        dim: usize,
+    },
+    /// Margulis–Gabber–Galil expander on `Z_m × Z_m`.
+    Margulis {
+        /// Side length `m`.
+        m: usize,
+    },
+    /// The paper's `C⁺` example: a `k`-clique plus a pendant source
+    /// (the pendant is vertex `k`).
+    CompletePlus {
+        /// Clique size.
+        k: usize,
+    },
+    /// 2-D grid.
+    Grid {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// 2-D torus.
+    Torus {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Complete `k`-ary tree.
+    KAryTree {
+        /// Branching factor.
+        arity: usize,
+        /// Number of levels.
+        levels: usize,
+    },
+    /// Uniformly random labelled tree on `n` vertices (seeded per trial).
+    RandomTree {
+        /// Number of vertices.
+        n: usize,
+    },
+    /// Edge-list file (`#` comments, `n m` header, `u v` lines, 0-based).
+    EdgeListFile {
+        /// Path, relative to the working directory.
+        path: String,
+    },
+    /// DIMACS file (`c` / `p edge n m` / `e u v`, 1-based).
+    DimacsFile {
+        /// Path, relative to the working directory.
+        path: String,
+    },
+}
+
+impl GraphSource {
+    /// Builds the graph. Deterministic sources ignore `seed`; randomized
+    /// ones derive their instance from it, so equal seeds give equal graphs.
+    pub fn build(&self, seed: u64) -> wx_core::graph::Result<Graph> {
+        match self {
+            GraphSource::RandomRegular { n, d } => families::random_regular_graph(*n, *d, seed),
+            GraphSource::Hypercube { dim } => families::hypercube_graph(*dim),
+            GraphSource::Margulis { m } => families::margulis_graph(*m),
+            GraphSource::CompletePlus { k } => families::complete_plus_graph(*k).map(|(g, _)| g),
+            GraphSource::Grid { rows, cols } => families::grid_graph(*rows, *cols),
+            GraphSource::Torus { rows, cols } => families::torus_graph(*rows, *cols),
+            GraphSource::KAryTree { arity, levels } => {
+                families::complete_k_ary_tree(*arity, *levels)
+            }
+            GraphSource::RandomTree { n } => families::random_tree(*n, seed),
+            GraphSource::EdgeListFile { path } | GraphSource::DimacsFile { path } => {
+                graph_io::load_graph(path)
+            }
+        }
+    }
+
+    /// `true` when the built instance depends on the seed, in which case the
+    /// runner draws a fresh instance per trial.
+    pub fn is_randomized(&self) -> bool {
+        matches!(
+            self,
+            GraphSource::RandomRegular { .. } | GraphSource::RandomTree { .. }
+        )
+    }
+
+    /// A compact human-readable label for reports, e.g.
+    /// `random-regular(n=64, d=4)`.
+    pub fn label(&self) -> String {
+        match self {
+            GraphSource::RandomRegular { n, d } => format!("random-regular(n={n}, d={d})"),
+            GraphSource::Hypercube { dim } => format!("hypercube(dim={dim})"),
+            GraphSource::Margulis { m } => format!("margulis(m={m})"),
+            GraphSource::CompletePlus { k } => format!("complete-plus(k={k})"),
+            GraphSource::Grid { rows, cols } => format!("grid({rows}x{cols})"),
+            GraphSource::Torus { rows, cols } => format!("torus({rows}x{cols})"),
+            GraphSource::KAryTree { arity, levels } => {
+                format!("k-ary-tree(arity={arity}, levels={levels})")
+            }
+            GraphSource::RandomTree { n } => format!("random-tree(n={n})"),
+            GraphSource::EdgeListFile { path } => format!("edge-list({path})"),
+            GraphSource::DimacsFile { path } => format!("dimacs({path})"),
+        }
+    }
+
+    /// Builds a file source from a path, dispatching on the extension the
+    /// same way [`wx_graph::io::GraphFileFormat::from_path`] does.
+    pub fn from_file_path(path: &str) -> GraphSource {
+        match graph_io::GraphFileFormat::from_path(std::path::Path::new(path)) {
+            graph_io::GraphFileFormat::Dimacs => GraphSource::DimacsFile {
+                path: path.to_string(),
+            },
+            graph_io::GraphFileFormat::EdgeList => GraphSource::EdgeListFile {
+                path: path.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_source_builds() {
+        let cases = [
+            (GraphSource::RandomRegular { n: 16, d: 4 }, 16),
+            (GraphSource::Hypercube { dim: 4 }, 16),
+            (GraphSource::Margulis { m: 3 }, 9),
+            (GraphSource::CompletePlus { k: 5 }, 6),
+            (GraphSource::Grid { rows: 3, cols: 4 }, 12),
+            (GraphSource::Torus { rows: 3, cols: 4 }, 12),
+            (
+                GraphSource::KAryTree {
+                    arity: 2,
+                    levels: 3,
+                },
+                7,
+            ),
+            (GraphSource::RandomTree { n: 9 }, 9),
+        ];
+        for (source, expect_n) in cases {
+            let g = source
+                .build(5)
+                .unwrap_or_else(|e| panic!("{source:?}: {e}"));
+            assert_eq!(g.num_vertices(), expect_n, "{source:?}");
+            assert!(!source.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn randomized_sources_vary_with_seed_deterministic_ones_do_not() {
+        let rr = GraphSource::RandomRegular { n: 24, d: 3 };
+        assert!(rr.is_randomized());
+        assert_eq!(rr.build(1).unwrap(), rr.build(1).unwrap());
+        assert_ne!(rr.build(1).unwrap(), rr.build(2).unwrap());
+
+        let hc = GraphSource::Hypercube { dim: 4 };
+        assert!(!hc.is_randomized());
+        assert_eq!(hc.build(1).unwrap(), hc.build(2).unwrap());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let source = GraphSource::RandomRegular { n: 64, d: 4 };
+        let json = serde_json::to_string(&source).unwrap();
+        assert!(json.contains("RandomRegular"), "{json}");
+        let back: GraphSource = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, source);
+
+        let parsed: GraphSource =
+            serde_json::from_str(r#"{"Grid": {"rows": 3, "cols": 7}}"#).unwrap();
+        assert_eq!(parsed, GraphSource::Grid { rows: 3, cols: 7 });
+
+        assert!(serde_json::from_str::<GraphSource>(r#"{"NoSuchFamily": {}}"#).is_err());
+    }
+
+    #[test]
+    fn file_sources_load_and_dispatch() {
+        let g = GraphSource::Hypercube { dim: 3 }.build(0).unwrap();
+        let dir = std::env::temp_dir().join("wx-lab-source-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("g.edges");
+        let dimacs = dir.join("g.col");
+        wx_core::graph::io::save_graph(&g, &edges).unwrap();
+        wx_core::graph::io::save_graph(&g, &dimacs).unwrap();
+
+        let from_edges = GraphSource::from_file_path(edges.to_str().unwrap());
+        assert!(matches!(from_edges, GraphSource::EdgeListFile { .. }));
+        assert_eq!(from_edges.build(0).unwrap(), g);
+
+        let from_dimacs = GraphSource::from_file_path(dimacs.to_str().unwrap());
+        assert!(matches!(from_dimacs, GraphSource::DimacsFile { .. }));
+        assert_eq!(from_dimacs.build(0).unwrap(), g);
+    }
+}

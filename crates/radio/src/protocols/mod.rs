@@ -30,6 +30,55 @@ pub enum ProtocolKind {
     Spokesman,
 }
 
+impl ProtocolKind {
+    /// Every protocol kind, in the module table's order.
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::NaiveFlooding,
+        ProtocolKind::RoundRobin,
+        ProtocolKind::Decay,
+        ProtocolKind::Spokesman,
+    ];
+
+    /// The short name used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::NaiveFlooding => "naive-flooding",
+            ProtocolKind::RoundRobin => "round-robin",
+            ProtocolKind::Decay => "decay",
+            ProtocolKind::Spokesman => "spokesman",
+        }
+    }
+
+    /// Parses a [`ProtocolKind::name`] string (case-insensitive; also
+    /// accepts the bare aliases `naive` and `flooding`).
+    pub fn parse(s: &str) -> Option<ProtocolKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "naive-flooding" | "naive" | "flooding" => Some(ProtocolKind::NaiveFlooding),
+            "round-robin" | "roundrobin" => Some(ProtocolKind::RoundRobin),
+            "decay" => Some(ProtocolKind::Decay),
+            "spokesman" | "spokesman-schedule" => Some(ProtocolKind::Spokesman),
+            _ => None,
+        }
+    }
+
+    /// Builds a fresh default-configured instance of this protocol — the
+    /// by-name factory declarative callers (scenario specs, CLI flags) use.
+    pub fn build(self) -> Box<dyn BroadcastProtocol> {
+        match self {
+            ProtocolKind::NaiveFlooding => Box::new(naive::NaiveFlooding),
+            ProtocolKind::RoundRobin => Box::new(round_robin::RoundRobin::default()),
+            ProtocolKind::Decay => Box::new(decay::DecayProtocol::default()),
+            ProtocolKind::Spokesman => Box::new(spokesman::SpokesmanBroadcast::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The interface every broadcast protocol implements.
 pub trait BroadcastProtocol {
     /// Short name for reports.
@@ -43,6 +92,20 @@ pub trait BroadcastProtocol {
     /// Chooses which informed vertices transmit this round. The returned set
     /// must be a subset of `view.informed`.
     fn transmitters(&mut self, view: &RoundView<'_>, rng: &mut WxRng) -> VertexSet;
+}
+
+// A boxed protocol is a protocol, so by-name factories ([`ProtocolKind::build`])
+// compose with the generic trial runner in `crate::trials`.
+impl<P: BroadcastProtocol + ?Sized> BroadcastProtocol for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn reset(&mut self, graph: &Graph, source: Vertex) {
+        (**self).reset(graph, source);
+    }
+    fn transmitters(&mut self, view: &RoundView<'_>, rng: &mut WxRng) -> VertexSet {
+        (**self).transmitters(view, rng)
+    }
 }
 
 /// Helper shared by protocols: the subset of informed vertices that still
@@ -85,19 +148,31 @@ mod tests {
     fn all_protocols_complete_on_a_small_tree() {
         let g = wx_constructions::families::complete_k_ary_tree(2, 4).unwrap();
         let sim = RadioSimulator::new(&g, 0, SimulatorConfig::default());
-        let mut protos: Vec<Box<dyn BroadcastProtocol>> = vec![
-            Box::new(naive::NaiveFlooding),
-            Box::new(round_robin::RoundRobin::default()),
-            Box::new(decay::DecayProtocol::default()),
-            Box::new(spokesman::SpokesmanBroadcast::default()),
-        ];
-        for p in protos.iter_mut() {
-            let outcome = sim.run(p.as_mut(), 42);
+        for kind in ProtocolKind::ALL {
+            let mut p = kind.build();
+            let outcome = sim.run(&mut p, 42);
             assert!(
                 outcome.completed_at.is_some(),
                 "{} did not complete on the binary tree",
                 p.name()
             );
         }
+    }
+
+    #[test]
+    fn protocol_kind_parse_round_trips() {
+        for kind in ProtocolKind::ALL {
+            assert_eq!(ProtocolKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(
+            ProtocolKind::parse("naive"),
+            Some(ProtocolKind::NaiveFlooding)
+        );
+        assert_eq!(
+            ProtocolKind::parse("spokesman-schedule"),
+            Some(ProtocolKind::Spokesman)
+        );
+        assert!(ProtocolKind::parse("carrier-pigeon").is_none());
     }
 }

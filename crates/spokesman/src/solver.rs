@@ -23,6 +23,52 @@ pub enum SolverKind {
     Portfolio,
 }
 
+impl SolverKind {
+    /// Every polynomial-time solver kind (the exact solver is excluded: it
+    /// is exponential and only feasible for `|S| ≤ ExactSolver::MAX_LEFT`).
+    pub const POLYNOMIAL: [SolverKind; 6] = [
+        SolverKind::RandomDecay,
+        SolverKind::Partition,
+        SolverKind::GreedyMinDegree,
+        SolverKind::DegreeClass,
+        SolverKind::ChlamtacWeinstein,
+        SolverKind::Portfolio,
+    ];
+
+    /// Parses a solver's display name (case-insensitive).
+    pub fn parse(s: &str) -> Option<SolverKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "exact" => Some(SolverKind::Exact),
+            "random-decay" | "decay" => Some(SolverKind::RandomDecay),
+            "partition" => Some(SolverKind::Partition),
+            "greedy-min-degree" | "greedy" => Some(SolverKind::GreedyMinDegree),
+            "degree-class" => Some(SolverKind::DegreeClass),
+            "chlamtac-weinstein" => Some(SolverKind::ChlamtacWeinstein),
+            "portfolio" => Some(SolverKind::Portfolio),
+            _ => None,
+        }
+    }
+
+    /// Builds a default-configured instance of the solver this kind names —
+    /// the by-name factory declarative callers (scenario specs, CLI flags)
+    /// use. Note [`SolverKind::Exact`] yields the exponential brute-force
+    /// solver, which panics on instances with more than
+    /// [`crate::ExactSolver::MAX_LEFT`] left vertices.
+    pub fn build(self) -> Box<dyn SpokesmanSolver + Send + Sync> {
+        match self {
+            SolverKind::Exact => Box::new(crate::exact::ExactSolver),
+            SolverKind::RandomDecay => Box::new(crate::random_decay::RandomDecaySolver::default()),
+            SolverKind::Partition => Box::new(crate::partition::PartitionSolver::default()),
+            SolverKind::GreedyMinDegree => Box::new(crate::greedy::GreedyMinDegreeSolver),
+            SolverKind::DegreeClass => Box::new(crate::degree_class::DegreeClassSolver::default()),
+            SolverKind::ChlamtacWeinstein => {
+                Box::new(crate::chlamtac_weinstein::ChlamtacWeinsteinSolver::default())
+            }
+            SolverKind::Portfolio => Box::new(PortfolioSolver::default()),
+        }
+    }
+}
+
 impl std::fmt::Display for SolverKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let name = match self {
@@ -248,6 +294,20 @@ mod tests {
         assert_eq!(SolverKind::RandomDecay.to_string(), "random-decay");
         assert_eq!(SolverKind::Partition.to_string(), "partition");
         assert_eq!(SolverKind::Exact.to_string(), "exact");
+    }
+
+    #[test]
+    fn solver_kind_parse_and_build_round_trip() {
+        let g = star_instance();
+        for kind in SolverKind::POLYNOMIAL {
+            assert_eq!(SolverKind::parse(&kind.to_string()), Some(kind));
+            let r = kind.build().solve(&g, 3);
+            assert_eq!(r.solver, kind);
+            assert_eq!(r.unique_coverage, 4, "{kind} missed the star optimum");
+        }
+        assert_eq!(SolverKind::parse("exact"), Some(SolverKind::Exact));
+        assert_eq!(SolverKind::Exact.build().solve(&g, 0).unique_coverage, 4);
+        assert!(SolverKind::parse("simulated-annealing").is_none());
     }
 
     #[test]
