@@ -1,0 +1,271 @@
+//! Radio-broadcast throughput harness: the perf trajectory behind `wx bench`.
+//!
+//! The paper's experimental comparisons (decay vs. spokesman broadcast) rest
+//! on large Monte-Carlo ensembles, so the figure of merit for the streaming
+//! trial engine is simple: how many *trials per second* and *simulated
+//! rounds per second* the engine sustains on a production-scale instance.
+//! [`run`] races the configured protocols on one shared
+//! `random_regular(n, d)` instance — one graph build, one BFS, one trial
+//! workspace per rayon worker — and records wall-clock throughput per
+//! protocol. The default full configuration is the ROADMAP-scale
+//! `random_regular(100_000, 8)`; [`ThroughputConfig::smoke`] is the
+//! CI-sized variant.
+//!
+//! Reports serialize as a single JSON object (so `wx validate` accepts
+//! them) and are written as `BENCH_radio_throughput.json`, extending the
+//! machine-readable perf trajectory the criterion shim started.
+
+use serde::Serialize;
+use std::time::Instant;
+use wx_core::graph::Result as GraphResult;
+use wx_core::radio::protocols::ProtocolKind;
+use wx_core::radio::trials::map_trials;
+use wx_core::radio::{RadioSimulator, SimulatorConfig};
+use wx_core::report::{fmt_f64, render_table, to_json_pretty, TableRow};
+
+/// Configuration of one throughput race.
+#[derive(Clone, Debug, Serialize)]
+pub struct ThroughputConfig {
+    /// Number of vertices of the shared `random_regular` instance.
+    pub n: usize,
+    /// Degree of the instance.
+    pub d: usize,
+    /// Trials per randomized protocol (non-randomized protocols reproduce
+    /// the same run every trial, so they execute once).
+    pub trials: usize,
+    /// Base seed for graph generation and per-trial protocol streams.
+    pub seed: u64,
+    /// Round cap per trial.
+    pub max_rounds: usize,
+    /// Protocols racing on the instance.
+    pub protocols: Vec<ProtocolKind>,
+}
+
+impl ThroughputConfig {
+    /// The production-scale default: decay vs. spokesman broadcast on
+    /// `random_regular(100_000, 8)`.
+    pub fn full() -> ThroughputConfig {
+        ThroughputConfig {
+            n: 100_000,
+            d: 8,
+            trials: 8,
+            seed: 0xBE,
+            max_rounds: 10_000,
+            protocols: vec![ProtocolKind::Decay, ProtocolKind::Spokesman],
+        }
+    }
+
+    /// CI-sized smoke variant (same race, small instance, few trials).
+    pub fn smoke() -> ThroughputConfig {
+        ThroughputConfig {
+            n: 2_000,
+            d: 8,
+            trials: 4,
+            seed: 0xBE,
+            max_rounds: 10_000,
+            protocols: vec![ProtocolKind::Decay, ProtocolKind::Spokesman],
+        }
+    }
+}
+
+/// Measured throughput of one protocol on the shared instance.
+#[derive(Clone, Debug, Serialize)]
+pub struct ProtocolThroughput {
+    /// `radio_throughput/<protocol>/<n>` — same labeling scheme as the
+    /// criterion-shim records, so trajectory tooling can treat all
+    /// `BENCH_*.json` files uniformly.
+    pub label: String,
+    /// Protocol name.
+    pub protocol: String,
+    /// Trials executed (1 for non-randomized protocols).
+    pub trials: usize,
+    /// Trials that completed the broadcast within the round cap.
+    pub completed: usize,
+    /// Mean completion round over completed trials.
+    pub mean_rounds: Option<f64>,
+    /// Total simulated rounds across all trials.
+    pub total_rounds: usize,
+    /// Wall-clock time for the whole ensemble.
+    pub elapsed_seconds: f64,
+    /// Trials per second of wall-clock time.
+    pub trials_per_sec: f64,
+    /// Simulated rounds per second of wall-clock time.
+    pub rounds_per_sec: f64,
+}
+
+/// A full throughput report (one shared instance, one record per protocol).
+#[derive(Clone, Debug, Serialize)]
+pub struct ThroughputReport {
+    /// Report discriminator (`"radio_throughput"`).
+    pub bench: String,
+    /// Instance size.
+    pub n: usize,
+    /// Instance degree.
+    pub d: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Round cap per trial.
+    pub max_rounds: usize,
+    /// Seconds spent building the shared instance (generation + the one
+    /// reachability BFS).
+    pub setup_seconds: f64,
+    /// Per-protocol throughput, in configuration order.
+    pub records: Vec<ProtocolThroughput>,
+}
+
+impl ThroughputReport {
+    /// Serializes the report as pretty JSON (a single top-level object, as
+    /// `wx validate` expects).
+    pub fn to_json(&self) -> String {
+        to_json_pretty(self)
+    }
+
+    /// Renders the human-readable summary table.
+    pub fn summary_table(&self) -> String {
+        let rows: Vec<TableRow> = self
+            .records
+            .iter()
+            .map(|r| {
+                TableRow::new(
+                    r.protocol.clone(),
+                    vec![
+                        r.trials.to_string(),
+                        r.completed.to_string(),
+                        r.mean_rounds.map(fmt_f64).unwrap_or_else(|| "-".into()),
+                        fmt_f64(r.elapsed_seconds),
+                        fmt_f64(r.trials_per_sec),
+                        fmt_f64(r.rounds_per_sec),
+                    ],
+                )
+            })
+            .collect();
+        render_table(
+            &format!(
+                "radio throughput — random_regular({}, {}), seed {}",
+                self.n, self.d, self.seed
+            ),
+            &[
+                "protocol",
+                "trials",
+                "completed",
+                "mean_rounds",
+                "elapsed_s",
+                "trials/s",
+                "rounds/s",
+            ],
+            &rows,
+        )
+    }
+}
+
+/// Runs the configured race: builds the shared instance once, then drives
+/// each protocol through the streaming trial engine and times the ensemble.
+pub fn run(config: &ThroughputConfig) -> GraphResult<ThroughputReport> {
+    let setup_start = Instant::now();
+    let graph =
+        wx_core::constructions::families::random_regular_graph(config.n, config.d, config.seed)?;
+    let sim = RadioSimulator::new(
+        &graph,
+        0,
+        SimulatorConfig {
+            max_rounds: config.max_rounds,
+            stop_when_complete: true,
+        },
+    );
+    let setup_seconds = setup_start.elapsed().as_secs_f64();
+
+    let records = config
+        .protocols
+        .iter()
+        .map(|&kind| {
+            let trials = if kind.randomized() {
+                config.trials.max(1)
+            } else {
+                1
+            };
+            let start = Instant::now();
+            let summaries = map_trials(
+                &sim,
+                trials,
+                config.seed,
+                || kind.build(),
+                |_, outcome, _| (outcome.completed_at, outcome.rounds_simulated),
+            );
+            let elapsed_seconds = start.elapsed().as_secs_f64().max(f64::EPSILON);
+            let completed = summaries.iter().filter(|(c, _)| c.is_some()).count();
+            let total_rounds: usize = summaries.iter().map(|(_, r)| r).sum();
+            let mean_rounds = (completed > 0).then(|| {
+                summaries.iter().filter_map(|(c, _)| *c).sum::<usize>() as f64 / completed as f64
+            });
+            ProtocolThroughput {
+                label: format!("radio_throughput/{}/{}", kind.name(), config.n),
+                protocol: kind.name().to_string(),
+                trials,
+                completed,
+                mean_rounds,
+                total_rounds,
+                elapsed_seconds,
+                trials_per_sec: trials as f64 / elapsed_seconds,
+                rounds_per_sec: total_rounds as f64 / elapsed_seconds,
+            }
+        })
+        .collect();
+
+    Ok(ThroughputReport {
+        bench: "radio_throughput".to_string(),
+        n: config.n,
+        d: config.d,
+        seed: config.seed,
+        max_rounds: config.max_rounds,
+        setup_seconds,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_race_produces_well_formed_records() {
+        let config = ThroughputConfig {
+            n: 256,
+            d: 4,
+            trials: 3,
+            ..ThroughputConfig::smoke()
+        };
+        let report = run(&config).unwrap();
+        assert_eq!(report.bench, "radio_throughput");
+        assert_eq!(report.records.len(), 2);
+        let decay = &report.records[0];
+        assert_eq!(decay.protocol, "decay");
+        assert_eq!(decay.trials, 3);
+        assert_eq!(decay.completed, 3, "decay failed on a 4-regular expander");
+        assert!(decay.trials_per_sec > 0.0);
+        assert!(decay.rounds_per_sec > 0.0);
+        assert!(decay.mean_rounds.unwrap() >= 1.0);
+        // the spokesman schedule is deterministic: one trial suffices
+        let spokesman = &report.records[1];
+        assert_eq!(spokesman.trials, 1);
+        assert_eq!(spokesman.completed, 1);
+        // the JSON form is a single top-level object with the records inline
+        let json = report.to_json();
+        assert!(json.trim_start().starts_with('{'));
+        assert!(json.contains("\"radio_throughput/decay/256\""));
+        assert!(json.contains("\"trials_per_sec\""));
+        // and the table lists every protocol
+        let table = report.summary_table();
+        assert!(table.contains("decay"));
+        assert!(table.contains("spokesman"));
+    }
+
+    #[test]
+    fn invalid_configurations_error_cleanly() {
+        let bad = ThroughputConfig {
+            n: 4,
+            d: 9,
+            ..ThroughputConfig::smoke()
+        };
+        assert!(run(&bad).is_err());
+    }
+}

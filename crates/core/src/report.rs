@@ -128,20 +128,139 @@ impl AggregateStats {
         finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values are ordered"));
         let count = finite.len();
         let mean = finite.iter().sum::<f64>() / count as f64;
-        let median = if count % 2 == 1 {
-            finite[count / 2]
-        } else {
-            (finite[count / 2 - 1] + finite[count / 2]) / 2.0
-        };
-        // nearest-rank percentile: the ⌈0.95·count⌉-th smallest sample
-        let rank = ((0.95 * count as f64).ceil() as usize).clamp(1, count);
+        let (median, p95) = quantiles_of_sorted(&finite);
         Some(AggregateStats {
             count,
             mean,
             median,
             min: finite[0],
             max: finite[count - 1],
-            p95: finite[rank - 1],
+            p95,
+        })
+    }
+}
+
+/// Median (midpoint convention) and 95th percentile (nearest rank) of a
+/// sorted, non-empty slice — the one quantile convention shared by
+/// [`AggregateStats::from_samples`] and [`StatsAccumulator`], so the two
+/// paths agree exactly whenever the accumulator still holds every sample.
+fn quantiles_of_sorted(sorted: &[f64]) -> (f64, f64) {
+    let count = sorted.len();
+    let median = if count % 2 == 1 {
+        sorted[count / 2]
+    } else {
+        (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+    };
+    // nearest-rank percentile: the ⌈0.95·count⌉-th smallest sample
+    let rank = ((0.95 * count as f64).ceil() as usize).clamp(1, count);
+    (median, sorted[rank - 1])
+}
+
+/// Number of samples [`StatsAccumulator`] retains exactly before switching
+/// to reservoir sampling for its quantile estimates.
+pub const RESERVOIR_CAPACITY: usize = 1024;
+
+/// Online aggregator producing [`AggregateStats`] without materializing the
+/// sample stream — the memory-bounded path behind the scenario lab's
+/// multi-trial aggregation.
+///
+/// Non-finite samples are skipped, matching
+/// [`AggregateStats::from_samples`]. Count, min and max are exact for any
+/// stream length; the mean is a running Welford mean (numerically stable,
+/// equal to the batch mean up to floating-point rounding). Median and p95
+/// are **exact** — identical to `from_samples` — while at most
+/// [`RESERVOIR_CAPACITY`] finite samples have been pushed; beyond that they
+/// are computed from a uniform reservoir sample of that capacity (expected
+/// rank error `O(1/√capacity)`, i.e. ~3% of the sample range at the default
+/// capacity). The reservoir's replacement choices come from a fixed
+/// SplitMix64 stream, so aggregation is deterministic for a given push
+/// order.
+#[derive(Clone, Debug, Default)]
+pub struct StatsAccumulator {
+    count: usize,
+    mean: f64,
+    min: f64,
+    max: f64,
+    /// Exact sample buffer up to [`RESERVOIR_CAPACITY`], then a uniform
+    /// reservoir over the whole stream.
+    reservoir: Vec<f64>,
+    /// Deterministic SplitMix64 state driving reservoir replacement.
+    rng_state: u64,
+}
+
+impl StatsAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> StatsAccumulator {
+        StatsAccumulator {
+            count: 0,
+            mean: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            reservoir: Vec::new(),
+            rng_state: 0x5157_4154_5321_ACC0,
+        }
+    }
+
+    /// Number of finite samples pushed so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one sample. NaN/±∞ are skipped (a diverged trial contributes
+    /// nothing rather than poisoning the aggregate).
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        // Welford's running mean.
+        self.mean += (x - self.mean) / self.count as f64;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if self.reservoir.len() < RESERVOIR_CAPACITY {
+            self.reservoir.push(x);
+        } else {
+            // Algorithm R: replace a uniformly random slot with probability
+            // capacity/count, via a deterministic SplitMix64 draw.
+            let j = (self.next_u64() % self.count as u64) as usize;
+            if j < RESERVOIR_CAPACITY {
+                self.reservoir[j] = x;
+            }
+        }
+    }
+
+    /// Feeds every sample of a slice, in order.
+    pub fn extend_from(&mut self, samples: &[f64]) {
+        for &x in samples {
+            self.push(x);
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 step (same finalizer as `wx_graph::random::derive_seed`).
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Closes the stream and produces the aggregate. `None` when no finite
+    /// sample was pushed (mirroring [`AggregateStats::from_samples`]).
+    pub fn finish(&self) -> Option<AggregateStats> {
+        if self.count == 0 {
+            return None;
+        }
+        let mut sorted = self.reservoir.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are ordered"));
+        let (median, p95) = quantiles_of_sorted(&sorted);
+        Some(AggregateStats {
+            count: self.count,
+            mean: self.mean,
+            median,
+            min: self.min,
+            max: self.max,
+            p95,
         })
     }
 }
@@ -149,6 +268,7 @@ impl AggregateStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::Strategy as _;
 
     #[test]
     fn table_is_aligned_and_complete() {
@@ -235,5 +355,121 @@ mod tests {
         let rows = vec![TableRow::new("x", vec!["1".into(), "2".into(), "3".into()])];
         let table = render_table("t", &["a", "b"], &rows);
         assert!(table.contains('3'));
+    }
+
+    #[test]
+    fn accumulator_edge_cases() {
+        // empty stream
+        assert!(StatsAccumulator::new().finish().is_none());
+        // all-non-finite stream
+        let mut acc = StatsAccumulator::new();
+        acc.extend_from(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(acc.count(), 0);
+        assert!(acc.finish().is_none());
+        // single sample: every statistic collapses onto it
+        let mut acc = StatsAccumulator::new();
+        acc.push(3.25);
+        let s = acc.finish().unwrap();
+        assert_eq!(
+            (s.count, s.mean, s.median, s.min, s.max, s.p95),
+            (1, 3.25, 3.25, 3.25, 3.25, 3.25)
+        );
+    }
+
+    #[test]
+    fn accumulator_matches_batch_below_capacity() {
+        // mixed stream with non-finite noise, well under the reservoir cap:
+        // quantiles must be bit-identical to the batch path, mean within
+        // float rounding
+        let samples: Vec<f64> = (0..500)
+            .map(|i| match i % 7 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => ((i * 37) % 101) as f64 - 50.0,
+            })
+            .collect();
+        let mut acc = StatsAccumulator::new();
+        acc.extend_from(&samples);
+        let online = acc.finish().unwrap();
+        let batch = AggregateStats::from_samples(&samples).unwrap();
+        assert_eq!(online.count, batch.count);
+        assert_eq!(online.min, batch.min);
+        assert_eq!(online.max, batch.max);
+        assert_eq!(online.median, batch.median);
+        assert_eq!(online.p95, batch.p95);
+        assert!((online.mean - batch.mean).abs() <= 1e-9 * (1.0 + batch.mean.abs()));
+    }
+
+    #[test]
+    fn accumulator_reservoir_is_deterministic_and_accurate_beyond_capacity() {
+        // 50k samples of a known uniform ramp, far past the reservoir cap
+        let n = 50_000usize;
+        let samples: Vec<f64> = (0..n).map(|i| ((i * 337) % n) as f64).collect();
+        let mut a = StatsAccumulator::new();
+        let mut b = StatsAccumulator::new();
+        a.extend_from(&samples);
+        b.extend_from(&samples);
+        let sa = a.finish().unwrap();
+        let sb = b.finish().unwrap();
+        // deterministic: two accumulators over the same stream agree exactly
+        assert_eq!(sa, sb);
+        // exact statistics are exact
+        assert_eq!(sa.count, n);
+        assert_eq!(sa.min, 0.0);
+        assert_eq!(sa.max, (n - 1) as f64);
+        assert!((sa.mean - (n - 1) as f64 / 2.0).abs() < 1e-6 * n as f64);
+        // reservoir quantiles land within a few percent of the truth
+        let range = (n - 1) as f64;
+        assert!(
+            (sa.median - 0.5 * range).abs() < 0.05 * range,
+            "median {} vs true {}",
+            sa.median,
+            0.5 * range
+        );
+        assert!(
+            (sa.p95 - 0.95 * range).abs() < 0.05 * range,
+            "p95 {} vs true {}",
+            sa.p95,
+            0.95 * range
+        );
+    }
+
+    proptest::proptest! {
+        /// The documented contract: on any stream (non-finite noise included)
+        /// short enough to fit the reservoir, the accumulator reproduces
+        /// `AggregateStats::from_samples` — count/min/max/median/p95 exactly,
+        /// mean within floating-point rounding of the batch mean.
+        #[test]
+        fn accumulator_matches_from_samples(
+            samples in proptest::prop::collection::vec(
+                (0u32..12, -1.0e6_f64..1.0e6).prop_map(|(tag, x)| match tag {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    _ => x,
+                }),
+                0..300,
+            )
+        ) {
+            let mut acc = StatsAccumulator::new();
+            acc.extend_from(&samples);
+            let online = acc.finish();
+            let batch = AggregateStats::from_samples(&samples);
+            match (online, batch) {
+                (None, None) => {}
+                (Some(o), Some(b)) => {
+                    proptest::prop_assert_eq!(o.count, b.count);
+                    proptest::prop_assert_eq!(o.min, b.min);
+                    proptest::prop_assert_eq!(o.max, b.max);
+                    proptest::prop_assert_eq!(o.median, b.median);
+                    proptest::prop_assert_eq!(o.p95, b.p95);
+                    proptest::prop_assert!(
+                        (o.mean - b.mean).abs() <= 1e-9 * (1.0 + b.mean.abs()),
+                        "mean {} vs {}", o.mean, b.mean
+                    );
+                }
+                (o, b) => proptest::prop_assert!(false, "one side empty: {o:?} vs {b:?}"),
+            }
+        }
     }
 }

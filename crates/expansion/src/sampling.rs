@@ -104,12 +104,17 @@ impl CandidateSets {
             }
         }
 
-        // Uniform random sets per target size.
+        // Uniform random sets per target size. Seeds are derived by *nested*
+        // derivation — one child seed per size fraction, then one grandchild
+        // per set — so the streams stay distinct for any pool size. (A
+        // single-level `1000 + fi*131 + t` stride made adjacent size
+        // fractions reuse seeds, and hence emit duplicate candidate sets,
+        // whenever `random_sets_per_size > 131`.)
         for (fi, &frac) in config.size_fractions.iter().enumerate() {
             let k = ((frac * max_size as f64).round() as usize).clamp(1, max_size);
+            let fraction_seed = derive_seed(seed, 1 + fi as u64);
             for t in 0..config.random_sets_per_size {
-                let mut trial_rng =
-                    rng_from_seed(derive_seed(seed, 1000 + (fi as u64) * 131 + t as u64));
+                let mut trial_rng = rng_from_seed(derive_seed(fraction_seed, t as u64));
                 sets.push(wx_graph::random::random_subset_of_size(
                     &mut trial_rng,
                     n,
@@ -325,6 +330,52 @@ mod tests {
                 "singleton {{{v}}} missing"
             );
         }
+    }
+
+    #[test]
+    fn random_set_seeds_are_distinct_for_large_pools() {
+        // Regression: the old single-level derivation
+        // `derive_seed(seed, 1000 + fi*131 + t)` collided across adjacent
+        // size-fraction indices as soon as random_sets_per_size > 131. The
+        // nested derivation must produce pairwise-distinct seeds for every
+        // (fraction, set) pair, even for pools far past the old stride.
+        let seed = 42u64;
+        let fractions = 5usize;
+        let sets_per_size = 500usize;
+        let mut seen = std::collections::HashSet::new();
+        for fi in 0..fractions {
+            let fraction_seed = derive_seed(seed, 1 + fi as u64);
+            for t in 0..sets_per_size {
+                assert!(
+                    seen.insert(derive_seed(fraction_seed, t as u64)),
+                    "duplicate seed at fraction {fi}, set {t}"
+                );
+            }
+        }
+        assert_eq!(seen.len(), fractions * sets_per_size);
+    }
+
+    #[test]
+    fn oversize_pools_draw_distinct_random_sets() {
+        // End to end: with random_sets_per_size past the old 131 stride the
+        // generator must not silently emit duplicate candidate sets. Both
+        // fractions round to the same target size k = 200, so under the old
+        // `1000 + fi*131 + t` derivation the seed collisions between
+        // adjacent fractions (fi=0, t ≥ 131 vs fi=1, t − 131) would draw
+        // literally identical sets, which the pool's final dedup would then
+        // silently drop — shrinking the pool below 2 × 140. With nested
+        // derivation every draw is independent and (overwhelmingly) distinct.
+        let g = cycle(400);
+        let cfg = SamplerConfig {
+            alpha: 0.5,
+            random_sets_per_size: 140,
+            size_fractions: vec![0.999, 1.0],
+            ball_centers: 0,
+            greedy_growths: 0,
+            include_singletons: false,
+        };
+        let pool = CandidateSets::generate(&g, &cfg, 9);
+        assert_eq!(pool.len(), 280, "candidate sets were lost to seed reuse");
     }
 
     #[test]

@@ -152,12 +152,27 @@ impl VertexSet {
 
     /// Removes all vertices, keeping the allocated bitset words and member
     /// capacity for reuse (no reallocation on subsequent inserts up to the
-    /// previous size).
+    /// previous size). Costs O(|S|), not O(universe): only the words that
+    /// actually contain members are zeroed, so clearing a sparse set reused
+    /// as a per-round buffer (the radio simulator's transmitter set) stays
+    /// proportional to the work already done.
     pub fn clear(&mut self) {
-        for w in &mut self.words {
-            *w = 0;
+        for &v in &self.members {
+            self.words[v / WORD_BITS] = 0;
         }
         self.members.clear();
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing `self`'s existing
+    /// allocations where possible (the buffer-reuse path behind
+    /// allocation-free protocol loops, e.g. naive flooding transmitting the
+    /// whole informed set each round).
+    pub fn copy_from(&mut self, other: &VertexSet) {
+        self.universe = other.universe;
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.members.clear();
+        self.members.extend_from_slice(&other.members);
     }
 
     /// Iterates over the members in increasing order.

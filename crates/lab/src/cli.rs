@@ -9,6 +9,8 @@
 //! wx radio     --source SRC --protocol NAME [--source-vertex V]
 //!              [--max-rounds N] [...]
 //! wx sweep     (--all | NAME...) [--quick] [--seed N] [--out PATH]
+//! wx bench     [--smoke] [--n N] [--d D] [--trials N] [--seed N]
+//!              [--max-rounds N] [--protocols a,b] [--out PATH]
 //! wx list
 //! wx validate <report.json>
 //! ```
@@ -57,6 +59,7 @@ fn dispatch(args: &[String]) -> Result<i32> {
         "run" => cmd_run(rest),
         "measure" | "profile" | "spokesman" | "radio" => cmd_adhoc(command, rest),
         "sweep" => cmd_sweep(rest),
+        "bench" => cmd_bench(rest),
         "list" => cmd_list(),
         "validate" => cmd_validate(rest),
         "help" | "--help" | "-h" => {
@@ -82,13 +85,18 @@ USAGE:
   wx radio     --source SRC --protocol NAME [--source-vertex V]
                [--max-rounds N] [...]
   wx sweep     (--all | NAME...) [--quick] [--seed N] [--out PATH]
+  wx bench     [--smoke] [--n N] [--d D] [--trials N] [--seed N]
+               [--max-rounds N] [--protocols a,b] [--out PATH]
   wx list
   wx validate <report.json>
 
 SRC is inline JSON like '{\"RandomRegular\": {\"n\": 64, \"d\": 4}}' or a
 graph file path (.edges/.txt = edge list, .col/.dimacs/.clq = DIMACS).
 `wx sweep --all` reproduces every registered paper experiment (e1..e11)
-plus the demo scenarios; `wx list` shows everything available."
+plus the demo scenarios; `wx bench` races broadcast protocols on a
+production-scale random regular graph and records trials/sec into
+BENCH_radio_throughput.json (--smoke for the CI-sized variant);
+`wx list` shows everything available."
 }
 
 /// A tiny flag parser: consumes `--flag value` pairs and boolean flags from
@@ -343,6 +351,60 @@ fn cmd_sweep(args: &[String]) -> Result<i32> {
     Ok(if report.all_passed() { 0 } else { 1 })
 }
 
+/// Default output path for `wx bench` reports (next to the criterion shim's
+/// `BENCH_*.json` trajectory files).
+const BENCH_DEFAULT_OUT: &str = "BENCH_radio_throughput.json";
+
+fn cmd_bench(args: &[String]) -> Result<i32> {
+    let mut flags = Flags::new(args);
+    let smoke = flags.take_flag("--smoke");
+    let mut config = if smoke {
+        wx_bench::throughput::ThroughputConfig::smoke()
+    } else {
+        wx_bench::throughput::ThroughputConfig::full()
+    };
+    if let Some(n) = flags.take_parsed::<usize>("--n")? {
+        config.n = n;
+    }
+    if let Some(d) = flags.take_parsed::<usize>("--d")? {
+        config.d = d;
+    }
+    if let Some(trials) = flags.take_parsed::<usize>("--trials")? {
+        config.trials = trials;
+    }
+    if let Some(seed) = flags.take_parsed::<u64>("--seed")? {
+        config.seed = seed;
+    }
+    if let Some(max_rounds) = flags.take_parsed::<usize>("--max-rounds")? {
+        config.max_rounds = max_rounds;
+    }
+    if let Some(raw) = flags.take_value("--protocols")? {
+        config.protocols = raw
+            .split(',')
+            .map(|s| {
+                ProtocolKind::parse(s.trim())
+                    .ok_or_else(|| LabError::invalid(format!("unknown protocol `{s}`")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+    }
+    let out = flags
+        .take_value("--out")?
+        .unwrap_or_else(|| BENCH_DEFAULT_OUT.to_string());
+    flags.finish_no_positionals()?;
+
+    eprintln!(
+        "wx bench: random_regular({}, {}), {} trial(s) per randomized protocol ...",
+        config.n, config.d, config.trials
+    );
+    let report = wx_bench::throughput::run(&config)
+        .map_err(|e| LabError::invalid(format!("bench configuration: {e}")))?;
+    std::fs::write(&out, report.to_json())
+        .map_err(|e| LabError::Io(format!("writing {out}: {e}")))?;
+    eprintln!("bench report written to {out}");
+    eprintln!("{}", report.summary_table());
+    Ok(0)
+}
+
 fn cmd_list() -> Result<i32> {
     println!("built-in scenarios (run with `wx sweep NAME` or `wx sweep --all`):");
     for entry in registry::builtins() {
@@ -547,6 +609,38 @@ mod tests {
             "5",
         ]));
         assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn bench_smoke_writes_a_validatable_report() {
+        let dir = std::env::temp_dir().join("wx-lab-cli-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_radio_throughput.json");
+        let code = main_with_args(&strs(&[
+            "bench",
+            "--smoke",
+            "--n",
+            "256",
+            "--d",
+            "4",
+            "--trials",
+            "2",
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        assert_eq!(
+            main_with_args(&strs(&["validate", out.to_str().unwrap()])),
+            0
+        );
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("\"trials_per_sec\""), "{text}");
+        assert!(text.contains("radio_throughput/decay/256"), "{text}");
+        // unknown protocols are rejected as usage errors
+        assert_eq!(
+            main_with_args(&strs(&["bench", "--protocols", "carrier-pigeon"])),
+            2
+        );
     }
 
     #[test]

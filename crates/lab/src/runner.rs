@@ -29,8 +29,10 @@ use wx_core::expansion::engine::{MeasurementEngine, Wireless};
 use wx_core::graph::random::{derive_seed, random_subset_of_size, rng_from_seed};
 use wx_core::graph::scratch::with_thread_scratch;
 use wx_core::graph::{BipartiteGraph, Graph};
-use wx_core::radio::{RadioSimulator, SimulatorConfig};
-use wx_core::report::{fmt_f64, render_table, to_json_pretty, AggregateStats, TableRow};
+use wx_core::radio::{with_thread_workspace, RadioSimulator, SimulatorConfig};
+use wx_core::report::{
+    fmt_f64, render_table, to_json_pretty, AggregateStats, StatsAccumulator, TableRow,
+};
 use wx_core::spokesman::SolverKind;
 
 /// One planned trial: its index and its derived seed.
@@ -78,10 +80,16 @@ pub struct ScenarioReport {
     pub seed: u64,
     /// Number of executed trials.
     pub trials: usize,
-    /// Metric name → aggregate statistics over the trials.
+    /// Metric name → aggregate statistics over the trials (streamed through
+    /// [`StatsAccumulator`]s, so aggregation memory is bounded regardless of
+    /// trial count).
     pub metrics: BTreeMap<String, AggregateStats>,
-    /// The raw per-trial records (in trial order).
+    /// The first raw per-trial records (in trial order), up to the runner's
+    /// [`Runner::keep_per_trial`] cap.
     pub per_trial: Vec<TrialRecord>,
+    /// `true` if more trials ran than `per_trial` retains (the aggregates in
+    /// `metrics` always cover every trial).
+    pub per_trial_truncated: bool,
 }
 
 impl ScenarioReport {
@@ -120,10 +128,20 @@ impl ScenarioReport {
     }
 }
 
+/// Default number of raw per-trial records a report retains
+/// (see [`Runner::keep_per_trial`]).
+pub const DEFAULT_PER_TRIAL_CAP: usize = 1024;
+
+/// Number of trials executed per parallel batch. Trials stream into the
+/// aggregators batch by batch, so peak memory is O(chunk + per-trial cap)
+/// records instead of O(trials).
+const TRIAL_CHUNK: usize = 256;
+
 /// Executes scenarios. See the module docs for the determinism contract.
 #[derive(Clone, Copy, Debug)]
 pub struct Runner {
     parallel: bool,
+    per_trial_cap: usize,
 }
 
 impl Default for Runner {
@@ -135,13 +153,25 @@ impl Default for Runner {
 impl Runner {
     /// A runner with rayon-parallel trial execution (the default).
     pub fn new() -> Runner {
-        Runner { parallel: true }
+        Runner {
+            parallel: true,
+            per_trial_cap: DEFAULT_PER_TRIAL_CAP,
+        }
     }
 
     /// Disables parallel trial execution (useful for debugging; results are
     /// identical either way).
     pub fn sequential(mut self) -> Runner {
         self.parallel = false;
+        self
+    }
+
+    /// Caps how many raw per-trial records the report keeps (default
+    /// [`DEFAULT_PER_TRIAL_CAP`]). Aggregated metrics always cover every
+    /// trial; the cap only bounds the verbatim `per_trial` echo so reports
+    /// for million-trial runs stay small.
+    pub fn keep_per_trial(mut self, cap: usize) -> Runner {
+        self.per_trial_cap = cap;
         self
     }
 
@@ -159,6 +189,12 @@ impl Runner {
     }
 
     /// Runs a scenario end to end: plan, execute every trial, aggregate.
+    ///
+    /// Trials execute in batches of [`TRIAL_CHUNK`] and their metrics stream
+    /// into per-key [`StatsAccumulator`]s **in trial order** (preserving the
+    /// determinism contract), so runner memory is bounded by the batch size
+    /// plus the per-trial record cap — it no longer grows linearly with the
+    /// trial count.
     pub fn run(&self, spec: &ScenarioSpec) -> Result<ScenarioReport> {
         spec.validate()?;
         let plan = self.plan(spec);
@@ -171,6 +207,16 @@ impl Runner {
             Some(spec.source.build(0)?)
         };
 
+        // For a shared graph with a radio task, the completion target (one
+        // BFS) is computed once here instead of once per trial.
+        let radio_reachable: Option<usize> = match (&shared, &spec.task) {
+            (Some(g), Task::Radio { source_vertex, .. }) => {
+                let source = source_vertex.unwrap_or(0);
+                (source < g.num_vertices()).then(|| wx_core::radio::reachable_from(g, source))
+            }
+            _ => None,
+        };
+
         let run_one = |trial: &TrialSpec| -> Result<TrialRecord> {
             let built;
             let graph = match &shared {
@@ -181,7 +227,7 @@ impl Runner {
                 }
             };
             let task_seed = derive_seed(trial.seed, 1);
-            let mut metrics = execute_task(graph, &spec.task, task_seed)?;
+            let mut metrics = execute_task(graph, &spec.task, task_seed, radio_reachable)?;
             metrics.insert("graph_n".to_string(), graph.num_vertices() as f64);
             metrics.insert("graph_m".to_string(), graph.num_edges() as f64);
             metrics.insert("graph_max_degree".to_string(), graph.max_degree() as f64);
@@ -192,12 +238,40 @@ impl Runner {
             })
         };
 
-        let results: Vec<Result<TrialRecord>> = if self.parallel {
-            plan.trials.par_iter().map(run_one).collect()
-        } else {
-            plan.trials.iter().map(run_one).collect()
-        };
-        let per_trial: Vec<TrialRecord> = results.into_iter().collect::<Result<_>>()?;
+        let mut accumulators: BTreeMap<String, StatsAccumulator> = BTreeMap::new();
+        let mut per_trial: Vec<TrialRecord> = Vec::new();
+        let mut per_trial_truncated = false;
+        let mut executed = 0usize;
+        for chunk in plan.trials.chunks(TRIAL_CHUNK) {
+            let results: Vec<Result<TrialRecord>> = if self.parallel {
+                chunk.par_iter().map(run_one).collect()
+            } else {
+                chunk.iter().map(run_one).collect()
+            };
+            for result in results {
+                let record = result?;
+                executed += 1;
+                for (key, value) in &record.metrics {
+                    match accumulators.get_mut(key) {
+                        Some(acc) => acc.push(*value),
+                        None => {
+                            let mut acc = StatsAccumulator::new();
+                            acc.push(*value);
+                            accumulators.insert(key.clone(), acc);
+                        }
+                    }
+                }
+                if per_trial.len() < self.per_trial_cap {
+                    per_trial.push(record);
+                } else {
+                    per_trial_truncated = true;
+                }
+            }
+        }
+        let metrics: BTreeMap<String, AggregateStats> = accumulators
+            .into_iter()
+            .filter_map(|(key, acc)| acc.finish().map(|stats| (key, stats)))
+            .collect();
 
         Ok(ScenarioReport {
             name: spec.name.clone(),
@@ -205,32 +279,23 @@ impl Runner {
             source: spec.source.label(),
             task: spec.task.label(),
             seed: spec.seed,
-            trials: per_trial.len(),
-            metrics: aggregate(&per_trial),
+            trials: executed,
+            metrics,
             per_trial,
+            per_trial_truncated,
         })
     }
-}
-
-/// Aggregates per-trial metrics into per-key [`AggregateStats`]. Keys whose
-/// samples are all non-finite (or absent) are omitted.
-fn aggregate(records: &[TrialRecord]) -> BTreeMap<String, AggregateStats> {
-    let mut by_key: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
-    for record in records {
-        for (key, value) in &record.metrics {
-            by_key.entry(key).or_default().push(*value);
-        }
-    }
-    by_key
-        .into_iter()
-        .filter_map(|(key, samples)| {
-            AggregateStats::from_samples(&samples).map(|s| (key.to_string(), s))
-        })
-        .collect()
 }
 
 /// Executes one task on one graph instance, returning its metric map.
-fn execute_task(g: &Graph, task: &Task, seed: u64) -> Result<BTreeMap<String, f64>> {
+/// `radio_reachable` carries the once-computed completion target when the
+/// graph is shared across trials (radio tasks only).
+fn execute_task(
+    g: &Graph,
+    task: &Task,
+    seed: u64,
+    radio_reachable: Option<usize>,
+) -> Result<BTreeMap<String, f64>> {
     let mut metrics = BTreeMap::new();
     match task {
         Task::Measure {
@@ -326,9 +391,19 @@ fn execute_task(g: &Graph, task: &Task, seed: u64) -> Result<BTreeMap<String, f6
                 max_rounds: max_rounds.unwrap_or(10 * n + 100),
                 stop_when_complete: true,
             };
-            let sim = RadioSimulator::new(g, source, config);
+            // Shared graphs reuse the completion target computed once by the
+            // runner; per-trial (randomized) graphs pay their one BFS here.
+            let sim = match radio_reachable {
+                Some(reachable) => RadioSimulator::with_reachable(g, source, config, reachable),
+                None => RadioSimulator::new(g, source, config),
+            };
             let mut proto = protocol.build();
-            let outcome = sim.run(&mut proto, seed);
+            // Constant-size summary through the per-worker trial workspace —
+            // no n-sized allocation per trial.
+            let (outcome, half) = with_thread_workspace(|ws| {
+                let outcome = sim.run_in(&mut proto, seed, ws);
+                (outcome, ws.rounds_to_reach_fraction(0.5, outcome.reachable))
+            });
             metrics.insert(
                 "completed".to_string(),
                 if outcome.completed() { 1.0 } else { 0.0 },
@@ -337,7 +412,7 @@ fn execute_task(g: &Graph, task: &Task, seed: u64) -> Result<BTreeMap<String, f6
             if let Some(rounds) = outcome.completed_at {
                 metrics.insert("rounds".to_string(), rounds as f64);
             }
-            if let Some(half) = outcome.rounds_to_reach_fraction(0.5) {
+            if let Some(half) = half {
                 metrics.insert("rounds_to_half".to_string(), half as f64);
             }
         }
@@ -496,6 +571,62 @@ mod tests {
         };
         let err = Runner::new().run(&bad_source).unwrap_err();
         assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn per_trial_records_are_capped_but_aggregates_cover_every_trial() {
+        let spec = measure_spec(6);
+        let capped = Runner::new().keep_per_trial(2).run(&spec).unwrap();
+        assert_eq!(capped.trials, 6);
+        assert_eq!(capped.per_trial.len(), 2);
+        assert!(capped.per_trial_truncated);
+        assert_eq!(capped.metrics["value"].count, 6);
+        // records kept are the first ones, in trial order
+        assert_eq!(capped.per_trial[0].trial, 0);
+        assert_eq!(capped.per_trial[1].trial, 1);
+        // an uncapped run agrees on every aggregate
+        let full = Runner::new().run(&spec).unwrap();
+        assert!(!full.per_trial_truncated);
+        assert_eq!(full.metrics, capped.metrics);
+    }
+
+    #[test]
+    fn streamed_aggregates_match_batch_aggregation() {
+        // radio rounds vary across trials; the streamed stats must equal the
+        // batch statistics recomputed from the per-trial records
+        let spec = ScenarioSpec {
+            name: "radio-stream".to_string(),
+            description: String::new(),
+            source: GraphSource::RandomRegular { n: 32, d: 4 },
+            task: Task::Radio {
+                protocol: ProtocolKind::Decay,
+                source_vertex: None,
+                max_rounds: None,
+            },
+            trials: 12,
+            seed: 5,
+        };
+        let report = Runner::new().run(&spec).unwrap();
+        assert_eq!(report.per_trial.len(), 12);
+        for (key, stats) in &report.metrics {
+            let samples: Vec<f64> = report
+                .per_trial
+                .iter()
+                .filter_map(|r| r.metrics.get(key).copied())
+                .collect();
+            let batch = wx_core::report::AggregateStats::from_samples(&samples).unwrap();
+            assert_eq!(stats.count, batch.count, "{key}");
+            assert_eq!(stats.min, batch.min, "{key}");
+            assert_eq!(stats.max, batch.max, "{key}");
+            assert_eq!(stats.median, batch.median, "{key}");
+            assert_eq!(stats.p95, batch.p95, "{key}");
+            assert!(
+                (stats.mean - batch.mean).abs() <= 1e-9 * (1.0 + batch.mean.abs()),
+                "{key}: {} vs {}",
+                stats.mean,
+                batch.mean
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,24 @@
 //! algorithmic content of wireless expansion). [`trials`] runs Monte-Carlo
 //! ensembles in parallel, and [`lower_bound`] packages the Section-5
 //! experiment measuring broadcast time on the chain of core graphs.
+//!
+//! # The streaming trial engine
+//!
+//! Large ensembles run through a buffer-reusing fast path:
+//!
+//! * [`RadioSimulator::new`] runs **one** BFS and caches the completion
+//!   target, so a 10k-trial ensemble on a fixed simulator does one BFS, not
+//!   10k;
+//! * [`TrialWorkspace`] ([`workspace`]) owns every n-sized buffer a trial
+//!   needs (informed/newly-informed bitsets, the transmitter buffer the
+//!   protocols fill via [`BroadcastProtocol::transmitters_into`], the
+//!   first-informed array, per-round counts, and the receiver-resolution
+//!   scratch); [`RadioSimulator::run_in`] reuses it across trials with a
+//!   targeted reset proportional to the previous trial's work;
+//! * [`trials::map_trials`] shares one simulator across all trials, pulls
+//!   one workspace per rayon worker from the [`with_thread_workspace`] pool,
+//!   and reduces each trial to a caller-chosen constant-size summary, so
+//!   ensemble memory never grows with `trials × n`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,7 +46,9 @@ pub mod metrics;
 pub mod protocols;
 pub mod simulator;
 pub mod trials;
+pub mod workspace;
 
 pub use metrics::BroadcastOutcome;
 pub use protocols::{BroadcastProtocol, ProtocolKind};
-pub use simulator::{RadioSimulator, RoundView, SimulatorConfig};
+pub use simulator::{reachable_from, RadioSimulator, RoundView, SimulatorConfig, TrialOutcome};
+pub use workspace::{with_thread_workspace, TrialWorkspace};

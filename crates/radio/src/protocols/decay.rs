@@ -51,21 +51,23 @@ impl BroadcastProtocol for DecayProtocol {
 
     fn reset(&mut self, _graph: &Graph, _source: Vertex) {}
 
-    fn transmitters(&mut self, view: &RoundView<'_>, rng: &mut WxRng) -> VertexSet {
+    fn transmitters_into(&mut self, view: &RoundView<'_>, rng: &mut WxRng, out: &mut VertexSet) {
         let n = view.graph.num_vertices();
         let k = self.effective_phase_length(n);
         let i = view.round % k;
         let p = 0.5f64.powi(i as i32);
-        let pool: Box<dyn Iterator<Item = usize>> = if self.only_useful {
-            Box::new(
-                crate::protocols::useful_transmitters(view)
-                    .to_vec()
-                    .into_iter(),
-            )
-        } else {
-            Box::new(view.informed.to_vec().into_iter())
-        };
-        VertexSet::from_iter(n, pool.filter(|_| rng.gen_bool(p)))
+        // Iterate the informed bitset directly (members are sorted, so the
+        // inserts below append in order) — no boxed iterator, no `to_vec`,
+        // no per-round allocation. The usefulness test short-circuits before
+        // the rng draw so the random stream matches the historical
+        // materialize-then-filter implementation bit for bit.
+        for v in view.informed.iter() {
+            if (!self.only_useful || crate::protocols::is_useful_transmitter(view, v))
+                && rng.gen_bool(p)
+            {
+                out.insert(v);
+            }
+        }
     }
 }
 

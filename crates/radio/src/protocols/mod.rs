@@ -61,6 +61,14 @@ impl ProtocolKind {
         }
     }
 
+    /// `true` if the protocol's behavior depends on the trial seed. Running
+    /// multiple Monte-Carlo trials of a non-randomized protocol on a fixed
+    /// graph reproduces the same run; batch drivers use this to avoid
+    /// simulating identical trials.
+    pub fn randomized(self) -> bool {
+        matches!(self, ProtocolKind::Decay)
+    }
+
     /// Builds a fresh default-configured instance of this protocol — the
     /// by-name factory declarative callers (scenario specs, CLI flags) use.
     pub fn build(self) -> Box<dyn BroadcastProtocol> {
@@ -89,9 +97,23 @@ pub trait BroadcastProtocol {
     /// reset their per-run state.
     fn reset(&mut self, _graph: &Graph, _source: Vertex) {}
 
-    /// Chooses which informed vertices transmit this round. The returned set
-    /// must be a subset of `view.informed`.
-    fn transmitters(&mut self, view: &RoundView<'_>, rng: &mut WxRng) -> VertexSet;
+    /// Chooses which informed vertices transmit this round, filling `out`.
+    ///
+    /// `out` arrives empty, over the graph's vertex universe, and must end up
+    /// holding a subset of `view.informed`. Taking the output buffer as a
+    /// parameter lets the simulator reuse one [`VertexSet`] from its
+    /// [`crate::TrialWorkspace`] for every round of every trial, so the
+    /// classical protocols allocate nothing per round.
+    fn transmitters_into(&mut self, view: &RoundView<'_>, rng: &mut WxRng, out: &mut VertexSet);
+
+    /// Allocating convenience wrapper over
+    /// [`BroadcastProtocol::transmitters_into`] (used by tests and one-off
+    /// callers; the simulator's hot loop uses the buffer-filling form).
+    fn transmitters(&mut self, view: &RoundView<'_>, rng: &mut WxRng) -> VertexSet {
+        let mut out = VertexSet::empty(view.graph.num_vertices());
+        self.transmitters_into(view, rng, &mut out);
+        out
+    }
 }
 
 // A boxed protocol is a protocol, so by-name factories ([`ProtocolKind::build`])
@@ -103,9 +125,24 @@ impl<P: BroadcastProtocol + ?Sized> BroadcastProtocol for Box<P> {
     fn reset(&mut self, graph: &Graph, source: Vertex) {
         (**self).reset(graph, source);
     }
+    fn transmitters_into(&mut self, view: &RoundView<'_>, rng: &mut WxRng, out: &mut VertexSet) {
+        (**self).transmitters_into(view, rng, out);
+    }
     fn transmitters(&mut self, view: &RoundView<'_>, rng: &mut WxRng) -> VertexSet {
         (**self).transmitters(view, rng)
     }
+}
+
+/// `true` if informed vertex `v` still has at least one uninformed neighbor
+/// — the per-vertex predicate behind [`useful_transmitters`], exposed so
+/// allocation-free protocol loops (decay's `only_useful` variant) can test
+/// usefulness inline while iterating the informed bitset.
+#[inline]
+pub fn is_useful_transmitter(view: &RoundView<'_>, v: usize) -> bool {
+    view.graph
+        .neighbors(v)
+        .iter()
+        .any(|&u| !view.informed.contains(u))
 }
 
 /// Helper shared by protocols: the subset of informed vertices that still
@@ -114,12 +151,9 @@ impl<P: BroadcastProtocol + ?Sized> BroadcastProtocol for Box<P> {
 pub fn useful_transmitters(view: &RoundView<'_>) -> VertexSet {
     VertexSet::from_iter(
         view.graph.num_vertices(),
-        view.informed.iter().filter(|&v| {
-            view.graph
-                .neighbors(v)
-                .iter()
-                .any(|&u| !view.informed.contains(u))
-        }),
+        view.informed
+            .iter()
+            .filter(|&v| is_useful_transmitter(view, v)),
     )
 }
 

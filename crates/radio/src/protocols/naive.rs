@@ -18,8 +18,8 @@ impl BroadcastProtocol for NaiveFlooding {
         "naive-flooding"
     }
 
-    fn transmitters(&mut self, view: &RoundView<'_>, _rng: &mut WxRng) -> VertexSet {
-        view.informed.clone()
+    fn transmitters_into(&mut self, view: &RoundView<'_>, _rng: &mut WxRng, out: &mut VertexSet) {
+        out.copy_from(view.informed);
     }
 }
 

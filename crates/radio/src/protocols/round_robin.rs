@@ -34,13 +34,12 @@ impl BroadcastProtocol for RoundRobin {
         "round-robin"
     }
 
-    fn transmitters(&mut self, view: &RoundView<'_>, _rng: &mut WxRng) -> VertexSet {
+    fn transmitters_into(&mut self, view: &RoundView<'_>, _rng: &mut WxRng, out: &mut VertexSet) {
         let n = view.graph.num_vertices();
         if n == 0 {
-            return VertexSet::empty(0);
+            return;
         }
         let turn = view.round % n;
-        let mut out = VertexSet::empty(n);
         if view.informed.contains(turn) {
             let useful = !self.skip_useless_turns
                 || view
@@ -52,7 +51,6 @@ impl BroadcastProtocol for RoundRobin {
                 out.insert(turn);
             }
         }
-        out
     }
 }
 

@@ -62,15 +62,14 @@ impl BroadcastProtocol for SpokesmanBroadcast {
         "spokesman-schedule"
     }
 
-    fn transmitters(&mut self, view: &RoundView<'_>, _rng: &mut WxRng) -> VertexSet {
-        let n = view.graph.num_vertices();
+    fn transmitters_into(&mut self, view: &RoundView<'_>, _rng: &mut WxRng, out: &mut VertexSet) {
         // Frontier-only optimization: restrict S to informed vertices with at
         // least one uninformed neighbor. Their S-excluding unique coverage is
         // unaffected (interior vertices contribute no external edges) and the
         // spokesman instance shrinks dramatically on large graphs.
         let frontier = crate::protocols::useful_transmitters(view);
         if frontier.is_empty() {
-            return VertexSet::empty(n);
+            return;
         }
         let (bip, left_ids, _right_ids) =
             BipartiteGraph::from_set_in_graph(view.graph, view.informed);
@@ -91,7 +90,6 @@ impl BroadcastProtocol for SpokesmanBroadcast {
         };
         // Translate back: restricted index -> bipartite left index (via
         // `kept_left`) -> original vertex id (via `left_ids`).
-        let mut out = VertexSet::empty(n);
         for local in result.subset.iter() {
             out.insert(left_ids[kept_left[local]]);
         }
@@ -104,7 +102,6 @@ impl BroadcastProtocol for SpokesmanBroadcast {
             let v = frontier.iter().next().expect("frontier non-empty");
             out.insert(v);
         }
-        out
     }
 }
 

@@ -2,8 +2,9 @@
 
 use crate::metrics::BroadcastOutcome;
 use crate::protocols::BroadcastProtocol;
+use crate::workspace::TrialWorkspace;
 use wx_graph::random::{rng_from_seed, WxRng};
-use wx_graph::{Graph, NeighborhoodScratch, Vertex, VertexSet};
+use wx_graph::{Graph, Vertex, VertexSet};
 
 /// Read-only view of the simulation state handed to protocols each round.
 ///
@@ -45,31 +46,72 @@ impl Default for SimulatorConfig {
 }
 
 /// The radio-network simulator.
+///
+/// Graph and source are fixed per simulator, so the completion target (the
+/// number of vertices reachable from the source) is computed **once** at
+/// construction and cached — a 10k-trial ensemble on one simulator performs
+/// one BFS, not 10k. Use [`RadioSimulator::run`] for a one-off simulation or
+/// [`RadioSimulator::run_in`] with a reused [`TrialWorkspace`] for
+/// allocation-free ensembles.
 pub struct RadioSimulator<'a> {
     graph: &'a Graph,
     source: Vertex,
     config: SimulatorConfig,
+    /// Cached number of vertices reachable from `source` (the completion
+    /// target); computed by one BFS in the constructor.
+    reachable: usize,
 }
 
 impl<'a> RadioSimulator<'a> {
     /// Creates a simulator for broadcasting from `source` on `graph`.
+    ///
+    /// Runs one BFS to determine the completion target; every subsequent
+    /// trial reuses the cached count.
     pub fn new(graph: &'a Graph, source: Vertex, config: SimulatorConfig) -> Self {
+        assert!(source < graph.num_vertices(), "source out of range");
+        let reachable = reachable_from(graph, source);
+        RadioSimulator {
+            graph,
+            source,
+            config,
+            reachable,
+        }
+    }
+
+    /// Creates a simulator with an externally computed reachable count,
+    /// skipping the constructor BFS entirely. The caller vouches that
+    /// `reachable` is the number of vertices reachable from `source` (a
+    /// wrong value only affects completion detection, not safety). Used by
+    /// batch drivers that already ran a BFS on the shared graph.
+    pub fn with_reachable(
+        graph: &'a Graph,
+        source: Vertex,
+        config: SimulatorConfig,
+        reachable: usize,
+    ) -> Self {
         assert!(source < graph.num_vertices(), "source out of range");
         RadioSimulator {
             graph,
             source,
             config,
+            reachable,
         }
     }
 
     /// The number of vertices reachable from the source (the completion
-    /// target).
+    /// target). Cached at construction — calling this in a loop is free.
     pub fn reachable_count(&self) -> usize {
-        wx_graph::traversal::bfs(self.graph, self.source)
-            .dist
-            .iter()
-            .filter(|&&d| d != usize::MAX)
-            .count()
+        self.reachable
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// The broadcast source.
+    pub fn source(&self) -> Vertex {
+        self.source
     }
 
     /// Executes one round given the set of transmitters; returns the set of
@@ -89,48 +131,97 @@ impl<'a> RadioSimulator<'a> {
     /// Runs the protocol until completion or the round cap, returning the
     /// full outcome. `seed` drives both the protocol's randomness and nothing
     /// else (the simulator itself is deterministic).
+    ///
+    /// Allocates a fresh [`TrialWorkspace`] per call; ensembles should use
+    /// [`RadioSimulator::run_in`] (or the runners in [`crate::trials`]) to
+    /// reuse one workspace across trials.
     pub fn run(&self, protocol: &mut dyn BroadcastProtocol, seed: u64) -> BroadcastOutcome {
+        let mut ws = TrialWorkspace::new(self.graph.num_vertices());
+        let trial = self.run_in(protocol, seed, &mut ws);
+        self.outcome_from(protocol.name(), &trial, &ws)
+    }
+
+    /// Materializes a full [`BroadcastOutcome`] (per-round trajectory plus
+    /// per-vertex first-informed rounds) from the state a
+    /// [`RadioSimulator::run_in`] call left in `ws`. `protocol_name` is the
+    /// [`BroadcastProtocol::name`] of the protocol that ran.
+    pub fn outcome_from(
+        &self,
+        protocol_name: &str,
+        trial: &TrialOutcome,
+        ws: &TrialWorkspace,
+    ) -> BroadcastOutcome {
+        let n = self.graph.num_vertices();
+        BroadcastOutcome {
+            protocol: protocol_name.to_string(),
+            num_vertices: n,
+            reachable: trial.reachable,
+            completed_at: trial.completed_at,
+            rounds_simulated: trial.rounds_simulated,
+            informed_per_round: ws.informed_per_round().to_vec(),
+            first_informed_round: ws.first_informed_round()[..n].to_vec(),
+        }
+    }
+
+    /// Runs the protocol until completion or the round cap, reusing the
+    /// buffers in `ws` — the streaming trial engine's inner loop.
+    ///
+    /// After the first call on a given graph size, subsequent calls perform
+    /// **no** n-sized allocations: the informed/newly-informed bitsets, the
+    /// transmitter buffer, the first-informed array, the per-round counts and
+    /// the receiver-resolution scratch all live in the workspace, and the
+    /// completion target comes from the BFS cached at construction. Per-trial
+    /// setup is a targeted reset proportional to the previous trial's
+    /// informed count, plus reseeding the protocol rng.
+    ///
+    /// The returned [`TrialOutcome`] is a constant-size summary; the full
+    /// trajectory remains readable from `ws` (and can be materialized with
+    /// [`RadioSimulator::outcome_from`]) until the next run overwrites it.
+    pub fn run_in(
+        &self,
+        protocol: &mut dyn BroadcastProtocol,
+        seed: u64,
+        ws: &mut TrialWorkspace,
+    ) -> TrialOutcome {
         let n = self.graph.num_vertices();
         let mut rng: WxRng = rng_from_seed(seed);
-        let mut informed = VertexSet::empty(n);
-        informed.insert(self.source);
-        let mut newly_informed = informed.clone();
-        let mut first_informed_round: Vec<Option<usize>> = vec![None; n];
-        first_informed_round[self.source] = Some(0);
-        let mut informed_per_round = vec![1usize];
-        let target = self.reachable_count();
+        ws.reset(n, self.source);
+        let target = self.reachable;
         let mut completed_at = None;
-        // one scratch for the whole run: per-round receiver resolution
-        // (counting who hears exactly one transmitter) allocates nothing
-        let mut scratch = NeighborhoodScratch::new(n);
 
         protocol.reset(self.graph, self.source);
 
         for round in 0..self.config.max_rounds {
+            ws.transmitters.clear();
             let view = RoundView {
                 graph: self.graph,
                 round,
                 source: self.source,
-                informed: &informed,
-                newly_informed: &newly_informed,
+                informed: &ws.informed,
+                newly_informed: &ws.newly,
             };
-            let transmitters = protocol.transmitters(&view, &mut rng);
+            protocol.transmitters_into(&view, &mut rng, &mut ws.transmitters);
             debug_assert!(
-                transmitters.is_subset_of(&informed),
+                ws.transmitters.is_subset_of(&ws.informed),
                 "protocol {} transmitted from uninformed vertices",
                 protocol.name()
             );
-            let receivers = scratch.unique_neighborhood_sorted(self.graph, &transmitters);
-            let mut fresh = VertexSet::empty(n);
+            let receivers = ws
+                .scratch
+                .unique_neighborhood_sorted(self.graph, &ws.transmitters);
+            ws.fresh.clear();
             for &v in receivers {
-                if informed.insert(v) {
-                    fresh.insert(v);
-                    first_informed_round[v] = Some(round + 1);
+                if ws.informed.insert(v) {
+                    ws.fresh.insert(v);
+                    ws.first_informed_round[v] = Some(round + 1);
                 }
             }
-            newly_informed = fresh;
-            informed_per_round.push(informed.len());
-            if informed.len() == target {
+            std::mem::swap(&mut ws.newly, &mut ws.fresh);
+            ws.informed_per_round.push(ws.informed.len());
+            if ws.informed.len() == target && completed_at.is_none() {
+                // record the *first* completion round; with
+                // stop_when_complete = false the simulation keeps running but
+                // the completion round must not advance with it
                 completed_at = Some(round + 1);
                 if self.config.stop_when_complete {
                     break;
@@ -138,15 +229,48 @@ impl<'a> RadioSimulator<'a> {
             }
         }
 
-        BroadcastOutcome {
-            protocol: protocol.name().to_string(),
-            num_vertices: n,
+        TrialOutcome {
             reachable: target,
+            informed: ws.informed.len(),
             completed_at,
-            rounds_simulated: informed_per_round.len() - 1,
-            informed_per_round,
-            first_informed_round,
+            rounds_simulated: ws.informed_per_round.len() - 1,
         }
+    }
+}
+
+/// The number of vertices reachable from `source` in `graph` (one BFS) —
+/// the completion-target definition. [`RadioSimulator::new`] computes it
+/// once per simulator; batch drivers that share a graph across many
+/// simulators compute it here once and pass it to
+/// [`RadioSimulator::with_reachable`].
+pub fn reachable_from(graph: &Graph, source: Vertex) -> usize {
+    wx_graph::traversal::bfs(graph, source)
+        .dist
+        .iter()
+        .filter(|&&d| d != usize::MAX)
+        .count()
+}
+
+/// Constant-size summary of one [`RadioSimulator::run_in`] trial — everything
+/// an online aggregator needs without materializing the n-sized trajectory
+/// vectors of [`BroadcastOutcome`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// Number of vertices reachable from the source (the completion target).
+    pub reachable: usize,
+    /// Number of vertices informed when the run stopped.
+    pub informed: usize,
+    /// The round at which the last reachable vertex became informed, if the
+    /// broadcast completed within the round cap.
+    pub completed_at: Option<usize>,
+    /// Number of rounds actually simulated.
+    pub rounds_simulated: usize,
+}
+
+impl TrialOutcome {
+    /// `true` if every reachable vertex was informed.
+    pub fn completed(&self) -> bool {
+        self.completed_at.is_some()
     }
 }
 
@@ -232,5 +356,62 @@ mod tests {
     fn source_must_be_valid() {
         let g = path(3);
         RadioSimulator::new(&g, 3, SimulatorConfig::default());
+    }
+
+    #[test]
+    fn run_in_matches_run_across_reused_workspace() {
+        use crate::protocols::decay::DecayProtocol;
+        use crate::workspace::TrialWorkspace;
+        let g = wx_constructions::families::random_regular_graph(48, 4, 7).unwrap();
+        let sim = RadioSimulator::new(&g, 0, SimulatorConfig::default());
+        let mut ws = TrialWorkspace::new(0);
+        for seed in 0..6u64 {
+            let mut p1 = DecayProtocol::default();
+            let mut p2 = DecayProtocol::default();
+            let fresh = sim.run(&mut p1, seed);
+            let trial = sim.run_in(&mut p2, seed, &mut ws);
+            let reused = sim.outcome_from(p2.name(), &trial, &ws);
+            assert_eq!(fresh.completed_at, reused.completed_at);
+            assert_eq!(fresh.rounds_simulated, reused.rounds_simulated);
+            assert_eq!(fresh.informed_per_round, reused.informed_per_round);
+            assert_eq!(fresh.first_informed_round, reused.first_informed_round);
+            assert_eq!(
+                trial.informed,
+                reused.informed_per_round.last().copied().unwrap()
+            );
+        }
+        // the workspace never regrew past the graph size
+        assert_eq!(ws.capacity(), 48);
+    }
+
+    #[test]
+    fn completed_at_records_the_first_completion_round_without_early_stop() {
+        // with stop_when_complete = false the simulation keeps running past
+        // completion; completed_at must stay pinned to the first completion
+        // round instead of advancing with every subsequent full round
+        let g = path(4);
+        let sim = RadioSimulator::new(
+            &g,
+            0,
+            SimulatorConfig {
+                max_rounds: 50,
+                stop_when_complete: false,
+            },
+        );
+        let outcome = sim.run(&mut NaiveFlooding, 0);
+        assert_eq!(outcome.completed_at, Some(3));
+        assert_eq!(outcome.rounds_simulated, 50);
+    }
+
+    #[test]
+    fn with_reachable_skips_the_bfs_but_behaves_identically() {
+        let g = path(6);
+        let plain = RadioSimulator::new(&g, 0, SimulatorConfig::default());
+        let hinted = RadioSimulator::with_reachable(&g, 0, SimulatorConfig::default(), 6);
+        assert_eq!(plain.reachable_count(), hinted.reachable_count());
+        let a = plain.run(&mut NaiveFlooding, 1);
+        let b = hinted.run(&mut NaiveFlooding, 1);
+        assert_eq!(a.completed_at, b.completed_at);
+        assert_eq!(a.informed_per_round, b.informed_per_round);
     }
 }

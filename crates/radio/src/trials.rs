@@ -4,16 +4,74 @@
 //! the broadcast chain) need many independent trials for meaningful
 //! statistics; this module farms them out over rayon with per-trial derived
 //! seeds so the ensemble is reproducible regardless of thread scheduling.
+//!
+//! # Streaming engine
+//!
+//! All runners share one [`RadioSimulator`] (one BFS per ensemble, cached in
+//! the constructor) and one [`TrialWorkspace`] per rayon worker (pulled from
+//! the thread-local pool of [`with_thread_workspace`]), so the per-trial
+//! work is exactly: reseed, simulate, summarize. [`map_trials`] is the
+//! streaming primitive — it hands each trial's constant-size
+//! [`TrialOutcome`] plus the workspace holding its trajectory to a caller
+//! closure and keeps only what the closure returns, so ensemble memory is
+//! O(trials · |summary|), never O(trials · n). [`run_trials`] is the
+//! compatibility wrapper that materializes full [`BroadcastOutcome`]s, and
+//! [`run_trials_stats`] aggregates completion rounds without materializing
+//! any outcome at all.
 
 use crate::metrics::{BroadcastOutcome, EnsembleStats};
 use crate::protocols::BroadcastProtocol;
-use crate::simulator::{RadioSimulator, SimulatorConfig};
+use crate::simulator::{RadioSimulator, SimulatorConfig, TrialOutcome};
+use crate::workspace::{with_thread_workspace, TrialWorkspace};
 use rayon::prelude::*;
 use wx_graph::{Graph, Vertex};
 
 /// Runs `trials` independent simulations of the protocol produced by
+/// `make_protocol` (one fresh instance per trial) on a shared simulator,
+/// reducing each trial to whatever `summarize` returns; results come back in
+/// trial order.
+///
+/// `summarize` receives the trial index, the constant-size [`TrialOutcome`],
+/// and the worker's [`TrialWorkspace`] still holding the full trajectory
+/// (per-round counts, first-informed rounds), so callers can extract exactly
+/// the statistics they need without the engine retaining any n-sized
+/// per-trial state.
+pub fn map_trials<P, F, T, S>(
+    sim: &RadioSimulator<'_>,
+    trials: usize,
+    base_seed: u64,
+    make_protocol: F,
+    summarize: S,
+) -> Vec<T>
+where
+    P: BroadcastProtocol,
+    F: Fn() -> P + Sync,
+    T: Send,
+    S: Fn(usize, &TrialOutcome, &TrialWorkspace) -> T + Sync,
+{
+    (0..trials)
+        .into_par_iter()
+        .map(|t| {
+            with_thread_workspace(|ws| {
+                let mut proto = make_protocol();
+                let outcome = sim.run_in(
+                    &mut proto,
+                    wx_graph::random::derive_seed(base_seed, t as u64),
+                    ws,
+                );
+                summarize(t, &outcome, ws)
+            })
+        })
+        .collect()
+}
+
+/// Runs `trials` independent simulations of the protocol produced by
 /// `make_protocol` (one fresh instance per trial), returning the outcomes in
 /// trial order.
+///
+/// Each returned [`BroadcastOutcome`] carries its full n-sized trajectory;
+/// for large ensembles prefer [`map_trials`] (constant-size summaries) or
+/// [`run_trials_stats`] (online aggregation).
 pub fn run_trials<P, F>(
     graph: &Graph,
     source: Vertex,
@@ -26,20 +84,17 @@ where
     P: BroadcastProtocol,
     F: Fn() -> P + Sync,
 {
-    (0..trials)
-        .into_par_iter()
-        .map(|t| {
-            let sim = RadioSimulator::new(graph, source, config.clone());
-            let mut proto = make_protocol();
-            sim.run(
-                &mut proto,
-                wx_graph::random::derive_seed(base_seed, t as u64),
-            )
-        })
-        .collect()
+    let sim = RadioSimulator::new(graph, source, config.clone());
+    let protocol_name = make_protocol().name().to_string();
+    map_trials(&sim, trials, base_seed, &make_protocol, |_, outcome, ws| {
+        sim.outcome_from(&protocol_name, outcome, ws)
+    })
 }
 
 /// Convenience wrapper returning aggregated statistics directly.
+///
+/// Streams: only each trial's completion round is retained, so memory is
+/// O(trials) machine words regardless of graph size.
 pub fn run_trials_stats<P, F>(
     graph: &Graph,
     source: Vertex,
@@ -52,14 +107,11 @@ where
     P: BroadcastProtocol,
     F: Fn() -> P + Sync,
 {
-    EnsembleStats::from_outcomes(&run_trials(
-        graph,
-        source,
-        config,
-        trials,
-        base_seed,
-        make_protocol,
-    ))
+    let sim = RadioSimulator::new(graph, source, config.clone());
+    let completions = map_trials(&sim, trials, base_seed, make_protocol, |_, outcome, _| {
+        outcome.completed_at
+    });
+    EnsembleStats::from_completion_rounds(&completions)
 }
 
 #[cfg(test)]
@@ -101,5 +153,40 @@ mod tests {
         let outcomes = run_trials(&g, 0, &cfg, 3, 1, || NaiveFlooding);
         let first = outcomes[0].completed_at;
         assert!(outcomes.iter().all(|o| o.completed_at == first));
+    }
+
+    #[test]
+    fn map_trials_summaries_match_full_outcomes() {
+        let g = wx_constructions::families::random_regular_graph(64, 4, 5).unwrap();
+        let cfg = SimulatorConfig::default();
+        let sim = RadioSimulator::new(&g, 0, cfg.clone());
+        let summaries = map_trials(&sim, 5, 17, DecayProtocol::default, |t, outcome, ws| {
+            (
+                t,
+                outcome.completed_at,
+                outcome.rounds_simulated,
+                ws.rounds_to_reach_fraction(0.5, outcome.reachable),
+            )
+        });
+        let full = run_trials(&g, 0, &cfg, 5, 17, DecayProtocol::default);
+        assert_eq!(summaries.len(), 5);
+        for (i, (t, completed_at, rounds, half)) in summaries.iter().enumerate() {
+            assert_eq!(*t, i);
+            assert_eq!(*completed_at, full[i].completed_at);
+            assert_eq!(*rounds, full[i].rounds_simulated);
+            assert_eq!(*half, full[i].rounds_to_reach_fraction(0.5));
+        }
+    }
+
+    #[test]
+    fn shared_simulator_does_one_bfs_and_caches_the_target() {
+        // the reachable count is computed in the constructor; afterwards it
+        // is a field read, identical across all trials
+        let g = wx_constructions::families::grid_graph(6, 6).unwrap();
+        let sim = RadioSimulator::new(&g, 0, SimulatorConfig::default());
+        let targets = map_trials(&sim, 8, 1, DecayProtocol::default, |_, outcome, _| {
+            outcome.reachable
+        });
+        assert!(targets.iter().all(|&r| r == sim.reachable_count()));
     }
 }
