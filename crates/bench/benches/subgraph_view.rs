@@ -1,0 +1,93 @@
+//! Zero-copy `SubgraphView` vs materialized `induced_subgraph` measurement.
+//!
+//! The `GraphView` refactor's claim is that per-subset expansion
+//! measurements no longer need to pay the `O(n + m)` induced-subgraph
+//! materialization. This bench races the two strategies across subset sizes
+//! on a random 8-regular graph with n = 4096:
+//!
+//! * `materialized/<k>` — the historical path: `induced_subgraph(S)` (full
+//!   copy), then measure ordinary expansion of the copy;
+//! * `view/<k>` — `SubgraphView::new(&g, &s)` (O(1)), then the identical
+//!   measurement generic over the view;
+//! * `*_gamma_minus/<k>` — the same comparison for a single `Γ⁻` kernel
+//!   evaluation, the per-candidate unit of the measurement engine.
+//!
+//! Results land in `BENCH_subgraph_view.json` (see the criterion shim);
+//! the committed copy lives at `crates/bench/BENCH_subgraph_view.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wx_core::expansion::engine::{MeasureStrategy, MeasurementEngine, Ordinary};
+use wx_core::expansion::SamplerConfig;
+use wx_core::graph::random::{random_subset_of_size, rng_from_seed};
+use wx_core::graph::{NeighborhoodScratch, SubgraphView};
+use wx_core::prelude::*;
+
+fn engine() -> MeasurementEngine {
+    MeasurementEngine::builder()
+        .alpha(0.5)
+        .strategy(MeasureStrategy::Sampled)
+        .sampler(SamplerConfig::light(0.5))
+        .parallel(false) // single-threaded so the bench measures the path, not rayon
+        .seed(11)
+        .build()
+}
+
+fn bench_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subgraph_view/measure_ordinary");
+    let (n, d) = (4096usize, 8usize);
+    let g = random_regular_graph(n, d, 3).unwrap();
+    let eng = engine();
+
+    for k in [64usize, 256, 1024] {
+        let mut rng = rng_from_seed(k as u64);
+        let s = random_subset_of_size(&mut rng, n, k);
+
+        group.bench_with_input(BenchmarkId::new("materialized", k), &s, |b, s| {
+            b.iter(|| {
+                let (sub, _ids) = g.induced_subgraph(s);
+                eng.measure(&sub, &Ordinary).unwrap().value
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("view", k), &s, |b, s| {
+            b.iter(|| {
+                let view = SubgraphView::new(&g, s);
+                eng.measure(&view, &Ordinary).unwrap().value
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_kernel_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subgraph_view/gamma_minus");
+    let (n, d) = (4096usize, 8usize);
+    let g = random_regular_graph(n, d, 3).unwrap();
+
+    for k in [64usize, 256, 1024] {
+        let mut rng = rng_from_seed(1000 + k as u64);
+        let s = random_subset_of_size(&mut rng, n, k);
+        // the inner set whose boundary is measured: half of S, by local ids
+        let inner_size = (k / 2).max(1);
+
+        group.bench_with_input(BenchmarkId::new("materialized", k), &s, |b, s| {
+            let mut scr = NeighborhoodScratch::new(n);
+            b.iter(|| {
+                let (sub, _ids) = g.induced_subgraph(s);
+                let inner = VertexSet::from_iter(sub.num_vertices(), 0..inner_size);
+                scr.count_external_neighborhood(&sub, &inner)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("view", k), &s, |b, s| {
+            let mut scr = NeighborhoodScratch::new(n);
+            b.iter(|| {
+                let view = SubgraphView::new(&g, s);
+                let inner = VertexSet::from_iter(k, 0..inner_size);
+                scr.count_external_neighborhood(&view, &inner)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measurement, bench_single_kernel_eval);
+criterion_main!(benches);

@@ -12,7 +12,12 @@ use crate::ExperimentOptions;
 use wx_core::prelude::*;
 use wx_core::report::{fmt_f64, render_table, TableRow};
 
-fn measure(name: &str, g: &Graph, opts: &ExperimentOptions, rows: &mut Vec<TableRow>) {
+fn measure<G: GraphView + Sync>(
+    name: &str,
+    g: &G,
+    opts: &ExperimentOptions,
+    rows: &mut Vec<TableRow>,
+) {
     let sampler = if opts.quick {
         SamplerConfig::light(0.5)
     } else {
@@ -75,9 +80,13 @@ fn measure(name: &str, g: &Graph, opts: &ExperimentOptions, rows: &mut Vec<Table
 }
 
 /// Runs the experiment and returns the report text.
+///
+/// `measure` is generic over [`GraphView`], so the hypercube rows run on
+/// the unmaterialized [`ImplicitGraph`] backend — the equivalence proptests
+/// guarantee (and the historical report text confirms) identical numbers to
+/// the old materialized path.
 pub fn run(opts: &ExperimentOptions) -> String {
     let mut rows = Vec::new();
-    let mut graphs: Vec<(String, Graph)> = Vec::new();
     let sizes: &[usize] = if opts.quick { &[64] } else { &[64, 256, 1024] };
     for &n in sizes {
         for &d in if opts.quick {
@@ -85,34 +94,36 @@ pub fn run(opts: &ExperimentOptions) -> String {
         } else {
             &[4usize, 8, 16][..]
         } {
-            graphs.push((
-                format!("random-regular n={n} d={d}"),
-                random_regular_graph(n, d, opts.seed ^ (n as u64) ^ (d as u64)).expect("valid"),
-            ));
+            let g = random_regular_graph(n, d, opts.seed ^ (n as u64) ^ (d as u64)).expect("valid");
+            measure(&format!("random-regular n={n} d={d}"), &g, opts, &mut rows);
         }
     }
-    graphs.push((
-        "hypercube d=6".to_string(),
-        hypercube_graph(6).expect("valid"),
-    ));
+    measure(
+        "hypercube d=6",
+        &ImplicitGraph::hypercube(6).expect("valid"),
+        opts,
+        &mut rows,
+    );
     if !opts.quick {
-        graphs.push((
-            "hypercube d=9".to_string(),
-            hypercube_graph(9).expect("valid"),
-        ));
-        graphs.push((
-            "margulis m=16".to_string(),
-            margulis_graph(16).expect("valid"),
-        ));
+        measure(
+            "hypercube d=9",
+            &ImplicitGraph::hypercube(9).expect("valid"),
+            opts,
+            &mut rows,
+        );
+        measure(
+            "margulis m=16",
+            &margulis_graph(16).expect("valid"),
+            opts,
+            &mut rows,
+        );
     }
-    graphs.push((
-        "margulis m=8".to_string(),
-        margulis_graph(8).expect("valid"),
-    ));
-
-    for (name, g) in &graphs {
-        measure(name, g, opts, &mut rows);
-    }
+    measure(
+        "margulis m=8",
+        &margulis_graph(8).expect("valid"),
+        opts,
+        &mut rows,
+    );
 
     let mut out = render_table(
         "E1: wireless expansion of ordinary expanders (Theorem 1.1)",

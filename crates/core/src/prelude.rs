@@ -4,7 +4,8 @@ pub use crate::analysis::{AnalysisConfig, AnalysisConfigBuilder, GraphAnalysis};
 pub use crate::report::{render_table, TableRow};
 
 pub use wx_graph::{
-    BipartiteBuilder, BipartiteGraph, Graph, GraphBuilder, GraphError, Vertex, VertexSet,
+    BipartiteBuilder, BipartiteGraph, Graph, GraphBuilder, GraphError, GraphView, ImplicitFamily,
+    ImplicitGraph, SubgraphView, Vertex, VertexSet,
 };
 
 pub use wx_expansion::{

@@ -82,7 +82,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use wx_graph::random::derive_seed;
 use wx_graph::scratch::with_thread_scratch;
-use wx_graph::{Graph, NeighborhoodScratch, VertexSet};
+use wx_graph::{Graph, GraphView, NeighborhoodScratch, VertexSet};
 use wx_spokesman::PortfolioSolver;
 
 /// How a [`MeasurementEngine`] chooses its candidate sets.
@@ -148,7 +148,14 @@ impl SetEvaluation {
 ///
 /// Implementors only define the *set-level* evaluation; enumeration,
 /// sampling, parallelism and witness tracking are the engine's job.
-pub trait ExpansionMeasure: Sync {
+///
+/// The trait is parameterized by the graph backend `G` (any
+/// [`GraphView`]; defaults to the CSR [`Graph`], so `dyn ExpansionMeasure`
+/// keeps meaning what it always did). The three built-in measures implement
+/// it for **every** backend, which is what lets one engine measure CSR
+/// graphs, zero-copy [`wx_graph::SubgraphView`]s and unmaterialized
+/// [`wx_graph::ImplicitGraph`] families through the same code path.
+pub trait ExpansionMeasure<G: GraphView + ?Sized = Graph>: Sync {
     /// Short name for reports ("ordinary", "unique", "wireless").
     fn name(&self) -> &'static str;
 
@@ -167,7 +174,7 @@ pub trait ExpansionMeasure: Sync {
     /// [`with_thread_scratch`] themselves (the pool is already borrowed).
     fn evaluate(
         &self,
-        g: &Graph,
+        g: &G,
         s: &VertexSet,
         exact: bool,
         seed: u64,
@@ -222,10 +229,14 @@ impl NotionKind {
         }
     }
 
-    /// Builds the measure this notion names. `fast` selects the cheap
-    /// wireless portfolio ([`Wireless::fast`]) for inner loops; ordinary and
-    /// unique measures are unaffected.
-    pub fn measure(self, fast: bool) -> Box<dyn ExpansionMeasure + Send + Sync> {
+    /// Builds the measure this notion names, for any graph backend `G`
+    /// (inferred from the engine call site; defaults to the CSR [`Graph`]).
+    /// `fast` selects the cheap wireless portfolio ([`Wireless::fast`]) for
+    /// inner loops; ordinary and unique measures are unaffected.
+    pub fn measure<G: GraphView + ?Sized>(
+        self,
+        fast: bool,
+    ) -> Box<dyn ExpansionMeasure<G> + Send + Sync> {
         match self {
             NotionKind::Ordinary => Box::new(Ordinary),
             NotionKind::Unique => Box::new(UniqueNeighbor),
@@ -248,13 +259,13 @@ impl std::fmt::Display for NotionKind {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Ordinary;
 
-impl ExpansionMeasure for Ordinary {
+impl<G: GraphView + ?Sized> ExpansionMeasure<G> for Ordinary {
     fn name(&self) -> &'static str {
         "ordinary"
     }
     fn evaluate(
         &self,
-        g: &Graph,
+        g: &G,
         s: &VertexSet,
         _exact: bool,
         _seed: u64,
@@ -268,13 +279,13 @@ impl ExpansionMeasure for Ordinary {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct UniqueNeighbor;
 
-impl ExpansionMeasure for UniqueNeighbor {
+impl<G: GraphView + ?Sized> ExpansionMeasure<G> for UniqueNeighbor {
     fn name(&self) -> &'static str {
         "unique"
     }
     fn evaluate(
         &self,
-        g: &Graph,
+        g: &G,
         s: &VertexSet,
         _exact: bool,
         _seed: u64,
@@ -316,14 +327,14 @@ impl Wireless {
     }
 }
 
-impl ExpansionMeasure for Wireless {
+impl<G: GraphView + ?Sized> ExpansionMeasure<G> for Wireless {
     fn name(&self) -> &'static str {
         "wireless"
     }
 
     fn evaluate(
         &self,
-        g: &Graph,
+        g: &G,
         s: &VertexSet,
         exact: bool,
         seed: u64,
@@ -491,7 +502,7 @@ impl MeasurementEngine {
 
     /// Generates the engine's sampled candidate pool for `g` (shared across
     /// measures so their results are comparable set-by-set).
-    pub fn candidate_pool(&self, g: &Graph) -> CandidateSets {
+    pub fn candidate_pool<G: GraphView + ?Sized>(&self, g: &G) -> CandidateSets {
         CandidateSets::generate(g, &self.sampler, self.seed)
     }
 
@@ -505,7 +516,7 @@ impl MeasurementEngine {
     /// Resolves the strategy for `g` and materializes the candidate sets it
     /// implies: the exhaustive enumeration (`exact = true`) or the sampled
     /// pool (`exact = false`). `None` for the empty graph.
-    fn candidate_sets(&self, g: &Graph) -> Option<(Vec<VertexSet>, bool)> {
+    fn candidate_sets<G: GraphView + ?Sized>(&self, g: &G) -> Option<(Vec<VertexSet>, bool)> {
         let n = g.num_vertices();
         if n == 0 {
             return None;
@@ -524,35 +535,43 @@ impl MeasurementEngine {
     /// explicit [`MeasurementEngine::candidate_pool`] with
     /// [`MeasurementEngine::measure_with_pool`]) so the pool is generated
     /// once.
-    pub fn measure<M: ExpansionMeasure + ?Sized>(
-        &self,
-        g: &Graph,
-        measure: &M,
-    ) -> Option<Measurement> {
+    pub fn measure<G, M>(&self, g: &G, measure: &M) -> Option<Measurement>
+    where
+        G: GraphView + Sync + ?Sized,
+        M: ExpansionMeasure<G> + ?Sized,
+    {
         let (sets, exact) = self.candidate_sets(g)?;
         self.minimize(g, measure, &sets, exact)
     }
 
     /// Measures one notion over an explicit candidate pool (always sampled
     /// semantics: `exact = false`).
-    pub fn measure_with_pool<M: ExpansionMeasure + ?Sized>(
+    pub fn measure_with_pool<G, M>(
         &self,
-        g: &Graph,
+        g: &G,
         measure: &M,
         pool: &CandidateSets,
-    ) -> Option<Measurement> {
+    ) -> Option<Measurement>
+    where
+        G: GraphView + Sync + ?Sized,
+        M: ExpansionMeasure<G> + ?Sized,
+    {
         self.minimize(g, measure, &pool.sets, false)
     }
 
     /// Evaluates the measure on every set of `pool` (in pool order), in
     /// parallel when enabled. This is the escape hatch for experiment
     /// harnesses that need per-set statistics beyond the minimum.
-    pub fn evaluate_pool<M: ExpansionMeasure + ?Sized>(
+    pub fn evaluate_pool<G, M>(
         &self,
-        g: &Graph,
+        g: &G,
         measure: &M,
         pool: &CandidateSets,
-    ) -> Vec<SetEvaluation> {
+    ) -> Vec<SetEvaluation>
+    where
+        G: GraphView + Sync + ?Sized,
+        M: ExpansionMeasure<G> + ?Sized,
+    {
         let seed = self.seed;
         let eval_one = |(i, s): (usize, &VertexSet)| {
             with_thread_scratch(g.num_vertices(), |scratch| {
@@ -570,10 +589,10 @@ impl MeasurementEngine {
     /// returning measurements in `measures` order. `None` for the empty
     /// graph. This is the general form of [`MeasurementEngine::measure_all`]
     /// for callers that need an arbitrary subset of measures.
-    pub fn measure_many(
+    pub fn measure_many<G: GraphView + Sync + ?Sized>(
         &self,
-        g: &Graph,
-        measures: &[&dyn ExpansionMeasure],
+        g: &G,
+        measures: &[&dyn ExpansionMeasure<G>],
     ) -> Option<Vec<Measurement>> {
         let (sets, exact) = self.candidate_sets(g)?;
         measures
@@ -585,7 +604,11 @@ impl MeasurementEngine {
     /// Measures all three notions over one shared pool (or one shared exact
     /// enumeration) — the candidate sets are generated once, so the three
     /// results are comparable set-by-set. `None` for the empty graph.
-    pub fn measure_all(&self, g: &Graph, wireless: &Wireless) -> Option<ExpansionTriple> {
+    pub fn measure_all<G: GraphView + Sync + ?Sized>(
+        &self,
+        g: &G,
+        wireless: &Wireless,
+    ) -> Option<ExpansionTriple> {
         let (sets, exact) = self.candidate_sets(g)?;
         Some(ExpansionTriple {
             ordinary: self.minimize(g, &Ordinary, &sets, exact)?,
@@ -598,12 +621,11 @@ impl MeasurementEngine {
     /// `threshold`, returning the first violating witness (pool order). A
     /// `None` result is evidence, not proof, unless the strategy resolved to
     /// `Exact`.
-    pub fn find_violation<M: ExpansionMeasure + ?Sized>(
-        &self,
-        g: &Graph,
-        measure: &M,
-        threshold: f64,
-    ) -> Option<Measurement> {
+    pub fn find_violation<G, M>(&self, g: &G, measure: &M, threshold: f64) -> Option<Measurement>
+    where
+        G: GraphView + Sync + ?Sized,
+        M: ExpansionMeasure<G> + ?Sized,
+    {
         let (sets, exact) = self.candidate_sets(g)?;
         self.check_exact_feasible(measure, &sets, exact);
         let seed = self.seed;
@@ -625,7 +647,7 @@ impl MeasurementEngine {
 
     /// Panics with an informative message when an exact evaluation would be
     /// infeasible for some candidate set (shared by every exact code path).
-    fn check_exact_feasible<M: ExpansionMeasure + ?Sized>(
+    fn check_exact_feasible<G: GraphView + ?Sized, M: ExpansionMeasure<G> + ?Sized>(
         &self,
         measure: &M,
         sets: &[VertexSet],
@@ -645,13 +667,17 @@ impl MeasurementEngine {
     /// The core minimization: evaluate every set (in parallel when enabled)
     /// and keep the smallest value; ties break toward the earlier set, so
     /// results are independent of the thread schedule.
-    fn minimize<M: ExpansionMeasure + ?Sized>(
+    fn minimize<G, M>(
         &self,
-        g: &Graph,
+        g: &G,
         measure: &M,
         sets: &[VertexSet],
         exact: bool,
-    ) -> Option<Measurement> {
+    ) -> Option<Measurement>
+    where
+        G: GraphView + Sync + ?Sized,
+        M: ExpansionMeasure<G> + ?Sized,
+    {
         self.check_exact_feasible(measure, sets, exact);
         let seed = self.seed;
         let eval_one = |(i, s): (usize, &VertexSet)| {

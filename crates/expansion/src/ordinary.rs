@@ -6,16 +6,20 @@
 //! driving the [`crate::engine::Ordinary`] measure.
 
 use wx_graph::neighborhood::expansion_of_set;
-use wx_graph::{Graph, NeighborhoodScratch, VertexSet};
+use wx_graph::{GraphView, NeighborhoodScratch, VertexSet};
 
 /// The expansion of a single set, `|Γ⁻(S)|/|S|` (re-exported convenience).
-pub fn of_set(g: &Graph, s: &VertexSet) -> f64 {
+pub fn of_set<G: GraphView + ?Sized>(g: &G, s: &VertexSet) -> f64 {
     expansion_of_set(g, s)
 }
 
 /// [`of_set`] against a caller-provided scratch — the allocation-free form
 /// the [`crate::engine::Ordinary`] measure drives per candidate set.
-pub fn of_set_with(g: &Graph, s: &VertexSet, scratch: &mut NeighborhoodScratch) -> f64 {
+pub fn of_set_with<G: GraphView + ?Sized>(
+    g: &G,
+    s: &VertexSet,
+    scratch: &mut NeighborhoodScratch,
+) -> f64 {
     scratch.external_expansion(g, s)
 }
 
@@ -23,6 +27,7 @@ pub fn of_set_with(g: &Graph, s: &VertexSet, scratch: &mut NeighborhoodScratch) 
 mod tests {
     use super::*;
     use crate::engine::{MeasureStrategy, MeasurementEngine, Ordinary};
+    use wx_graph::Graph;
 
     fn cycle(n: usize) -> Graph {
         Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap()

@@ -21,7 +21,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use wx_graph::random::{derive_seed, rng_from_seed};
 use wx_graph::traversal::bfs;
-use wx_graph::{Graph, VertexSet};
+use wx_graph::{GraphView, VertexSet};
 
 /// Configuration for the candidate-set sampler.
 #[derive(Clone, Debug)]
@@ -39,6 +39,12 @@ pub struct SamplerConfig {
     pub greedy_growths: usize,
     /// Include every singleton set (cheap, catches degree-based minima).
     pub include_singletons: bool,
+    /// Vertex count above which the sampler switches to its memory-bounded
+    /// large-graph regime (see [`CandidateSets::generate`]). Defaults to
+    /// [`LARGE_N_THRESHOLD`]; raise it (up to `usize::MAX` to disable) when
+    /// a graph comfortably fits in RAM and the exhaustive singleton pool's
+    /// witness guarantees matter more than memory.
+    pub large_graph_threshold: usize,
 }
 
 impl Default for SamplerConfig {
@@ -50,6 +56,7 @@ impl Default for SamplerConfig {
             ball_centers: 8,
             greedy_growths: 4,
             include_singletons: true,
+            large_graph_threshold: LARGE_N_THRESHOLD,
         }
     }
 }
@@ -64,6 +71,7 @@ impl SamplerConfig {
             ball_centers: 3,
             greedy_growths: 2,
             include_singletons: true,
+            large_graph_threshold: LARGE_N_THRESHOLD,
         }
     }
 
@@ -83,9 +91,38 @@ pub struct CandidateSets {
     pub alpha: f64,
 }
 
+/// Default for [`SamplerConfig::large_graph_threshold`]: above this vertex
+/// count the sampler switches to its large-graph regime
+/// (see [`CandidateSets::generate`]): candidate sizes are clamped to
+/// [`LARGE_N_SET_CAP`], singletons are sampled instead of exhaustive, and
+/// greedy growths stop at [`LARGE_N_GROWTH_CAP`]. Pools for graphs at or
+/// below the threshold are bit-for-bit what they always were.
+pub const LARGE_N_THRESHOLD: usize = 8192;
+/// Candidate-set size cap in the large-graph regime. An α·n-sized set over a
+/// million-vertex implicit graph would cost megabytes *per candidate*; the
+/// minimum over sets up to this cap is still an upper-bound witness search,
+/// just a memory-bounded one.
+pub const LARGE_N_SET_CAP: usize = 4096;
+/// Number of sampled singleton candidates in the large-graph regime
+/// (exhaustive singletons would allocate an n-bit set per vertex: O(n²)
+/// bits).
+pub const LARGE_N_SINGLETON_SAMPLES: usize = 256;
+/// Step cap for adversarial greedy growth in the large-graph regime (each
+/// step scans the whole boundary, so uncapped growth is quadratic).
+pub const LARGE_N_GROWTH_CAP: usize = 512;
+
 impl CandidateSets {
     /// Generates the candidate pool for `g` under `config`, seeded by `seed`.
-    pub fn generate(g: &Graph, config: &SamplerConfig, seed: u64) -> Self {
+    ///
+    /// For graphs past [`LARGE_N_THRESHOLD`] vertices (the implicit-backend
+    /// regime) the pool is memory- and time-bounded: candidate sizes clamp
+    /// to [`LARGE_N_SET_CAP`], singletons are a seeded
+    /// [`LARGE_N_SINGLETON_SAMPLES`]-vertex sample, and greedy growths stop
+    /// at [`LARGE_N_GROWTH_CAP`] vertices — so `wx measure` on a
+    /// million-vertex hypercube allocates megabytes, not the O(n²) bits the
+    /// exhaustive singleton pool would need. Graphs at or below the
+    /// threshold generate exactly the historical pool.
+    pub fn generate<G: GraphView + ?Sized>(g: &G, config: &SamplerConfig, seed: u64) -> Self {
         let n = g.num_vertices();
         let mut sets: Vec<VertexSet> = Vec::new();
         if n == 0 {
@@ -94,13 +131,36 @@ impl CandidateSets {
                 alpha: config.alpha,
             };
         }
-        let max_size = config.max_set_size(n);
+        let large = n > config.large_graph_threshold;
+        let max_size = if large {
+            config.max_set_size(n).min(LARGE_N_SET_CAP)
+        } else {
+            config.max_set_size(n)
+        };
+        let growth_cap = if large {
+            max_size.min(LARGE_N_GROWTH_CAP)
+        } else {
+            max_size
+        };
         let mut rng = rng_from_seed(derive_seed(seed, 0));
 
-        // Singletons.
+        // Singletons: exhaustive below the threshold, a seeded sample above
+        // it (each singleton still carries an n-bit universe).
         if config.include_singletons {
-            for v in 0..n {
-                sets.push(g.vertex_set([v]));
+            if large {
+                let mut singleton_rng = rng_from_seed(derive_seed(seed, 0x517));
+                let sample = wx_graph::random::random_subset_of_size_sparse(
+                    &mut singleton_rng,
+                    n,
+                    LARGE_N_SINGLETON_SAMPLES.min(n),
+                );
+                for v in sample.iter() {
+                    sets.push(VertexSet::from_iter(n, [v]));
+                }
+            } else {
+                for v in 0..n {
+                    sets.push(VertexSet::from_iter(n, [v]));
+                }
             }
         }
 
@@ -115,28 +175,43 @@ impl CandidateSets {
             let fraction_seed = derive_seed(seed, 1 + fi as u64);
             for t in 0..config.random_sets_per_size {
                 let mut trial_rng = rng_from_seed(derive_seed(fraction_seed, t as u64));
-                sets.push(wx_graph::random::random_subset_of_size(
-                    &mut trial_rng,
-                    n,
-                    k,
-                ));
+                // the sparse sampler keeps each draw O(k log k) in the large
+                // regime; the dense one preserves the historical stream below
+                // the threshold
+                sets.push(if large {
+                    wx_graph::random::random_subset_of_size_sparse(&mut trial_rng, n, k)
+                } else {
+                    wx_graph::random::random_subset_of_size(&mut trial_rng, n, k)
+                });
             }
         }
 
         // BFS balls around sampled centers, truncated to the size cap.
-        let mut centers: Vec<usize> = (0..n).collect();
-        centers.shuffle(&mut rng);
-        for &c in centers.iter().take(config.ball_centers) {
+        let centers: Vec<usize> = if large {
+            wx_graph::random::random_subset_of_size_sparse(&mut rng, n, config.ball_centers.min(n))
+                .to_vec()
+        } else {
+            let mut all: Vec<usize> = (0..n).collect();
+            all.shuffle(&mut rng);
+            all.truncate(config.ball_centers);
+            all
+        };
+        for &c in centers.iter() {
             let res = bfs(g, c);
+            // Bucket the reachable vertices by distance in one O(n) pass
+            // (each bucket stays in vertex-index order, exactly like
+            // `BfsResult::layer`); the per-radius `layer(r)` re-scan was an
+            // O(n·diameter) hotspot on high-diameter large-n families.
+            let mut layers: Vec<Vec<usize>> = vec![Vec::new(); res.eccentricity + 1];
+            for (v, &d) in res.dist.iter().enumerate() {
+                if d != usize::MAX {
+                    layers[d].push(v);
+                }
+            }
             let mut ball: Vec<usize> = Vec::new();
             // grow layer by layer until the cap is hit
-            let mut r = 0usize;
-            'outer: loop {
-                let layer = res.layer(r);
-                if layer.is_empty() {
-                    break;
-                }
-                for v in layer {
+            'outer: for layer in &layers {
+                for &v in layer {
                     if ball.len() >= max_size {
                         break 'outer;
                     }
@@ -144,9 +219,8 @@ impl CandidateSets {
                 }
                 // record the prefix ball at every radius (nested candidates)
                 if !ball.is_empty() {
-                    sets.push(g.vertex_set(ball.iter().copied()));
+                    sets.push(VertexSet::from_iter(n, ball.iter().copied()));
                 }
-                r += 1;
             }
         }
 
@@ -158,16 +232,15 @@ impl CandidateSets {
         for t in 0..config.greedy_growths {
             let mut grow_rng = rng_from_seed(derive_seed(seed, 5000 + t as u64));
             let start = grow_rng.gen_range(0..n);
-            let mut current = g.vertex_set([start]);
+            let mut current = VertexSet::from_iter(n, [start]);
             let mut boundary = wx_graph::neighborhood::external_neighborhood(g, &current);
             sets.push(current.clone());
-            while current.len() < max_size && !boundary.is_empty() {
+            while current.len() < growth_cap && !boundary.is_empty() {
                 let mut best: Option<(usize, usize)> = None;
                 for v in boundary.iter() {
                     let fresh = g
-                        .neighbors(v)
-                        .iter()
-                        .filter(|&&u| !current.contains(u) && !boundary.contains(u))
+                        .neighbors_iter(v)
+                        .filter(|&u| !current.contains(u) && !boundary.contains(u))
                         .count();
                     match best {
                         None => best = Some((v, fresh)),
@@ -178,7 +251,7 @@ impl CandidateSets {
                 let (v, _) = best.expect("non-empty boundary");
                 current.insert(v);
                 boundary.remove(v);
-                for &u in g.neighbors(v) {
+                for u in g.neighbors_iter(v) {
                     if !current.contains(u) {
                         boundary.insert(u);
                     }
@@ -186,7 +259,7 @@ impl CandidateSets {
                 // Record prefixes at geometrically spaced sizes (plus the
                 // final set) so the candidate pool stays small even when the
                 // growth runs to thousands of vertices.
-                if current.len().is_power_of_two() || current.len() == max_size {
+                if current.len().is_power_of_two() || current.len() == growth_cap {
                     sets.push(current.clone());
                 }
             }
@@ -290,6 +363,7 @@ pub fn all_small_sets(n: usize, max_size: usize) -> Vec<VertexSet> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wx_graph::Graph;
 
     fn cycle(n: usize) -> Graph {
         Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap()
@@ -373,9 +447,86 @@ mod tests {
             ball_centers: 0,
             greedy_growths: 0,
             include_singletons: false,
+            large_graph_threshold: LARGE_N_THRESHOLD,
         };
         let pool = CandidateSets::generate(&g, &cfg, 9);
         assert_eq!(pool.len(), 280, "candidate sets were lost to seed reuse");
+    }
+
+    #[test]
+    fn large_graph_regime_bounds_the_pool() {
+        use wx_graph::ImplicitGraph;
+        // Q_14: 16_384 vertices — past LARGE_N_THRESHOLD. The pool must stay
+        // small and size-capped instead of allocating one n-bit set per
+        // vertex.
+        let g = ImplicitGraph::hypercube(14).unwrap();
+        let cfg = SamplerConfig::default();
+        let pool = CandidateSets::generate(&g, &cfg, 3);
+        assert!(!pool.is_empty());
+        // size-1 sets: the sampled singletons plus the radius-0 ball
+        // prefixes and greedy-growth starting points
+        let singleton_count = pool.sets.iter().filter(|s| s.len() == 1).count();
+        assert!(
+            singleton_count <= LARGE_N_SINGLETON_SAMPLES + cfg.ball_centers + cfg.greedy_growths,
+            "{singleton_count} singletons"
+        );
+        for s in &pool.sets {
+            assert!(s.len() <= LARGE_N_SET_CAP, "set of size {}", s.len());
+        }
+        assert!(
+            pool.len() <= LARGE_N_SINGLETON_SAMPLES + 200,
+            "pool of {} sets",
+            pool.len()
+        );
+        // deterministic given the seed
+        let again = CandidateSets::generate(&g, &cfg, 3);
+        assert_eq!(pool.len(), again.len());
+
+        // ... and the engine can actually measure at this size
+        let m = crate::MeasurementEngine::builder()
+            .strategy(crate::engine::MeasureStrategy::Sampled)
+            .seed(3)
+            .build()
+            .measure(&g, &crate::engine::Ordinary)
+            .unwrap();
+        assert!(m.value > 0.0 && !m.exact);
+    }
+
+    #[test]
+    fn threshold_graphs_keep_the_historical_pool_shape() {
+        // Scenario-sized graphs are untouched by the large regime.
+        let g = cycle(100);
+        let pool = CandidateSets::generate(&g, &SamplerConfig::default(), 1);
+        let singleton_count = pool.sets.iter().filter(|s| s.len() == 1).count();
+        assert_eq!(singleton_count, 100);
+        assert_eq!(
+            pool.sets.iter().map(|s| s.len()).max().unwrap(),
+            SamplerConfig::default().max_set_size(100)
+        );
+    }
+
+    #[test]
+    fn large_regime_boundary_is_exclusive() {
+        // The byte-identical-reports contract: n == LARGE_N_THRESHOLD stays
+        // in the exhaustive-singleton regime; n == LARGE_N_THRESHOLD + 1
+        // switches to the sampled one. Singleton-only config so the test
+        // stays cheap at 8k vertices.
+        use wx_graph::ImplicitGraph;
+        let cfg = SamplerConfig {
+            alpha: 0.5,
+            random_sets_per_size: 0,
+            size_fractions: vec![],
+            ball_centers: 0,
+            greedy_growths: 0,
+            include_singletons: true,
+            large_graph_threshold: LARGE_N_THRESHOLD,
+        };
+        let at = ImplicitGraph::cycle_power(LARGE_N_THRESHOLD, 1).unwrap();
+        let pool = CandidateSets::generate(&at, &cfg, 1);
+        assert_eq!(pool.len(), LARGE_N_THRESHOLD, "exhaustive at the boundary");
+        let above = ImplicitGraph::cycle_power(LARGE_N_THRESHOLD + 1, 1).unwrap();
+        let pool = CandidateSets::generate(&above, &cfg, 1);
+        assert_eq!(pool.len(), LARGE_N_SINGLETON_SAMPLES, "sampled above it");
     }
 
     #[test]

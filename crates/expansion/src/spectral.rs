@@ -8,7 +8,7 @@
 //! * a dense symmetric eigendecomposition via `nalgebra` for graphs up to a
 //!   few thousand vertices ([`adjacency_spectrum_dense`]);
 //! * deflated power iteration for larger graphs
-//!   ([`second_eigenvalue_power_iteration`]), which only touches the CSR
+//!   ([`second_eigenvalue`]), which only touches the CSR
 //!   adjacency lists and never materializes the matrix.
 
 use nalgebra::{DMatrix, DVector};

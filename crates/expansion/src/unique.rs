@@ -8,16 +8,20 @@
 //! [`crate::engine::UniqueNeighbor`] measure.
 
 use wx_graph::neighborhood::unique_expansion_of_set;
-use wx_graph::{Graph, NeighborhoodScratch, VertexSet};
+use wx_graph::{GraphView, NeighborhoodScratch, VertexSet};
 
 /// The unique-neighbor expansion of a single set, `|Γ¹(S)|/|S|`.
-pub fn of_set(g: &Graph, s: &VertexSet) -> f64 {
+pub fn of_set<G: GraphView + ?Sized>(g: &G, s: &VertexSet) -> f64 {
     unique_expansion_of_set(g, s)
 }
 
 /// [`of_set`] against a caller-provided scratch — the allocation-free form
 /// the [`crate::engine::UniqueNeighbor`] measure drives per candidate set.
-pub fn of_set_with(g: &Graph, s: &VertexSet, scratch: &mut NeighborhoodScratch) -> f64 {
+pub fn of_set_with<G: GraphView + ?Sized>(
+    g: &G,
+    s: &VertexSet,
+    scratch: &mut NeighborhoodScratch,
+) -> f64 {
     scratch.unique_expansion(g, s)
 }
 
@@ -26,6 +30,7 @@ mod tests {
     use super::*;
     use crate::engine::{MeasurementEngine, UniqueNeighbor};
     use crate::sampling::{CandidateSets, SamplerConfig};
+    use wx_graph::Graph;
     use wx_graph::GraphBuilder;
 
     fn complete_plus(k: usize) -> Graph {

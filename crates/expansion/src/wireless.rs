@@ -24,7 +24,7 @@
 //! exact strategy resolves both quantifiers exhaustively and is the ground
 //! truth used in tests.
 
-use wx_graph::{BipartiteGraph, Graph, NeighborhoodScratch, VertexSet};
+use wx_graph::{BipartiteGraph, GraphView, NeighborhoodScratch, VertexSet};
 use wx_spokesman::{ExactSolver, PortfolioSolver, SpokesmanSolver};
 
 /// The exact wireless expansion of a single set `S`: the optimal unique
@@ -33,14 +33,14 @@ use wx_spokesman::{ExactSolver, PortfolioSolver, SpokesmanSolver};
 ///
 /// # Panics
 /// Panics if `|S| > 25` (the exact spokesman solver's limit).
-pub fn of_set_exact(g: &Graph, s: &VertexSet) -> (f64, VertexSet) {
+pub fn of_set_exact<G: GraphView + ?Sized>(g: &G, s: &VertexSet) -> (f64, VertexSet) {
     of_set_exact_with(g, s, &mut NeighborhoodScratch::new(g.num_vertices()))
 }
 
 /// [`of_set_exact`] against a caller-provided scratch (used by the engine to
 /// resolve `Γ⁻(S)` for the bipartite view without per-candidate allocation).
-pub fn of_set_exact_with(
-    g: &Graph,
+pub fn of_set_exact_with<G: GraphView + ?Sized>(
+    g: &G,
     s: &VertexSet,
     scratch: &mut NeighborhoodScratch,
 ) -> (f64, VertexSet) {
@@ -57,8 +57,8 @@ pub fn of_set_exact_with(
 /// obtained by running a polynomial-time spokesman portfolio on the bipartite
 /// view of `S`. Returns the witnessing transmitter subset `S' ⊆ S` (in the
 /// original graph's vertex ids).
-pub fn of_set_lower_bound(
-    g: &Graph,
+pub fn of_set_lower_bound<G: GraphView + ?Sized>(
+    g: &G,
     s: &VertexSet,
     portfolio: &PortfolioSolver,
     seed: u64,
@@ -73,8 +73,8 @@ pub fn of_set_lower_bound(
 }
 
 /// [`of_set_lower_bound`] against a caller-provided scratch.
-pub fn of_set_lower_bound_with(
-    g: &Graph,
+pub fn of_set_lower_bound_with<G: GraphView + ?Sized>(
+    g: &G,
     s: &VertexSet,
     portfolio: &PortfolioSolver,
     seed: u64,
@@ -94,6 +94,7 @@ mod tests {
     use super::*;
     use crate::engine::{MeasureStrategy, MeasurementEngine, Ordinary, Wireless};
     use crate::sampling::{CandidateSets, SamplerConfig};
+    use wx_graph::Graph;
     use wx_graph::GraphBuilder;
 
     fn complete_plus(k: usize) -> Graph {

@@ -114,4 +114,79 @@ proptest! {
             prop_assert!((p.wireless_loss - p.ordinary.value / p.wireless.value).abs() < 1e-9);
         }
     }
+
+    /// Backend equivalence: all three expansion notions produce identical
+    /// values, witnesses and certificates on a zero-copy `SubgraphView` vs
+    /// the materialized `induced_subgraph` output — exhaustively (exact
+    /// engine strategy) per random graph and random vertex subset.
+    #[test]
+    fn three_notions_agree_on_subgraph_view_vs_materialized(
+        edges in edge_list(14),
+        keep_raw in prop::collection::btree_set(0usize..14, 2..11),
+    ) {
+        use wx_expansion::engine::{MeasureStrategy, MeasurementEngine, Wireless};
+        use wx_graph::SubgraphView;
+
+        let g = Graph::from_edges(14, edges).unwrap();
+        let keep = VertexSet::from_iter(14, keep_raw.iter().copied());
+        let view = SubgraphView::new(&g, &keep);
+        let (mat, _) = g.induced_subgraph(&keep);
+        let engine = MeasurementEngine::builder()
+            .alpha(0.5)
+            .strategy(MeasureStrategy::Exact)
+            .seed(5)
+            .build();
+        let on_view = engine.measure_all(&view, &Wireless::default()).unwrap();
+        let on_mat = engine.measure_all(&mat, &Wireless::default()).unwrap();
+        for (a, b) in [
+            (&on_view.ordinary, &on_mat.ordinary),
+            (&on_view.unique, &on_mat.unique),
+            (&on_view.wireless, &on_mat.wireless),
+        ] {
+            prop_assert_eq!(a.value, b.value);
+            prop_assert_eq!(a.witness.to_vec(), b.witness.to_vec());
+            prop_assert_eq!(a.exact, b.exact);
+            prop_assert_eq!(
+                a.certificate.as_ref().map(|c| c.to_vec()),
+                b.certificate.as_ref().map(|c| c.to_vec())
+            );
+        }
+    }
+
+    /// Backend equivalence: the three notions agree between an
+    /// `ImplicitGraph` and its materialized family graph, in both exact and
+    /// sampled engine modes (the candidate pools are seeded identically, so
+    /// even sampled results must match exactly).
+    #[test]
+    fn three_notions_agree_on_implicit_vs_materialized(
+        dim in 2usize..=3,
+        sampled in prop::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        use wx_expansion::engine::{MeasureStrategy, MeasurementEngine, Wireless};
+        use wx_graph::view::{materialize, ImplicitGraph};
+
+        let implicit = ImplicitGraph::hypercube(dim).unwrap();
+        let mat = materialize(&implicit);
+        let strategy = if sampled {
+            MeasureStrategy::Sampled
+        } else {
+            MeasureStrategy::Exact
+        };
+        let engine = MeasurementEngine::builder()
+            .alpha(0.5)
+            .strategy(strategy)
+            .seed(seed)
+            .build();
+        let on_implicit = engine.measure_all(&implicit, &Wireless::default()).unwrap();
+        let on_mat = engine.measure_all(&mat, &Wireless::default()).unwrap();
+        for (a, b) in [
+            (&on_implicit.ordinary, &on_mat.ordinary),
+            (&on_implicit.unique, &on_mat.unique),
+            (&on_implicit.wireless, &on_mat.wireless),
+        ] {
+            prop_assert_eq!(a.value, b.value);
+            prop_assert_eq!(a.witness.to_vec(), b.witness.to_vec());
+        }
+    }
 }

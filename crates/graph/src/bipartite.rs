@@ -9,7 +9,7 @@
 //! Appendix A are naturally bipartite.
 
 use crate::scratch::NeighborhoodScratch;
-use crate::{Graph, GraphError, Result, Vertex, VertexSet};
+use crate::{Graph, GraphError, GraphView, Result, Vertex, VertexSet};
 use serde::{Deserialize, Serialize};
 
 /// Which side of a [`BipartiteGraph`] a vertex belongs to.
@@ -240,8 +240,8 @@ impl BipartiteGraph {
     /// `S` in a general graph, as prescribed in Section 4.1. Returns the
     /// bipartite graph plus the original vertex ids of the left (members of
     /// `S`, sorted) and right (members of `Γ⁻(S)`, sorted) sides.
-    pub fn from_set_in_graph(
-        g: &Graph,
+    pub fn from_set_in_graph<G: GraphView + ?Sized>(
+        g: &G,
         s: &VertexSet,
     ) -> (BipartiteGraph, Vec<Vertex>, Vec<Vertex>) {
         Self::from_set_in_graph_with(g, s, &mut NeighborhoodScratch::new(g.num_vertices()))
@@ -252,8 +252,8 @@ impl BipartiteGraph {
     /// epoch-stamped kernel instead of a fresh bitset plus an O(n) index
     /// array, so repeated bipartite extractions (the wireless measure
     /// evaluates one per candidate set) only allocate the returned graph.
-    pub fn from_set_in_graph_with(
-        g: &Graph,
+    pub fn from_set_in_graph_with<G: GraphView + ?Sized>(
+        g: &G,
         s: &VertexSet,
         scratch: &mut NeighborhoodScratch,
     ) -> (BipartiteGraph, Vec<Vertex>, Vec<Vertex>) {
@@ -261,7 +261,7 @@ impl BipartiteGraph {
         let right_vertices: Vec<Vertex> = scratch.external_neighborhood_ranked(g, s).to_vec();
         let mut b = BipartiteBuilder::new(left_vertices.len(), right_vertices.len());
         for (i, &u) in left_vertices.iter().enumerate() {
-            for &w in g.neighbors(u) {
+            for w in g.neighbors_iter(u) {
                 if !s.contains(w) {
                     b.add_edge(i, scratch.rank_of(w))
                         .expect("in range by construction");

@@ -2,6 +2,7 @@
 
 use crate::{GraphError, Result, Vertex, VertexSet};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// An immutable undirected graph on vertices `0..n`, stored in compressed
 /// sparse row (CSR) form.
@@ -10,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// and `v`. Adjacency lists are sorted, enabling `O(log deg)` membership
 /// tests via [`Graph::has_edge`]. Self-loops are not permitted; parallel
 /// edges are collapsed at construction time by [`crate::GraphBuilder`].
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Graph {
     /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
     offsets: Vec<usize>,
@@ -18,7 +19,25 @@ pub struct Graph {
     neighbors: Vec<Vertex>,
     /// Number of undirected edges.
     num_edges: usize,
+    /// Cached `(min_degree, max_degree)`. Filled eagerly by every
+    /// constructor; deserialized graphs fill it lazily on first query. The
+    /// simulator and solver hot paths consult the degree extremes per call,
+    /// so they must never rescan all vertices.
+    #[serde(skip)]
+    degree_extremes: OnceLock<(usize, usize)>,
 }
+
+// Equality ignores the degree-extremes cache: a freshly deserialized graph
+// (empty cache) equals the graph it was serialized from (filled cache).
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets
+            && self.neighbors == other.neighbors
+            && self.num_edges == other.num_edges
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Constructs a graph directly from an edge list over `n` vertices.
@@ -45,20 +64,26 @@ impl Graph {
             offsets.push(neighbors.len());
         }
         let num_edges = neighbors.len() / 2;
-        Graph {
+        let g = Graph {
             offsets,
             neighbors,
             num_edges,
-        }
+            degree_extremes: OnceLock::new(),
+        };
+        g.degree_extremes(); // cache the extremes at construction
+        g
     }
 
     /// An empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
-        Graph {
+        let g = Graph {
             offsets: vec![0; n + 1],
             neighbors: Vec::new(),
             num_edges: 0,
-        }
+            degree_extremes: OnceLock::new(),
+        };
+        g.degree_extremes();
+        g
     }
 
     /// Number of vertices.
@@ -98,20 +123,37 @@ impl Graph {
         self.offsets[v + 1] - self.offsets[v]
     }
 
-    /// The maximum degree `Δ(G)` (0 for the empty graph).
-    pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices())
-            .map(|v| self.degree(v))
-            .max()
-            .unwrap_or(0)
+    /// Cached `(min_degree, max_degree)`: computed once per graph (at
+    /// construction; lazily after deserialization) instead of rescanning all
+    /// vertices on every call.
+    fn degree_extremes(&self) -> (usize, usize) {
+        *self.degree_extremes.get_or_init(|| {
+            let mut min = usize::MAX;
+            let mut max = 0usize;
+            for v in 0..self.num_vertices() {
+                let d = self.degree(v);
+                min = min.min(d);
+                max = max.max(d);
+            }
+            if min == usize::MAX {
+                (0, 0)
+            } else {
+                (min, max)
+            }
+        })
     }
 
-    /// The minimum degree (0 for the empty graph).
+    /// The maximum degree `Δ(G)` (0 for the empty graph). O(1): the value is
+    /// cached at construction, because the radio simulator and the spokesman
+    /// solvers consult it on their hot paths.
+    pub fn max_degree(&self) -> usize {
+        self.degree_extremes().1
+    }
+
+    /// The minimum degree (0 for the empty graph). O(1), cached at
+    /// construction like [`Graph::max_degree`].
     pub fn min_degree(&self) -> usize {
-        (0..self.num_vertices())
-            .map(|v| self.degree(v))
-            .min()
-            .unwrap_or(0)
+        self.degree_extremes().0
     }
 
     /// The average degree `2|E|/|V|` (0.0 for the empty graph).
@@ -334,5 +376,40 @@ mod tests {
         let json = serde_json::to_string(&g).unwrap();
         let g2: Graph = serde_json::from_str(&json).unwrap();
         assert_eq!(g, g2);
+        // the skipped degree cache refills lazily after deserialization
+        assert_eq!(g2.max_degree(), g.max_degree());
+        assert_eq!(g2.min_degree(), g.min_degree());
+    }
+
+    /// Scans the degrees afresh, bypassing the construction-time cache.
+    fn fresh_extremes(g: &Graph) -> (usize, usize) {
+        let degs: Vec<usize> = (0..g.num_vertices()).map(|v| g.degree(v)).collect();
+        (
+            degs.iter().copied().min().unwrap_or(0),
+            degs.iter().copied().max().unwrap_or(0),
+        )
+    }
+
+    #[test]
+    fn cached_degree_extremes_match_fresh_scan_after_disjoint_union() {
+        // Regression: the extremes are cached per graph, so a derived graph
+        // (disjoint_union rebuilds through the builder) must carry its own
+        // correct cache, not a stale copy of an operand's.
+        let a = path4(); // degrees 1..2
+        let b = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap(); // star, Δ = 4
+        let u = a.disjoint_union(&b);
+        assert_eq!((u.min_degree(), u.max_degree()), fresh_extremes(&u));
+        assert_eq!(u.max_degree(), 4);
+        assert_eq!(u.min_degree(), 1);
+        // and the operands' caches are untouched
+        assert_eq!((a.min_degree(), a.max_degree()), fresh_extremes(&a));
+        assert_eq!((b.min_degree(), b.max_degree()), fresh_extremes(&b));
+        // union with an isolated-vertex graph drops the minimum to zero
+        let with_isolated = u.disjoint_union(&Graph::empty(2));
+        assert_eq!(with_isolated.min_degree(), 0);
+        assert_eq!(
+            (with_isolated.min_degree(), with_isolated.max_degree()),
+            fresh_extremes(&with_isolated)
+        );
     }
 }

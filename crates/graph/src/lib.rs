@@ -5,6 +5,10 @@
 //! This crate provides the data structures and primitive graph operations that
 //! every other crate in the workspace builds on:
 //!
+//! * [`view`] — the [`GraphView`] trait every algorithm is generic over,
+//!   with three backends: the CSR [`Graph`] (default), the zero-copy
+//!   induced [`SubgraphView`], and the [`ImplicitGraph`] family backend
+//!   whose neighborhoods are computed on the fly.
 //! * [`Graph`] — an immutable, compressed-sparse-row undirected graph.
 //! * [`GraphBuilder`] — incremental construction with duplicate-edge and
 //!   self-loop handling.
@@ -53,13 +57,22 @@ pub mod random;
 pub mod scratch;
 pub mod traversal;
 pub mod vertex_set;
+pub mod view;
 
 pub use bipartite::{BipartiteBuilder, BipartiteGraph, Side};
 pub use builder::GraphBuilder;
 pub use csr::Graph;
+/// Explicit name for the CSR backend behind the default [`Graph`] spelling.
+///
+/// Code that wants to be explicit about which [`GraphView`] backend it
+/// holds (now that [`SubgraphView`] and [`ImplicitGraph`] exist) can say
+/// `CsrGraph`; both names are the same type, so downstream diffs against
+/// either spelling stay mechanical.
+pub type CsrGraph = csr::Graph;
 pub use error::GraphError;
 pub use scratch::NeighborhoodScratch;
 pub use vertex_set::VertexSet;
+pub use view::{GraphView, ImplicitFamily, ImplicitGraph, SubgraphView};
 
 /// A vertex identifier. Vertices of a [`Graph`] with `n` vertices are the
 /// dense range `0..n`.

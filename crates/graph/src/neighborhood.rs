@@ -23,16 +23,11 @@
 //! without materializing sets at all.
 
 use crate::scratch::with_thread_scratch;
-use crate::{Graph, Vertex, VertexSet};
-
-/// `Γ(v)` as a [`VertexSet`].
-pub fn neighbors_of_vertex(g: &Graph, v: Vertex) -> VertexSet {
-    VertexSet::from_sorted(g.num_vertices(), g.neighbors(v).to_vec())
-}
+use crate::{GraphView, VertexSet};
 
 /// `Γ(S)`: the union of neighborhoods of the vertices of `S` (which may
 /// include vertices of `S` itself).
-pub fn neighborhood(g: &Graph, s: &VertexSet) -> VertexSet {
+pub fn neighborhood<G: GraphView + ?Sized>(g: &G, s: &VertexSet) -> VertexSet {
     with_thread_scratch(g.num_vertices(), |scr| scr.neighborhood(g, s))
 }
 
@@ -41,31 +36,35 @@ pub fn neighborhood(g: &Graph, s: &VertexSet) -> VertexSet {
 /// Each member of `Γ⁻(S)` is inserted exactly once (the kernel's epoch marks
 /// skip vertices already seen), so dense sets no longer pay for re-inserting
 /// the same neighbor per incident edge.
-pub fn external_neighborhood(g: &Graph, s: &VertexSet) -> VertexSet {
+pub fn external_neighborhood<G: GraphView + ?Sized>(g: &G, s: &VertexSet) -> VertexSet {
     with_thread_scratch(g.num_vertices(), |scr| scr.external_neighborhood(g, s))
 }
 
 /// `|Γ⁻(S)|` without materializing the set.
-pub fn external_neighborhood_size(g: &Graph, s: &VertexSet) -> usize {
+pub fn external_neighborhood_size<G: GraphView + ?Sized>(g: &G, s: &VertexSet) -> usize {
     with_thread_scratch(g.num_vertices(), |scr| {
         scr.count_external_neighborhood(g, s)
     })
 }
 
 /// `Γ¹(S)`: vertices outside `S` adjacent to exactly one vertex of `S`.
-pub fn unique_neighborhood(g: &Graph, s: &VertexSet) -> VertexSet {
+pub fn unique_neighborhood<G: GraphView + ?Sized>(g: &G, s: &VertexSet) -> VertexSet {
     with_thread_scratch(g.num_vertices(), |scr| scr.unique_neighborhood(g, s))
 }
 
 /// `|Γ¹(S)|` without materializing the set.
-pub fn unique_neighborhood_size(g: &Graph, s: &VertexSet) -> usize {
+pub fn unique_neighborhood_size<G: GraphView + ?Sized>(g: &G, s: &VertexSet) -> usize {
     with_thread_scratch(g.num_vertices(), |scr| scr.count_unique_neighborhood(g, s))
 }
 
 /// `Γ_S(S')`: vertices outside `S` adjacent to at least one vertex of `S'`.
 ///
 /// `s_prime` must be a subset of `s`; this is debug-asserted.
-pub fn s_excluding_neighborhood(g: &Graph, s: &VertexSet, s_prime: &VertexSet) -> VertexSet {
+pub fn s_excluding_neighborhood<G: GraphView + ?Sized>(
+    g: &G,
+    s: &VertexSet,
+    s_prime: &VertexSet,
+) -> VertexSet {
     with_thread_scratch(g.num_vertices(), |scr| {
         scr.s_excluding_neighborhood(g, s, s_prime)
     })
@@ -74,14 +73,22 @@ pub fn s_excluding_neighborhood(g: &Graph, s: &VertexSet, s_prime: &VertexSet) -
 /// `Γ¹_S(S')`: vertices outside `S` adjacent to exactly one vertex of `S'`.
 ///
 /// `s_prime` must be a subset of `s`; this is debug-asserted.
-pub fn s_excluding_unique_neighborhood(g: &Graph, s: &VertexSet, s_prime: &VertexSet) -> VertexSet {
+pub fn s_excluding_unique_neighborhood<G: GraphView + ?Sized>(
+    g: &G,
+    s: &VertexSet,
+    s_prime: &VertexSet,
+) -> VertexSet {
     with_thread_scratch(g.num_vertices(), |scr| {
         scr.s_excluding_unique_neighborhood(g, s, s_prime)
     })
 }
 
 /// `|Γ¹_S(S')|` without materializing the set.
-pub fn s_excluding_unique_coverage(g: &Graph, s: &VertexSet, s_prime: &VertexSet) -> usize {
+pub fn s_excluding_unique_coverage<G: GraphView + ?Sized>(
+    g: &G,
+    s: &VertexSet,
+    s_prime: &VertexSet,
+) -> usize {
     with_thread_scratch(g.num_vertices(), |scr| {
         scr.count_s_excluding_unique(g, s, s_prime)
     })
@@ -90,18 +97,19 @@ pub fn s_excluding_unique_coverage(g: &Graph, s: &VertexSet, s_prime: &VertexSet
 /// The ordinary expansion of a single set, `|Γ⁻(S)| / |S|` (Section 2.1).
 /// Returns `f64::INFINITY` for the empty set, matching the convention that
 /// the minimum over non-empty sets is what matters.
-pub fn expansion_of_set(g: &Graph, s: &VertexSet) -> f64 {
+pub fn expansion_of_set<G: GraphView + ?Sized>(g: &G, s: &VertexSet) -> f64 {
     with_thread_scratch(g.num_vertices(), |scr| scr.external_expansion(g, s))
 }
 
 /// The unique-neighbor expansion of a single set, `|Γ¹(S)| / |S|`.
-pub fn unique_expansion_of_set(g: &Graph, s: &VertexSet) -> f64 {
+pub fn unique_expansion_of_set<G: GraphView + ?Sized>(g: &G, s: &VertexSet) -> f64 {
     with_thread_scratch(g.num_vertices(), |scr| scr.unique_expansion(g, s))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
 
     /// The `C⁺` example of the introduction: a complete graph on `k` vertices
     /// plus an extra source `s0` (vertex index `k`) attached to vertices 0, 1.
@@ -120,7 +128,7 @@ mod tests {
     #[test]
     fn gamma_of_vertex_and_set() {
         let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
-        assert_eq!(neighbors_of_vertex(&g, 2).to_vec(), vec![1, 3]);
+        assert_eq!(neighborhood(&g, &g.vertex_set([2])).to_vec(), vec![1, 3]);
         let s = g.vertex_set([1, 2]);
         // Γ(S) includes internal neighbors 1, 2 as well as 0 and 3.
         assert_eq!(neighborhood(&g, &s).to_vec(), vec![0, 1, 2, 3]);

@@ -30,7 +30,7 @@
 //! wrappers over this kernel via the per-thread scratch of
 //! [`with_thread_scratch`].
 
-use crate::{Graph, VertexSet};
+use crate::{GraphView, VertexSet};
 use std::cell::RefCell;
 
 /// Reusable scratch space for the neighborhood counting kernels.
@@ -117,12 +117,17 @@ impl NeighborhoodScratch {
     /// `sources`, excluding touched vertices inside `exclude` when given.
     /// After this, `touched` holds exactly the (non-excluded) vertices with at
     /// least one neighbor in `sources`, and `count` their neighbor counts.
-    fn accumulate(&mut self, g: &Graph, sources: &VertexSet, exclude: Option<&VertexSet>) {
+    fn accumulate<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        sources: &VertexSet,
+        exclude: Option<&VertexSet>,
+    ) {
         self.begin(g.num_vertices());
         match exclude {
             Some(ex) => {
                 for v in sources.iter() {
-                    for &u in g.neighbors(v) {
+                    for u in g.neighbors_iter(v) {
                         if !ex.contains(u) {
                             self.bump(u);
                         }
@@ -131,7 +136,7 @@ impl NeighborhoodScratch {
             }
             None => {
                 for v in sources.iter() {
-                    for &u in g.neighbors(v) {
+                    for u in g.neighbors_iter(v) {
                         self.bump(u);
                     }
                 }
@@ -142,12 +147,17 @@ impl NeighborhoodScratch {
     /// [`NeighborhoodScratch::accumulate`] without the per-vertex counters —
     /// the cheaper walk behind `Γ(S)` / `Γ⁻(S)` sizes, where multiplicity is
     /// irrelevant.
-    fn accumulate_marks(&mut self, g: &Graph, sources: &VertexSet, exclude: Option<&VertexSet>) {
+    fn accumulate_marks<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        sources: &VertexSet,
+        exclude: Option<&VertexSet>,
+    ) {
         self.begin(g.num_vertices());
         match exclude {
             Some(ex) => {
                 for v in sources.iter() {
-                    for &u in g.neighbors(v) {
+                    for u in g.neighbors_iter(v) {
                         if !ex.contains(u) {
                             self.mark_only(u);
                         }
@@ -156,7 +166,7 @@ impl NeighborhoodScratch {
             }
             None => {
                 for v in sources.iter() {
-                    for &u in g.neighbors(v) {
+                    for u in g.neighbors_iter(v) {
                         self.mark_only(u);
                     }
                 }
@@ -166,26 +176,39 @@ impl NeighborhoodScratch {
 
     /// `|Γ(S)|`: number of vertices with at least one neighbor in `s`
     /// (members of `s` included when they have internal neighbors).
-    pub fn count_neighborhood(&mut self, g: &Graph, s: &VertexSet) -> usize {
+    pub fn count_neighborhood<G: GraphView + ?Sized>(&mut self, g: &G, s: &VertexSet) -> usize {
         self.accumulate_marks(g, s, None);
         self.touched.len()
     }
 
     /// `|Γ⁻(S)|`: number of vertices outside `s` with a neighbor in `s`.
-    pub fn count_external_neighborhood(&mut self, g: &Graph, s: &VertexSet) -> usize {
+    pub fn count_external_neighborhood<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        s: &VertexSet,
+    ) -> usize {
         self.accumulate_marks(g, s, Some(s));
         self.touched.len()
     }
 
     /// `|Γ¹(S)|`: number of vertices outside `s` with exactly one neighbor in
     /// `s`.
-    pub fn count_unique_neighborhood(&mut self, g: &Graph, s: &VertexSet) -> usize {
+    pub fn count_unique_neighborhood<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        s: &VertexSet,
+    ) -> usize {
         self.count_s_excluding_unique(g, s, s)
     }
 
     /// `|Γ_S(S')|`: number of vertices outside `s` with a neighbor in
     /// `s_prime` (which must be a subset of `s`; debug-asserted).
-    pub fn count_s_excluding(&mut self, g: &Graph, s: &VertexSet, s_prime: &VertexSet) -> usize {
+    pub fn count_s_excluding<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        s: &VertexSet,
+        s_prime: &VertexSet,
+    ) -> usize {
         debug_assert!(s_prime.is_subset_of(s), "S' must be a subset of S");
         self.accumulate_marks(g, s_prime, Some(s));
         self.touched.len()
@@ -193,9 +216,9 @@ impl NeighborhoodScratch {
 
     /// `|Γ¹_S(S')|`: number of vertices outside `s` with exactly one neighbor
     /// in `s_prime` (which must be a subset of `s`; debug-asserted).
-    pub fn count_s_excluding_unique(
+    pub fn count_s_excluding_unique<G: GraphView + ?Sized>(
         &mut self,
-        g: &Graph,
+        g: &G,
         s: &VertexSet,
         s_prime: &VertexSet,
     ) -> usize {
@@ -213,7 +236,7 @@ impl NeighborhoodScratch {
 
     /// The ordinary expansion of a single set, `|Γ⁻(S)|/|S|`
     /// (`∞` for the empty set, matching [`crate::neighborhood`]).
-    pub fn external_expansion(&mut self, g: &Graph, s: &VertexSet) -> f64 {
+    pub fn external_expansion<G: GraphView + ?Sized>(&mut self, g: &G, s: &VertexSet) -> f64 {
         if s.is_empty() {
             return f64::INFINITY;
         }
@@ -222,7 +245,7 @@ impl NeighborhoodScratch {
 
     /// The unique-neighbor expansion of a single set, `|Γ¹(S)|/|S|`
     /// (`∞` for the empty set).
-    pub fn unique_expansion(&mut self, g: &Graph, s: &VertexSet) -> f64 {
+    pub fn unique_expansion<G: GraphView + ?Sized>(&mut self, g: &G, s: &VertexSet) -> f64 {
         if s.is_empty() {
             return f64::INFINITY;
         }
@@ -245,7 +268,11 @@ impl NeighborhoodScratch {
     /// the next kernel call). Used by
     /// [`crate::BipartiteGraph::from_set_in_graph_with`] to build the
     /// bipartite view of a set without intermediate set allocations.
-    pub fn external_neighborhood_sorted(&mut self, g: &Graph, s: &VertexSet) -> &[usize] {
+    pub fn external_neighborhood_sorted<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        s: &VertexSet,
+    ) -> &[usize] {
         self.accumulate_marks(g, s, Some(s));
         self.touched_sorted(false)
     }
@@ -256,7 +283,11 @@ impl NeighborhoodScratch {
     /// in O(1) — the dense-index map behind the bipartite view extraction,
     /// stored in the scratch's own counter array instead of a fresh O(n)
     /// index vector.
-    pub fn external_neighborhood_ranked(&mut self, g: &Graph, s: &VertexSet) -> &[usize] {
+    pub fn external_neighborhood_ranked<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        s: &VertexSet,
+    ) -> &[usize] {
         self.accumulate_marks(g, s, Some(s));
         self.touched.sort_unstable();
         for (i, &u) in self.touched.iter().enumerate() {
@@ -280,7 +311,11 @@ impl NeighborhoodScratch {
     /// resolution: under the collision rule a vertex receives iff it is not
     /// itself transmitting and hears exactly one transmitter, i.e. the
     /// receiver set of transmitter set `T` is exactly `Γ¹(T)`.
-    pub fn unique_neighborhood_sorted(&mut self, g: &Graph, s: &VertexSet) -> &[usize] {
+    pub fn unique_neighborhood_sorted<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        s: &VertexSet,
+    ) -> &[usize] {
         self.accumulate(g, s, Some(s));
         self.touched_sorted(true)
     }
@@ -300,26 +335,34 @@ impl NeighborhoodScratch {
 
     /// `Γ(S)` as a set (materializing variant of
     /// [`NeighborhoodScratch::count_neighborhood`]).
-    pub fn neighborhood(&mut self, g: &Graph, s: &VertexSet) -> VertexSet {
+    pub fn neighborhood<G: GraphView + ?Sized>(&mut self, g: &G, s: &VertexSet) -> VertexSet {
         self.accumulate_marks(g, s, None);
         self.materialize(g.num_vertices(), |_| true)
     }
 
     /// `Γ⁻(S)` as a set.
-    pub fn external_neighborhood(&mut self, g: &Graph, s: &VertexSet) -> VertexSet {
+    pub fn external_neighborhood<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        s: &VertexSet,
+    ) -> VertexSet {
         self.accumulate_marks(g, s, Some(s));
         self.materialize(g.num_vertices(), |_| true)
     }
 
     /// `Γ¹(S)` as a set.
-    pub fn unique_neighborhood(&mut self, g: &Graph, s: &VertexSet) -> VertexSet {
+    pub fn unique_neighborhood<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        s: &VertexSet,
+    ) -> VertexSet {
         self.s_excluding_unique_neighborhood(g, s, s)
     }
 
     /// `Γ_S(S')` as a set (`s_prime ⊆ s` debug-asserted).
-    pub fn s_excluding_neighborhood(
+    pub fn s_excluding_neighborhood<G: GraphView + ?Sized>(
         &mut self,
-        g: &Graph,
+        g: &G,
         s: &VertexSet,
         s_prime: &VertexSet,
     ) -> VertexSet {
@@ -329,9 +372,9 @@ impl NeighborhoodScratch {
     }
 
     /// `Γ¹_S(S')` as a set (`s_prime ⊆ s` debug-asserted).
-    pub fn s_excluding_unique_neighborhood(
+    pub fn s_excluding_unique_neighborhood<G: GraphView + ?Sized>(
         &mut self,
-        g: &Graph,
+        g: &G,
         s: &VertexSet,
         s_prime: &VertexSet,
     ) -> VertexSet {
@@ -372,6 +415,7 @@ pub fn with_thread_scratch<R>(n: usize, f: impl FnOnce(&mut NeighborhoodScratch)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
 
     fn path(n: usize) -> Graph {
         Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap()

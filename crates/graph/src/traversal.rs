@@ -5,7 +5,7 @@
 //! round in the best case), and the adversarial set samplers in
 //! `wx-expansion` use BFS balls as candidate low-expansion sets.
 
-use crate::{Graph, Vertex, VertexSet};
+use crate::{GraphView, Vertex, VertexSet};
 use std::collections::VecDeque;
 
 /// The result of a single-source BFS.
@@ -38,7 +38,7 @@ impl BfsResult {
 }
 
 /// Breadth-first search from a single source.
-pub fn bfs(g: &Graph, source: Vertex) -> BfsResult {
+pub fn bfs<G: GraphView + ?Sized>(g: &G, source: Vertex) -> BfsResult {
     let n = g.num_vertices();
     let mut dist = vec![usize::MAX; n];
     let mut order = Vec::with_capacity(n);
@@ -49,7 +49,7 @@ pub fn bfs(g: &Graph, source: Vertex) -> BfsResult {
     while let Some(v) = queue.pop_front() {
         order.push(v);
         ecc = ecc.max(dist[v]);
-        for &u in g.neighbors(v) {
+        for u in g.neighbors_iter(v) {
             if dist[u] == usize::MAX {
                 dist[u] = dist[v] + 1;
                 queue.push_back(u);
@@ -65,7 +65,7 @@ pub fn bfs(g: &Graph, source: Vertex) -> BfsResult {
 
 /// The ball of radius `r` around `center` (all vertices within distance `r`,
 /// including the center).
-pub fn ball(g: &Graph, center: Vertex, r: usize) -> VertexSet {
+pub fn ball<G: GraphView + ?Sized>(g: &G, center: Vertex, r: usize) -> VertexSet {
     let res = bfs(g, center);
     VertexSet::from_iter(
         g.num_vertices(),
@@ -79,7 +79,7 @@ pub fn ball(g: &Graph, center: Vertex, r: usize) -> VertexSet {
 
 /// Connected components; returns a component id per vertex and the number of
 /// components.
-pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+pub fn connected_components<G: GraphView + ?Sized>(g: &G) -> (Vec<usize>, usize) {
     let n = g.num_vertices();
     let mut comp = vec![usize::MAX; n];
     let mut next = 0usize;
@@ -91,7 +91,7 @@ pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
         comp[s] = next;
         queue.push_back(s);
         while let Some(v) = queue.pop_front() {
-            for &u in g.neighbors(v) {
+            for u in g.neighbors_iter(v) {
                 if comp[u] == usize::MAX {
                     comp[u] = next;
                     queue.push_back(u);
@@ -104,7 +104,7 @@ pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
 }
 
 /// `true` if the graph is connected (the empty graph counts as connected).
-pub fn is_connected(g: &Graph) -> bool {
+pub fn is_connected<G: GraphView + ?Sized>(g: &G) -> bool {
     if g.num_vertices() == 0 {
         return true;
     }
@@ -112,14 +112,14 @@ pub fn is_connected(g: &Graph) -> bool {
 }
 
 /// The hop distance between two vertices, or `None` if disconnected.
-pub fn distance(g: &Graph, u: Vertex, v: Vertex) -> Option<usize> {
+pub fn distance<G: GraphView + ?Sized>(g: &G, u: Vertex, v: Vertex) -> Option<usize> {
     let d = bfs(g, u).dist[v];
     (d != usize::MAX).then_some(d)
 }
 
 /// The exact diameter, computed by running BFS from every vertex
 /// (`O(n·(n+m))`). Returns `None` for a disconnected or empty graph.
-pub fn diameter(g: &Graph) -> Option<usize> {
+pub fn diameter<G: GraphView + ?Sized>(g: &G) -> Option<usize> {
     if g.num_vertices() == 0 || !is_connected(g) {
         return None;
     }
@@ -135,7 +135,7 @@ pub fn diameter(g: &Graph) -> Option<usize> {
 /// (BFS from `start`, then BFS from the farthest vertex found). Exact on
 /// trees; cheap (`O(n+m)`) and usually tight in practice, used for the large
 /// broadcast-chain instances where the exact all-pairs diameter is too slow.
-pub fn diameter_lower_bound(g: &Graph, start: Vertex) -> usize {
+pub fn diameter_lower_bound<G: GraphView + ?Sized>(g: &G, start: Vertex) -> usize {
     let first = bfs(g, start);
     let far = first
         .dist
@@ -150,7 +150,7 @@ pub fn diameter_lower_bound(g: &Graph, start: Vertex) -> usize {
 
 /// `true` if the graph is bipartite (2-colorable); also returns a witness
 /// coloring when it is.
-pub fn bipartition(g: &Graph) -> Option<Vec<bool>> {
+pub fn bipartition<G: GraphView + ?Sized>(g: &G) -> Option<Vec<bool>> {
     let n = g.num_vertices();
     let mut color: Vec<Option<bool>> = vec![None; n];
     for s in 0..n {
@@ -161,7 +161,7 @@ pub fn bipartition(g: &Graph) -> Option<Vec<bool>> {
         let mut queue = VecDeque::from([s]);
         while let Some(v) = queue.pop_front() {
             let cv = color[v].expect("queued vertices are colored");
-            for &u in g.neighbors(v) {
+            for u in g.neighbors_iter(v) {
                 match color[u] {
                     None => {
                         color[u] = Some(!cv);
@@ -179,6 +179,7 @@ pub fn bipartition(g: &Graph) -> Option<Vec<bool>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
 
     fn cycle(n: usize) -> Graph {
         Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap()

@@ -436,6 +436,17 @@ fn cmd_list() -> Result<i32> {
         "  {:<16} ({:<14}) graph loaded from a DIMACS file",
         "DimacsFile", "path"
     );
+    println!("\nview backends (zero-copy / implicit sources):");
+    println!(
+        "  {:<16} ({:<14}) unmaterialized family backend: Hypercube(dim), \
+         CyclePower(n, power), Torus(rows, cols)",
+        "Implicit", "family"
+    );
+    println!(
+        "  {:<16} ({:<14}) zero-copy induced subgraph of any base source \
+         (seeded random subset or explicit vertex list)",
+        "Induced", "base, size|vertices"
+    );
     Ok(0)
 }
 
@@ -548,6 +559,55 @@ mod tests {
         assert_eq!(code, 0);
         let text = std::fs::read_to_string(&out).unwrap();
         assert!(text.contains("\"value\""), "{text}");
+    }
+
+    #[test]
+    fn inline_implicit_and_induced_sources_work_end_to_end() {
+        let dir = std::env::temp_dir().join("wx-lab-cli-implicit-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("implicit.json");
+        let code = main_with_args(&strs(&[
+            "measure",
+            "--source",
+            r#"{"Implicit": {"family": {"CyclePower": {"n": 64, "power": 2}}}}"#,
+            "--notion",
+            "ordinary",
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        assert_eq!(
+            main_with_args(&strs(&["validate", out.to_str().unwrap()])),
+            0
+        );
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("implicit:cycle-power"), "{text}");
+
+        let out = dir.join("induced.json");
+        let code = main_with_args(&strs(&[
+            "radio",
+            "--source",
+            r#"{"Induced": {"base": {"Hypercube": {"dim": 5}}, "size": 20}}"#,
+            "--protocol",
+            "decay",
+            "--trials",
+            "2",
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("induced:random(20)"), "{text}");
+
+        // malformed implicit families are rejected as usage errors
+        let code = main_with_args(&strs(&[
+            "measure",
+            "--source",
+            r#"{"Implicit": {"family": {"CyclePower": {"n": 4, "power": 2}}}}"#,
+            "--notion",
+            "ordinary",
+        ]));
+        assert_eq!(code, 2);
     }
 
     #[test]

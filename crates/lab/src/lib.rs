@@ -5,19 +5,19 @@
 //! measure × solver combination, a batch experiment is a plain JSON
 //! document and every combination runs through one engine.
 //!
-//! * [`spec`] — the [`ScenarioSpec`](spec::ScenarioSpec) schema: a
-//!   [`GraphSource`](source::GraphSource), a [`Task`](spec::Task)
+//! * [`spec`] — the [`spec::ScenarioSpec`] schema: a
+//!   [`source::GraphSource`], a [`spec::Task`]
 //!   (measure / profile / spokesman / radio), a trial count and a seed.
 //! * [`source`] — the graph-source registry unifying every generator in
 //!   `wx_constructions::families`, the seeded random generators, and the
 //!   `wx_graph::io` edge-list/DIMACS file loaders behind one enum.
 //! * [`runner`] — expands a spec into a deterministic
-//!   [`TrialPlan`](runner::TrialPlan) (per-trial seeds via `derive_seed`),
+//!   [`runner::TrialPlan`] (per-trial seeds via `derive_seed`),
 //!   executes trials rayon-parallel through the `MeasurementEngine`,
 //!   spokesman solvers and radio protocols (reusing the workspace's
 //!   per-thread `NeighborhoodScratch` pools), and aggregates every metric
 //!   into mean/median/min/max/p95 — emitting a JSON
-//!   [`ScenarioReport`](runner::ScenarioReport) that is byte-identical
+//!   [`runner::ScenarioReport`] that is byte-identical
 //!   across runs of the same spec.
 //! * [`registry`] — named built-in scenarios, including the eleven
 //!   `e1`..`e11` paper experiments, so `wx sweep --all` reproduces the

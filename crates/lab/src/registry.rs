@@ -103,6 +103,27 @@ fn expander_spokesman(quick: bool, seed: u64) -> ScenarioSpec {
     }
 }
 
+fn implicit_hypercube(quick: bool, seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "implicit-hypercube".to_string(),
+        description: "sampled ordinary expansion of an unmaterialized hypercube (implicit backend)"
+            .to_string(),
+        source: GraphSource::Implicit {
+            family: wx_core::graph::ImplicitFamily::Hypercube {
+                dim: if quick { 8 } else { 12 },
+            },
+        },
+        task: Task::Measure {
+            notion: NotionKind::Ordinary,
+            alpha: Some(0.5),
+            exact_up_to: Some(10),
+            fast: None,
+        },
+        trials: 1,
+        seed,
+    }
+}
+
 fn grid_broadcast_decay(quick: bool, seed: u64) -> ScenarioSpec {
     ScenarioSpec {
         name: "grid-broadcast-decay".to_string(),
@@ -139,6 +160,11 @@ pub fn builtins() -> Vec<BuiltinScenario> {
             name: "expander-spokesman",
             title: "Spokesman solvers on expander sets",
             kind: BuiltinKind::Scenario(expander_spokesman),
+        },
+        BuiltinScenario {
+            name: "implicit-hypercube",
+            title: "Expansion of an unmaterialized hypercube",
+            kind: BuiltinKind::Scenario(implicit_hypercube),
         },
         BuiltinScenario {
             name: "grid-broadcast-decay",

@@ -22,13 +22,14 @@
 //! randomized sources draw one instance per trial from the trial seed.
 
 use crate::error::{LabError, Result};
+use crate::source::BuiltGraph;
 use crate::spec::{ScenarioSpec, Task};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use wx_core::expansion::engine::{MeasurementEngine, Wireless};
 use wx_core::graph::random::{derive_seed, random_subset_of_size, rng_from_seed};
 use wx_core::graph::scratch::with_thread_scratch;
-use wx_core::graph::{BipartiteGraph, Graph};
+use wx_core::graph::{BipartiteGraph, GraphView, SubgraphView};
 use wx_core::radio::{with_thread_workspace, RadioSimulator, SimulatorConfig};
 use wx_core::report::{
     fmt_f64, render_table, to_json_pretty, AggregateStats, StatsAccumulator, TableRow,
@@ -190,7 +191,7 @@ impl Runner {
 
     /// Runs a scenario end to end: plan, execute every trial, aggregate.
     ///
-    /// Trials execute in batches of [`TRIAL_CHUNK`] and their metrics stream
+    /// Trials execute in fixed-size batches and their metrics stream
     /// into per-key [`StatsAccumulator`]s **in trial order** (preserving the
     /// determinism contract), so runner memory is bounded by the batch size
     /// plus the per-trial record cap — it no longer grows linearly with the
@@ -201,36 +202,76 @@ impl Runner {
 
         // Deterministic sources are built once and shared by every trial;
         // randomized sources draw a per-trial instance from the trial seed.
-        let shared: Option<Graph> = if spec.source.is_randomized() {
+        // The backend form is preserved: implicit sources stay implicit,
+        // induced sources stay a base-plus-subset pair that each task wraps
+        // in a zero-copy `SubgraphView`.
+        let shared: Option<BuiltGraph> = if spec.source.is_randomized() {
             None
         } else {
-            Some(spec.source.build(0)?)
+            Some(spec.source.build_backend(0)?)
         };
+
+        // An `Induced` source with a deterministic base and a seeded random
+        // subset is "randomized" only in its subset: build the base once and
+        // redraw just the O(size) subset per trial, instead of regenerating
+        // the whole base graph every trial.
+        let shared_induced: Option<(BuiltGraph, usize)> = match &spec.source {
+            crate::source::GraphSource::Induced {
+                base,
+                size: Some(k),
+                vertices: None,
+            } if shared.is_none() && !base.is_randomized() => Some((base.build_backend(0)?, *k)),
+            _ => None,
+        };
+
+        // Graph metadata is constant when the graph is shared; compute the
+        // n/m/Δ metrics once here (on induced views they cost a pass over
+        // the whole subgraph volume) instead of once per trial.
+        let shared_meta: Option<GraphMeta> = shared
+            .as_ref()
+            .map(|bg| with_graph_view!(bg, g => graph_meta(g)));
 
         // For a shared graph with a radio task, the completion target (one
         // BFS) is computed once here instead of once per trial.
         let radio_reachable: Option<usize> = match (&shared, &spec.task) {
-            (Some(g), Task::Radio { source_vertex, .. }) => {
+            (Some(bg), Task::Radio { source_vertex, .. }) => {
                 let source = source_vertex.unwrap_or(0);
-                (source < g.num_vertices()).then(|| wx_core::radio::reachable_from(g, source))
+                with_graph_view!(bg, g => {
+                    (source < g.num_vertices())
+                        .then(|| wx_core::radio::reachable_from(g, source))
+                })
             }
             _ => None,
         };
 
         let run_one = |trial: &TrialSpec| -> Result<TrialRecord> {
-            let built;
-            let graph = match &shared {
-                Some(g) => g,
-                None => {
-                    built = spec.source.build(derive_seed(trial.seed, 0))?;
-                    &built
-                }
-            };
             let task_seed = derive_seed(trial.seed, 1);
-            let mut metrics = execute_task(graph, &spec.task, task_seed, radio_reachable)?;
-            metrics.insert("graph_n".to_string(), graph.num_vertices() as f64);
-            metrics.insert("graph_m".to_string(), graph.num_edges() as f64);
-            metrics.insert("graph_max_degree".to_string(), graph.max_degree() as f64);
+            let metrics = if let Some((base_backend, size)) = &shared_induced {
+                // Fast path: shared deterministic base, per-trial subset —
+                // the subset draw is byte-identical to what
+                // `build_backend(derive_seed(trial.seed, 0))` would produce.
+                with_graph_view!(base_backend, base => {
+                    let set = crate::source::induced_subset_for_seed(
+                        base.num_vertices(),
+                        *size,
+                        derive_seed(trial.seed, 0),
+                    )?;
+                    let view = SubgraphView::new(base, &set);
+                    run_task_with_meta(&view, &spec.task, task_seed, radio_reachable, None)
+                })?
+            } else {
+                let built;
+                let backend = match &shared {
+                    Some(bg) => bg,
+                    None => {
+                        built = spec.source.build_backend(derive_seed(trial.seed, 0))?;
+                        &built
+                    }
+                };
+                with_graph_view!(backend, g => {
+                    run_task_with_meta(g, &spec.task, task_seed, radio_reachable, shared_meta)
+                })?
+            };
             Ok(TrialRecord {
                 trial: trial.index,
                 seed: trial.seed,
@@ -287,11 +328,71 @@ impl Runner {
     }
 }
 
-/// Executes one task on one graph instance, returning its metric map.
-/// `radio_reachable` carries the once-computed completion target when the
-/// graph is shared across trials (radio tasks only).
-fn execute_task(
-    g: &Graph,
+/// Dispatches a [`BuiltGraph`] to a generic closure body: each backend kind
+/// binds `$g` to a concrete `&impl GraphView` (induced variants construct
+/// the zero-copy [`SubgraphView`] here), so the body monomorphizes per
+/// backend and the hot paths stay static-dispatch.
+macro_rules! with_graph_view {
+    ($built:expr, $g:ident => $body:expr) => {
+        match $built {
+            BuiltGraph::Csr(base) => {
+                let $g = base;
+                $body
+            }
+            BuiltGraph::Implicit(base) => {
+                let $g = base;
+                $body
+            }
+            BuiltGraph::InducedCsr { base, set } => {
+                let view = SubgraphView::new(base, set);
+                let $g = &view;
+                $body
+            }
+            BuiltGraph::InducedImplicit { base, set } => {
+                let view = SubgraphView::new(base, set);
+                let $g = &view;
+                $body
+            }
+        }
+    };
+}
+use with_graph_view;
+
+/// The constant per-graph metadata metrics every trial records.
+type GraphMeta = (f64, f64, f64);
+
+fn graph_meta<G: GraphView + ?Sized>(g: &G) -> GraphMeta {
+    (
+        g.num_vertices() as f64,
+        g.num_edges() as f64,
+        g.max_degree() as f64,
+    )
+}
+
+/// [`execute_task`] plus the metadata metrics. `meta` carries the
+/// once-computed values when the graph is shared across trials (on induced
+/// views recomputing them costs a pass over the whole subgraph volume).
+fn run_task_with_meta<G: GraphView + Sync + ?Sized>(
+    g: &G,
+    task: &Task,
+    seed: u64,
+    radio_reachable: Option<usize>,
+    meta: Option<GraphMeta>,
+) -> Result<BTreeMap<String, f64>> {
+    let mut metrics = execute_task(g, task, seed, radio_reachable)?;
+    let (n, m, max_degree) = meta.unwrap_or_else(|| graph_meta(g));
+    metrics.insert("graph_n".to_string(), n);
+    metrics.insert("graph_m".to_string(), m);
+    metrics.insert("graph_max_degree".to_string(), max_degree);
+    Ok(metrics)
+}
+
+/// Executes one task on one graph instance (any [`GraphView`] backend),
+/// returning its metric map. `radio_reachable` carries the once-computed
+/// completion target when the graph is shared across trials (radio tasks
+/// only).
+fn execute_task<G: GraphView + Sync + ?Sized>(
+    g: &G,
     task: &Task,
     seed: u64,
     radio_reachable: Option<usize>,
@@ -449,6 +550,143 @@ mod tests {
             trials,
             seed: 3,
         }
+    }
+
+    #[test]
+    fn implicit_source_runs_every_task_kind_unmaterialized() {
+        use wx_core::graph::ImplicitFamily;
+        let implicit = GraphSource::Implicit {
+            family: ImplicitFamily::Hypercube { dim: 4 },
+        };
+        let csr = GraphSource::Hypercube { dim: 4 };
+        let tasks = [
+            Task::Measure {
+                notion: NotionKind::Ordinary,
+                alpha: Some(0.5),
+                exact_up_to: Some(10),
+                fast: None,
+            },
+            Task::Profile {
+                alpha: Some(0.5),
+                exact_up_to: Some(10),
+                fast: Some(true),
+            },
+            Task::Spokesman {
+                set_size: 5,
+                solvers: Some(vec![SolverKind::GreedyMinDegree]),
+            },
+            Task::Radio {
+                protocol: ProtocolKind::Decay,
+                source_vertex: None,
+                max_rounds: None,
+            },
+        ];
+        for task in tasks {
+            let spec = |source: &GraphSource| ScenarioSpec {
+                name: "implicit-vs-csr".to_string(),
+                description: String::new(),
+                source: source.clone(),
+                task: task.clone(),
+                trials: 2,
+                seed: 13,
+            };
+            let on_implicit = Runner::new().run(&spec(&implicit)).unwrap();
+            let on_csr = Runner::new().run(&spec(&csr)).unwrap();
+            // every metric must agree exactly — same seeds, same graph,
+            // different backend
+            assert_eq!(
+                on_implicit.metrics,
+                on_csr.metrics,
+                "task {} diverged between implicit and CSR backends",
+                task.label()
+            );
+        }
+    }
+
+    #[test]
+    fn induced_source_matches_the_materialized_subgraph() {
+        // Induced view of an explicit vertex list vs running on the
+        // materialized induced subgraph: identical metrics.
+        let base = GraphSource::RandomRegular { n: 32, d: 4 };
+        let vertices: Vec<usize> = (0..16).collect();
+        let spec = ScenarioSpec {
+            name: "induced".to_string(),
+            description: String::new(),
+            source: GraphSource::Induced {
+                base: Box::new(base.clone()),
+                size: None,
+                vertices: Some(vertices.clone()),
+            },
+            task: Task::Measure {
+                notion: NotionKind::Ordinary,
+                alpha: Some(0.5),
+                exact_up_to: Some(10),
+                fast: None,
+            },
+            trials: 1,
+            seed: 21,
+        };
+        let on_view = Runner::new().run(&spec).unwrap();
+        assert!(on_view.metrics["graph_n"].mean == 16.0);
+        // the materialized path: build the same base per trial and cut it
+        // by hand; graph_m must agree with the zero-copy view's edge count
+        let g = base.build(derive_seed(derive_seed(21, 0), 0)).unwrap();
+        let (mat, _) = g.induced_subgraph(&g.vertex_set(vertices));
+        assert_eq!(on_view.metrics["graph_m"].mean, mat.num_edges() as f64);
+    }
+
+    #[test]
+    fn induced_fast_path_draws_the_same_subsets_as_build_backend() {
+        // The runner's shared-base fast path redraws only the subset per
+        // trial; its draw must equal what a full build_backend for the same
+        // trial seed produces, or reports would silently change.
+        let src = GraphSource::Induced {
+            base: Box::new(GraphSource::Hypercube { dim: 5 }),
+            size: Some(7),
+            vertices: None,
+        };
+        for trial_seed in [derive_seed(2, 0), derive_seed(2, 1), derive_seed(99, 4)] {
+            let build_seed = derive_seed(trial_seed, 0);
+            let crate::source::BuiltGraph::InducedCsr { set, .. } =
+                src.build_backend(build_seed).unwrap()
+            else {
+                panic!("expected an induced-of-csr backend");
+            };
+            let fast = crate::source::induced_subset_for_seed(32, 7, build_seed).unwrap();
+            assert_eq!(set.to_vec(), fast.to_vec());
+        }
+        // out-of-range sizes fail identically on both paths
+        assert!(crate::source::induced_subset_for_seed(4, 7, 0).is_err());
+    }
+
+    #[test]
+    fn induced_random_subsets_are_redrawn_per_trial() {
+        let spec = ScenarioSpec {
+            name: "induced-random".to_string(),
+            description: String::new(),
+            source: GraphSource::Induced {
+                base: Box::new(GraphSource::Hypercube { dim: 4 }),
+                size: Some(8),
+                vertices: None,
+            },
+            task: Task::Measure {
+                notion: NotionKind::Ordinary,
+                alpha: Some(0.5),
+                exact_up_to: Some(8),
+                fast: None,
+            },
+            trials: 6,
+            seed: 2,
+        };
+        let report = Runner::new().run(&spec).unwrap();
+        assert_eq!(report.metrics["graph_n"].mean, 8.0);
+        // different trials draw different subsets, so the measured values
+        // are not all identical (the hypercube is not vertex-transitive
+        // under arbitrary 8-subsets)
+        assert!(report.metrics["value"].min < report.metrics["value"].max);
+        // and reruns are byte-identical
+        let again = Runner::new().run(&spec).unwrap();
+        assert_eq!(report.to_json(), again.to_json());
     }
 
     #[test]

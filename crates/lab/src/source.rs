@@ -12,10 +12,22 @@
 //! The JSON shape is the serde external tag:
 //! `{"RandomRegular": {"n": 64, "d": 4}}`, `{"Hypercube": {"dim": 6}}`,
 //! `{"EdgeListFile": {"path": "graphs/foo.edges"}}`, …
+//!
+//! Two source kinds go beyond materialized CSR graphs (see
+//! [`GraphSource::build_backend`] and the [`BuiltGraph`] enum):
+//!
+//! * `{"Implicit": {"family": {"Hypercube": {"dim": 20}}}}` — an
+//!   [`ImplicitGraph`] whose neighborhoods are computed on the fly, so
+//!   scenarios can measure families far past RAM-materializable sizes;
+//! * `{"Induced": {"base": {...}, "size": 32}}` (or `"vertices": [...]`) — a
+//!   zero-copy [`SubgraphView`](wx_core::graph::SubgraphView) of a base
+//!   source, replacing the `O(n + m)` induced-subgraph materialization.
 
 use serde::{Deserialize, Serialize};
 use wx_core::constructions::families;
-use wx_core::graph::{io as graph_io, Graph};
+use wx_core::graph::random::{random_subset_of_size_sparse, rng_from_seed};
+use wx_core::graph::view::materialize;
+use wx_core::graph::{io as graph_io, Graph, GraphError, ImplicitFamily, ImplicitGraph, VertexSet};
 
 /// A declarative graph source: family generators, random generators and
 /// file loaders behind one serializable enum.
@@ -80,25 +92,162 @@ pub enum GraphSource {
         /// Path, relative to the working directory.
         path: String,
     },
+    /// An implicit graph backend: neighborhoods computed on the fly from a
+    /// closed-form family rule, never materialized. Tasks run directly on
+    /// the [`ImplicitGraph`] view, so `n` can exceed RAM-materializable
+    /// sizes.
+    Implicit {
+        /// The family rule (`Hypercube`, `CyclePower`, `Torus`).
+        family: ImplicitFamily,
+    },
+    /// A zero-copy induced subgraph of a base source: tasks run on a
+    /// [`SubgraphView`](wx_core::graph::SubgraphView) of the base graph
+    /// instead of a materialized copy. Exactly one of `size` (a seeded
+    /// random subset, redrawn per trial) or `vertices` (an explicit list)
+    /// must be given; the base may be any non-`Induced` source.
+    Induced {
+        /// The base graph source.
+        base: Box<GraphSource>,
+        /// Random-subset size (drawn from the trial seed).
+        size: Option<usize>,
+        /// Explicit vertex list (deterministic).
+        vertices: Option<Vec<usize>>,
+    },
+}
+
+/// The seeded random subset an `Induced { size }` source draws for a given
+/// build seed: Floyd's O(size) sampler, so redrawing over a million-vertex
+/// implicit base never touches O(n) state. This is the single
+/// implementation behind both [`GraphSource::build_backend`] and the
+/// runner's shared-base fast path, which keeps the two byte-identical by
+/// construction (and a runner test pins it).
+pub(crate) fn induced_subset_for_seed(
+    n: usize,
+    size: usize,
+    build_seed: u64,
+) -> wx_core::graph::Result<VertexSet> {
+    if size == 0 || size > n {
+        return Err(GraphError::invalid(format!(
+            "induced subset size {size} out of range for base with {n} vertices"
+        )));
+    }
+    let mut rng = rng_from_seed(wx_core::graph::random::derive_seed(build_seed, 0x1D0CED));
+    Ok(random_subset_of_size_sparse(&mut rng, n, size))
+}
+
+/// A graph built by [`GraphSource::build_backend`]: the CSR default, the
+/// implicit family backend, or a base-plus-subset pair the runner wraps in a
+/// zero-copy [`SubgraphView`](wx_core::graph::SubgraphView) at task time.
+#[derive(Clone, Debug)]
+pub enum BuiltGraph {
+    /// A materialized CSR graph.
+    Csr(Graph),
+    /// An implicit family backend.
+    Implicit(ImplicitGraph),
+    /// An induced view over a materialized base.
+    InducedCsr {
+        /// The base graph.
+        base: Graph,
+        /// The inducing subset (universe = base's vertex count).
+        set: VertexSet,
+    },
+    /// An induced view over an implicit base.
+    InducedImplicit {
+        /// The base backend.
+        base: ImplicitGraph,
+        /// The inducing subset (universe = base's vertex count).
+        set: VertexSet,
+    },
 }
 
 impl GraphSource {
-    /// Builds the graph. Deterministic sources ignore `seed`; randomized
-    /// ones derive their instance from it, so equal seeds give equal graphs.
+    /// Builds the graph as a materialized CSR [`Graph`]. Deterministic
+    /// sources ignore `seed`; randomized ones derive their instance from it,
+    /// so equal seeds give equal graphs. `Implicit` and `Induced` sources are
+    /// materialized here — use [`GraphSource::build_backend`] (as the runner
+    /// does) to keep them implicit / zero-copy.
     pub fn build(&self, seed: u64) -> wx_core::graph::Result<Graph> {
-        match self {
-            GraphSource::RandomRegular { n, d } => families::random_regular_graph(*n, *d, seed),
-            GraphSource::Hypercube { dim } => families::hypercube_graph(*dim),
-            GraphSource::Margulis { m } => families::margulis_graph(*m),
-            GraphSource::CompletePlus { k } => families::complete_plus_graph(*k).map(|(g, _)| g),
-            GraphSource::Grid { rows, cols } => families::grid_graph(*rows, *cols),
-            GraphSource::Torus { rows, cols } => families::torus_graph(*rows, *cols),
-            GraphSource::KAryTree { arity, levels } => {
-                families::complete_k_ary_tree(*arity, *levels)
+        match self.build_backend(seed)? {
+            BuiltGraph::Csr(g) => Ok(g),
+            BuiltGraph::Implicit(g) => Ok(materialize(&g)),
+            BuiltGraph::InducedCsr { base, set } => Ok(base.induced_subgraph(&set).0),
+            BuiltGraph::InducedImplicit { base, set } => {
+                Ok(materialize(&base).induced_subgraph(&set).0)
             }
-            GraphSource::RandomTree { n } => families::random_tree(*n, seed),
+        }
+    }
+
+    /// Builds the graph in its native backend: CSR for the materialized
+    /// sources, [`ImplicitGraph`] for `Implicit`, and a base-plus-subset
+    /// pair for `Induced` (the runner wraps it in a zero-copy
+    /// [`SubgraphView`](wx_core::graph::SubgraphView) at task time).
+    pub fn build_backend(&self, seed: u64) -> wx_core::graph::Result<BuiltGraph> {
+        let csr = |g: wx_core::graph::Result<Graph>| g.map(BuiltGraph::Csr);
+        match self {
+            GraphSource::RandomRegular { n, d } => {
+                csr(families::random_regular_graph(*n, *d, seed))
+            }
+            GraphSource::Hypercube { dim } => csr(families::hypercube_graph(*dim)),
+            GraphSource::Margulis { m } => csr(families::margulis_graph(*m)),
+            GraphSource::CompletePlus { k } => {
+                csr(families::complete_plus_graph(*k).map(|(g, _)| g))
+            }
+            GraphSource::Grid { rows, cols } => csr(families::grid_graph(*rows, *cols)),
+            GraphSource::Torus { rows, cols } => csr(families::torus_graph(*rows, *cols)),
+            GraphSource::KAryTree { arity, levels } => {
+                csr(families::complete_k_ary_tree(*arity, *levels))
+            }
+            GraphSource::RandomTree { n } => csr(families::random_tree(*n, seed)),
             GraphSource::EdgeListFile { path } | GraphSource::DimacsFile { path } => {
-                graph_io::load_graph(path)
+                csr(graph_io::load_graph(path))
+            }
+            GraphSource::Implicit { family } => {
+                ImplicitGraph::new(*family).map(BuiltGraph::Implicit)
+            }
+            GraphSource::Induced {
+                base,
+                size,
+                vertices,
+            } => {
+                let built = base.build_backend(seed)?;
+                let n = match &built {
+                    BuiltGraph::Csr(g) => g.num_vertices(),
+                    BuiltGraph::Implicit(g) => {
+                        use wx_core::graph::GraphView;
+                        g.num_vertices()
+                    }
+                    BuiltGraph::InducedCsr { .. } | BuiltGraph::InducedImplicit { .. } => {
+                        return Err(GraphError::invalid(
+                            "induced sources cannot nest another induced source",
+                        ))
+                    }
+                };
+                let set = match (size, vertices) {
+                    (Some(k), None) => induced_subset_for_seed(n, *k, seed)?,
+                    (None, Some(vs)) => {
+                        for &v in vs {
+                            if v >= n {
+                                return Err(GraphError::invalid(format!(
+                                    "induced vertex {v} out of range for base with {n} vertices"
+                                )));
+                            }
+                        }
+                        VertexSet::from_iter(n, vs.iter().copied())
+                    }
+                    _ => {
+                        return Err(GraphError::invalid(
+                            "induced source needs exactly one of `size` or `vertices`",
+                        ))
+                    }
+                };
+                if set.is_empty() {
+                    return Err(GraphError::invalid("induced subset must be non-empty"));
+                }
+                Ok(match built {
+                    BuiltGraph::Csr(base) => BuiltGraph::InducedCsr { base, set },
+                    BuiltGraph::Implicit(base) => BuiltGraph::InducedImplicit { base, set },
+                    _ => unreachable!("nested induced rejected above"),
+                })
             }
         }
     }
@@ -106,10 +255,12 @@ impl GraphSource {
     /// `true` when the built instance depends on the seed, in which case the
     /// runner draws a fresh instance per trial.
     pub fn is_randomized(&self) -> bool {
-        matches!(
-            self,
-            GraphSource::RandomRegular { .. } | GraphSource::RandomTree { .. }
-        )
+        match self {
+            GraphSource::RandomRegular { .. } | GraphSource::RandomTree { .. } => true,
+            // a random subset is redrawn per trial; an explicit one is not
+            GraphSource::Induced { base, size, .. } => size.is_some() || base.is_randomized(),
+            _ => false,
+        }
     }
 
     /// A compact human-readable label for reports, e.g.
@@ -128,11 +279,56 @@ impl GraphSource {
             GraphSource::RandomTree { n } => format!("random-tree(n={n})"),
             GraphSource::EdgeListFile { path } => format!("edge-list({path})"),
             GraphSource::DimacsFile { path } => format!("dimacs({path})"),
+            GraphSource::Implicit { family } => format!("implicit:{}", family.label()),
+            GraphSource::Induced {
+                base,
+                size,
+                vertices,
+            } => match (size, vertices) {
+                (Some(k), _) => format!("induced:random({k}) of {}", base.label()),
+                (None, Some(vs)) => format!("induced:explicit({}) of {}", vs.len(), base.label()),
+                (None, None) => format!("induced:invalid of {}", base.label()),
+            },
+        }
+    }
+
+    /// Validates what the type system cannot: implicit family parameters and
+    /// the induced subset specification (exactly one of `size`/`vertices`,
+    /// non-nested base). Called by `ScenarioSpec::validate`, so `wx validate`
+    /// and `wx run` reject malformed sources before any trial runs.
+    pub fn validate(&self) -> wx_core::graph::Result<()> {
+        match self {
+            GraphSource::Implicit { family } => family.validate(),
+            GraphSource::Induced {
+                base,
+                size,
+                vertices,
+            } => {
+                if matches!(**base, GraphSource::Induced { .. }) {
+                    return Err(GraphError::invalid(
+                        "induced sources cannot nest another induced source",
+                    ));
+                }
+                match (size, vertices) {
+                    (Some(0), None) => Err(GraphError::invalid(
+                        "induced subset size must be at least 1",
+                    )),
+                    (Some(_), None) => base.validate(),
+                    (None, Some(vs)) if vs.is_empty() => {
+                        Err(GraphError::invalid("induced vertex list must be non-empty"))
+                    }
+                    (None, Some(_)) => base.validate(),
+                    _ => Err(GraphError::invalid(
+                        "induced source needs exactly one of `size` or `vertices`",
+                    )),
+                }
+            }
+            _ => Ok(()),
         }
     }
 
     /// Builds a file source from a path, dispatching on the extension the
-    /// same way [`wx_graph::io::GraphFileFormat::from_path`] does.
+    /// same way [`graph_io::GraphFileFormat::from_path`] does.
     pub fn from_file_path(path: &str) -> GraphSource {
         match graph_io::GraphFileFormat::from_path(std::path::Path::new(path)) {
             graph_io::GraphFileFormat::Dimacs => GraphSource::DimacsFile {
@@ -201,6 +397,127 @@ mod tests {
         assert_eq!(parsed, GraphSource::Grid { rows: 3, cols: 7 });
 
         assert!(serde_json::from_str::<GraphSource>(r#"{"NoSuchFamily": {}}"#).is_err());
+    }
+
+    #[test]
+    fn implicit_source_builds_the_backend_and_materializes_equal() {
+        let src = GraphSource::Implicit {
+            family: ImplicitFamily::Hypercube { dim: 5 },
+        };
+        assert!(!src.is_randomized());
+        assert!(src.validate().is_ok());
+        assert_eq!(src.label(), "implicit:hypercube(dim=5)");
+        let BuiltGraph::Implicit(backend) = src.build_backend(0).unwrap() else {
+            panic!("implicit source must build an implicit backend");
+        };
+        // materialized fallback equals the families generator
+        assert_eq!(src.build(0).unwrap(), families::hypercube_graph(5).unwrap());
+        assert_eq!(materialize(&backend), families::hypercube_graph(5).unwrap());
+
+        let bad = GraphSource::Implicit {
+            family: ImplicitFamily::CyclePower { n: 4, power: 2 },
+        };
+        assert!(bad.validate().is_err());
+        assert!(bad.build_backend(0).is_err());
+    }
+
+    #[test]
+    fn induced_source_draws_seeded_subsets_and_validates() {
+        let src = GraphSource::Induced {
+            base: Box::new(GraphSource::Hypercube { dim: 4 }),
+            size: Some(6),
+            vertices: None,
+        };
+        assert!(src.is_randomized(), "random subsets are redrawn per trial");
+        assert!(src.validate().is_ok());
+        let BuiltGraph::InducedCsr { base, set } = src.build_backend(3).unwrap() else {
+            panic!("induced-of-csr must keep the base materialized only once");
+        };
+        assert_eq!(base.num_vertices(), 16);
+        assert_eq!(set.len(), 6);
+        // equal seeds draw equal subsets; different seeds differ
+        let BuiltGraph::InducedCsr { set: again, .. } = src.build_backend(3).unwrap() else {
+            unreachable!()
+        };
+        assert_eq!(set.to_vec(), again.to_vec());
+
+        // explicit vertex lists are deterministic
+        let explicit = GraphSource::Induced {
+            base: Box::new(GraphSource::Implicit {
+                family: ImplicitFamily::CyclePower { n: 20, power: 2 },
+            }),
+            size: None,
+            vertices: Some(vec![0, 1, 2, 3, 19]),
+        };
+        assert!(!explicit.is_randomized());
+        let BuiltGraph::InducedImplicit { set, .. } = explicit.build_backend(7).unwrap() else {
+            panic!("induced-of-implicit must keep the base implicit");
+        };
+        assert_eq!(set.to_vec(), vec![0, 1, 2, 3, 19]);
+        // materialized fallback equals the classic induced_subgraph path
+        let mat = explicit.build(7).unwrap();
+        assert_eq!(mat.num_vertices(), 5);
+
+        // validation failures
+        for bad in [
+            GraphSource::Induced {
+                base: Box::new(GraphSource::Hypercube { dim: 3 }),
+                size: None,
+                vertices: None,
+            },
+            GraphSource::Induced {
+                base: Box::new(GraphSource::Hypercube { dim: 3 }),
+                size: Some(2),
+                vertices: Some(vec![0, 1]),
+            },
+            GraphSource::Induced {
+                base: Box::new(GraphSource::Induced {
+                    base: Box::new(GraphSource::Hypercube { dim: 3 }),
+                    size: Some(2),
+                    vertices: None,
+                }),
+                size: Some(2),
+                vertices: None,
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should not validate");
+            assert!(bad.build_backend(0).is_err(), "{bad:?} should not build");
+        }
+        // out-of-range explicit vertices fail at build time
+        let oob = GraphSource::Induced {
+            base: Box::new(GraphSource::Hypercube { dim: 3 }),
+            size: None,
+            vertices: Some(vec![99]),
+        };
+        assert!(oob.build_backend(0).is_err());
+    }
+
+    #[test]
+    fn implicit_and_induced_sources_round_trip_through_json() {
+        let sources = [
+            GraphSource::Implicit {
+                family: ImplicitFamily::Torus { rows: 5, cols: 7 },
+            },
+            GraphSource::Induced {
+                base: Box::new(GraphSource::RandomRegular { n: 64, d: 4 }),
+                size: Some(16),
+                vertices: None,
+            },
+        ];
+        for src in sources {
+            let json = serde_json::to_string(&src).unwrap();
+            let back: GraphSource = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, src, "{json}");
+        }
+        let parsed: GraphSource =
+            serde_json::from_str(r#"{"Implicit": {"family": {"Hypercube": {"dim": 12}}}}"#)
+                .unwrap();
+        assert_eq!(
+            parsed,
+            GraphSource::Implicit {
+                family: ImplicitFamily::Hypercube { dim: 12 }
+            }
+        );
     }
 
     #[test]

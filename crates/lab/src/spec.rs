@@ -140,6 +140,9 @@ impl ScenarioSpec {
         if self.trials == 0 {
             return Err(LabError::invalid("trials must be at least 1"));
         }
+        self.source
+            .validate()
+            .map_err(|e| LabError::invalid(format!("source: {e}")))?;
         match &self.task {
             Task::Measure { alpha, .. } | Task::Profile { alpha, .. } => {
                 if let Some(a) = alpha {

@@ -1,4 +1,4 @@
-//! The Bar-Yehuda–Goldreich–Itai decay protocol [5].
+//! The Bar-Yehuda–Goldreich–Itai decay protocol \[5\].
 //!
 //! Time is divided into phases of `k = ⌈log₂ n⌉ + 1` rounds. In the `i`-th
 //! round of each phase (`i = 0, …, k−1`), every informed vertex transmits
@@ -13,7 +13,7 @@ use crate::protocols::BroadcastProtocol;
 use crate::simulator::RoundView;
 use rand::Rng;
 use wx_graph::random::WxRng;
-use wx_graph::{Graph, Vertex, VertexSet};
+use wx_graph::{GraphView, Vertex, VertexSet};
 
 /// The decay protocol.
 #[derive(Clone, Copy, Debug, Default)]
@@ -44,14 +44,14 @@ impl DecayProtocol {
     }
 }
 
-impl BroadcastProtocol for DecayProtocol {
+impl<G: GraphView + ?Sized> BroadcastProtocol<G> for DecayProtocol {
     fn name(&self) -> &'static str {
         "decay"
     }
 
-    fn reset(&mut self, _graph: &Graph, _source: Vertex) {}
+    fn reset(&mut self, _graph: &G, _source: Vertex) {}
 
-    fn transmitters_into(&mut self, view: &RoundView<'_>, rng: &mut WxRng, out: &mut VertexSet) {
+    fn transmitters_into(&mut self, view: &RoundView<'_, G>, rng: &mut WxRng, out: &mut VertexSet) {
         let n = view.graph.num_vertices();
         let k = self.effective_phase_length(n);
         let i = view.round % k;

@@ -4,8 +4,8 @@
 //! |----------|-----------|------------|
 //! | [`naive::NaiveFlooding`] | local | the strawman the introduction rules out (stalls on `C⁺`) |
 //! | [`round_robin::RoundRobin`] | ids + `n` | slow but collision-free deterministic baseline |
-//! | [`decay::DecayProtocol`] | `n` (or a degree bound) | the Bar-Yehuda–Goldreich–Itai decay protocol [5], the classical `O(D·log n + log² n)`-style randomized broadcast |
-//! | [`spokesman::SpokesmanBroadcast`] | centralized | transmits from the subset a Spokesman-Election solver picks — the algorithmic content of wireless expansion (and of the Chlamtac–Weinstein broadcast framework [7]) |
+//! | [`decay::DecayProtocol`] | `n` (or a degree bound) | the Bar-Yehuda–Goldreich–Itai decay protocol \[5\], the classical `O(D·log n + log² n)`-style randomized broadcast |
+//! | [`spokesman::SpokesmanBroadcast`] | centralized | transmits from the subset a Spokesman-Election solver picks — the algorithmic content of wireless expansion (and of the Chlamtac–Weinstein broadcast framework \[7\]) |
 
 pub mod decay;
 pub mod naive;
@@ -15,7 +15,7 @@ pub mod spokesman;
 use crate::simulator::RoundView;
 use serde::{Deserialize, Serialize};
 use wx_graph::random::WxRng;
-use wx_graph::{Graph, Vertex, VertexSet};
+use wx_graph::{Graph, GraphView, Vertex, VertexSet};
 
 /// Identifies a protocol in reports.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -71,7 +71,9 @@ impl ProtocolKind {
 
     /// Builds a fresh default-configured instance of this protocol — the
     /// by-name factory declarative callers (scenario specs, CLI flags) use.
-    pub fn build(self) -> Box<dyn BroadcastProtocol> {
+    /// Generic over the graph backend the protocol will run on (inferred
+    /// from the simulator; defaults to the CSR [`Graph`]).
+    pub fn build<G: GraphView + ?Sized>(self) -> Box<dyn BroadcastProtocol<G>> {
         match self {
             ProtocolKind::NaiveFlooding => Box::new(naive::NaiveFlooding),
             ProtocolKind::RoundRobin => Box::new(round_robin::RoundRobin::default()),
@@ -87,15 +89,17 @@ impl std::fmt::Display for ProtocolKind {
     }
 }
 
-/// The interface every broadcast protocol implements.
-pub trait BroadcastProtocol {
+/// The interface every broadcast protocol implements, generic over the
+/// graph backend it broadcasts on (any [`GraphView`]; defaults to the CSR
+/// [`Graph`], so `dyn BroadcastProtocol` keeps meaning what it always did).
+pub trait BroadcastProtocol<G: GraphView + ?Sized = Graph> {
     /// Short name for reports.
     fn name(&self) -> &'static str;
 
     /// Called once before a simulation starts; protocols may precompute
     /// whatever they need from the topology (centralized protocols) or just
     /// reset their per-run state.
-    fn reset(&mut self, _graph: &Graph, _source: Vertex) {}
+    fn reset(&mut self, _graph: &G, _source: Vertex) {}
 
     /// Chooses which informed vertices transmit this round, filling `out`.
     ///
@@ -104,12 +108,12 @@ pub trait BroadcastProtocol {
     /// parameter lets the simulator reuse one [`VertexSet`] from its
     /// [`crate::TrialWorkspace`] for every round of every trial, so the
     /// classical protocols allocate nothing per round.
-    fn transmitters_into(&mut self, view: &RoundView<'_>, rng: &mut WxRng, out: &mut VertexSet);
+    fn transmitters_into(&mut self, view: &RoundView<'_, G>, rng: &mut WxRng, out: &mut VertexSet);
 
     /// Allocating convenience wrapper over
     /// [`BroadcastProtocol::transmitters_into`] (used by tests and one-off
     /// callers; the simulator's hot loop uses the buffer-filling form).
-    fn transmitters(&mut self, view: &RoundView<'_>, rng: &mut WxRng) -> VertexSet {
+    fn transmitters(&mut self, view: &RoundView<'_, G>, rng: &mut WxRng) -> VertexSet {
         let mut out = VertexSet::empty(view.graph.num_vertices());
         self.transmitters_into(view, rng, &mut out);
         out
@@ -118,17 +122,17 @@ pub trait BroadcastProtocol {
 
 // A boxed protocol is a protocol, so by-name factories ([`ProtocolKind::build`])
 // compose with the generic trial runner in `crate::trials`.
-impl<P: BroadcastProtocol + ?Sized> BroadcastProtocol for Box<P> {
+impl<G: GraphView + ?Sized, P: BroadcastProtocol<G> + ?Sized> BroadcastProtocol<G> for Box<P> {
     fn name(&self) -> &'static str {
         (**self).name()
     }
-    fn reset(&mut self, graph: &Graph, source: Vertex) {
+    fn reset(&mut self, graph: &G, source: Vertex) {
         (**self).reset(graph, source);
     }
-    fn transmitters_into(&mut self, view: &RoundView<'_>, rng: &mut WxRng, out: &mut VertexSet) {
+    fn transmitters_into(&mut self, view: &RoundView<'_, G>, rng: &mut WxRng, out: &mut VertexSet) {
         (**self).transmitters_into(view, rng, out);
     }
-    fn transmitters(&mut self, view: &RoundView<'_>, rng: &mut WxRng) -> VertexSet {
+    fn transmitters(&mut self, view: &RoundView<'_, G>, rng: &mut WxRng) -> VertexSet {
         (**self).transmitters(view, rng)
     }
 }
@@ -138,17 +142,16 @@ impl<P: BroadcastProtocol + ?Sized> BroadcastProtocol for Box<P> {
 /// allocation-free protocol loops (decay's `only_useful` variant) can test
 /// usefulness inline while iterating the informed bitset.
 #[inline]
-pub fn is_useful_transmitter(view: &RoundView<'_>, v: usize) -> bool {
+pub fn is_useful_transmitter<G: GraphView + ?Sized>(view: &RoundView<'_, G>, v: usize) -> bool {
     view.graph
-        .neighbors(v)
-        .iter()
-        .any(|&u| !view.informed.contains(u))
+        .neighbors_iter(v)
+        .any(|u| !view.informed.contains(u))
 }
 
 /// Helper shared by protocols: the subset of informed vertices that still
 /// have at least one uninformed neighbor (transmitting from anywhere else is
 /// pointless).
-pub fn useful_transmitters(view: &RoundView<'_>) -> VertexSet {
+pub fn useful_transmitters<G: GraphView + ?Sized>(view: &RoundView<'_, G>) -> VertexSet {
     VertexSet::from_iter(
         view.graph.num_vertices(),
         view.informed

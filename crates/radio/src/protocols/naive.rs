@@ -7,18 +7,23 @@
 use crate::protocols::BroadcastProtocol;
 use crate::simulator::RoundView;
 use wx_graph::random::WxRng;
-use wx_graph::VertexSet;
+use wx_graph::{GraphView, VertexSet};
 
 /// Every informed vertex transmits in every round.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NaiveFlooding;
 
-impl BroadcastProtocol for NaiveFlooding {
+impl<G: GraphView + ?Sized> BroadcastProtocol<G> for NaiveFlooding {
     fn name(&self) -> &'static str {
         "naive-flooding"
     }
 
-    fn transmitters_into(&mut self, view: &RoundView<'_>, _rng: &mut WxRng, out: &mut VertexSet) {
+    fn transmitters_into(
+        &mut self,
+        view: &RoundView<'_, G>,
+        _rng: &mut WxRng,
+        out: &mut VertexSet,
+    ) {
         out.copy_from(view.informed);
     }
 }

@@ -9,7 +9,7 @@
 use crate::protocols::BroadcastProtocol;
 use crate::simulator::RoundView;
 use wx_graph::random::WxRng;
-use wx_graph::VertexSet;
+use wx_graph::{GraphView, VertexSet};
 
 /// Round-robin single-transmitter schedule.
 #[derive(Clone, Copy, Debug, Default)]
@@ -29,12 +29,17 @@ impl RoundRobin {
     }
 }
 
-impl BroadcastProtocol for RoundRobin {
+impl<G: GraphView + ?Sized> BroadcastProtocol<G> for RoundRobin {
     fn name(&self) -> &'static str {
         "round-robin"
     }
 
-    fn transmitters_into(&mut self, view: &RoundView<'_>, _rng: &mut WxRng, out: &mut VertexSet) {
+    fn transmitters_into(
+        &mut self,
+        view: &RoundView<'_, G>,
+        _rng: &mut WxRng,
+        out: &mut VertexSet,
+    ) {
         let n = view.graph.num_vertices();
         if n == 0 {
             return;
@@ -44,9 +49,8 @@ impl BroadcastProtocol for RoundRobin {
             let useful = !self.skip_useless_turns
                 || view
                     .graph
-                    .neighbors(turn)
-                    .iter()
-                    .any(|&u| !view.informed.contains(u));
+                    .neighbors_iter(turn)
+                    .any(|u| !view.informed.contains(u));
             if useful {
                 out.insert(turn);
             }

@@ -7,7 +7,7 @@
 //! `S'` transmit. If the network is an `(αw, βw)`-wireless expander, every
 //! such round informs at least `βw·|S|` new vertices while `|S| ≤ αw·n`, so
 //! the informed set grows geometrically — this is the broadcast framework of
-//! Chlamtac–Weinstein [7] with the paper's improved spokesman bounds plugged
+//! Chlamtac–Weinstein \[7\] with the paper's improved spokesman bounds plugged
 //! in.
 //!
 //! The schedule is *centralized* (it needs the topology); it serves as the
@@ -19,7 +19,7 @@
 use crate::protocols::BroadcastProtocol;
 use crate::simulator::RoundView;
 use wx_graph::random::WxRng;
-use wx_graph::{BipartiteGraph, VertexSet};
+use wx_graph::{BipartiteGraph, GraphView, VertexSet};
 use wx_spokesman::{PortfolioSolver, SpokesmanSolver};
 
 /// Which spokesman solver the schedule uses each round.
@@ -57,12 +57,17 @@ impl SpokesmanBroadcast {
     }
 }
 
-impl BroadcastProtocol for SpokesmanBroadcast {
+impl<G: GraphView + ?Sized> BroadcastProtocol<G> for SpokesmanBroadcast {
     fn name(&self) -> &'static str {
         "spokesman-schedule"
     }
 
-    fn transmitters_into(&mut self, view: &RoundView<'_>, _rng: &mut WxRng, out: &mut VertexSet) {
+    fn transmitters_into(
+        &mut self,
+        view: &RoundView<'_, G>,
+        _rng: &mut WxRng,
+        out: &mut VertexSet,
+    ) {
         // Frontier-only optimization: restrict S to informed vertices with at
         // least one uninformed neighbor. Their S-excluding unique coverage is
         // unaffected (interior vertices contribute no external edges) and the

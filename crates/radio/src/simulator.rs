@@ -4,7 +4,7 @@ use crate::metrics::BroadcastOutcome;
 use crate::protocols::BroadcastProtocol;
 use crate::workspace::TrialWorkspace;
 use wx_graph::random::{rng_from_seed, WxRng};
-use wx_graph::{Graph, Vertex, VertexSet};
+use wx_graph::{Graph, GraphView, Vertex, VertexSet};
 
 /// Read-only view of the simulation state handed to protocols each round.
 ///
@@ -14,9 +14,9 @@ use wx_graph::{Graph, Vertex, VertexSet};
 /// whole view. The simulator does not police this — the distinction is
 /// documented per protocol.
 #[derive(Debug)]
-pub struct RoundView<'a> {
-    /// The underlying network.
-    pub graph: &'a Graph,
+pub struct RoundView<'a, G: GraphView + ?Sized = Graph> {
+    /// The underlying network (any [`GraphView`] backend).
+    pub graph: &'a G,
     /// The current round number (the first round is 0).
     pub round: usize,
     /// The broadcast source.
@@ -53,8 +53,8 @@ impl Default for SimulatorConfig {
 /// one BFS, not 10k. Use [`RadioSimulator::run`] for a one-off simulation or
 /// [`RadioSimulator::run_in`] with a reused [`TrialWorkspace`] for
 /// allocation-free ensembles.
-pub struct RadioSimulator<'a> {
-    graph: &'a Graph,
+pub struct RadioSimulator<'a, G: GraphView + ?Sized = Graph> {
+    graph: &'a G,
     source: Vertex,
     config: SimulatorConfig,
     /// Cached number of vertices reachable from `source` (the completion
@@ -62,12 +62,12 @@ pub struct RadioSimulator<'a> {
     reachable: usize,
 }
 
-impl<'a> RadioSimulator<'a> {
+impl<'a, G: GraphView + ?Sized> RadioSimulator<'a, G> {
     /// Creates a simulator for broadcasting from `source` on `graph`.
     ///
     /// Runs one BFS to determine the completion target; every subsequent
     /// trial reuses the cached count.
-    pub fn new(graph: &'a Graph, source: Vertex, config: SimulatorConfig) -> Self {
+    pub fn new(graph: &'a G, source: Vertex, config: SimulatorConfig) -> Self {
         assert!(source < graph.num_vertices(), "source out of range");
         let reachable = reachable_from(graph, source);
         RadioSimulator {
@@ -84,7 +84,7 @@ impl<'a> RadioSimulator<'a> {
     /// wrong value only affects completion detection, not safety). Used by
     /// batch drivers that already ran a BFS on the shared graph.
     pub fn with_reachable(
-        graph: &'a Graph,
+        graph: &'a G,
         source: Vertex,
         config: SimulatorConfig,
         reachable: usize,
@@ -105,7 +105,7 @@ impl<'a> RadioSimulator<'a> {
     }
 
     /// The underlying graph.
-    pub fn graph(&self) -> &'a Graph {
+    pub fn graph(&self) -> &'a G {
         self.graph
     }
 
@@ -124,7 +124,7 @@ impl<'a> RadioSimulator<'a> {
     /// this is a thin wrapper over the `wx_graph` neighborhood kernel.
     /// [`RadioSimulator::run`] resolves receivers through a scratch it reuses
     /// across rounds instead of calling this materializing form.
-    pub fn step(graph: &Graph, transmitters: &VertexSet) -> VertexSet {
+    pub fn step(graph: &G, transmitters: &VertexSet) -> VertexSet {
         wx_graph::neighborhood::unique_neighborhood(graph, transmitters)
     }
 
@@ -135,7 +135,7 @@ impl<'a> RadioSimulator<'a> {
     /// Allocates a fresh [`TrialWorkspace`] per call; ensembles should use
     /// [`RadioSimulator::run_in`] (or the runners in [`crate::trials`]) to
     /// reuse one workspace across trials.
-    pub fn run(&self, protocol: &mut dyn BroadcastProtocol, seed: u64) -> BroadcastOutcome {
+    pub fn run(&self, protocol: &mut dyn BroadcastProtocol<G>, seed: u64) -> BroadcastOutcome {
         let mut ws = TrialWorkspace::new(self.graph.num_vertices());
         let trial = self.run_in(protocol, seed, &mut ws);
         self.outcome_from(protocol.name(), &trial, &ws)
@@ -179,7 +179,7 @@ impl<'a> RadioSimulator<'a> {
     /// [`RadioSimulator::outcome_from`]) until the next run overwrites it.
     pub fn run_in(
         &self,
-        protocol: &mut dyn BroadcastProtocol,
+        protocol: &mut dyn BroadcastProtocol<G>,
         seed: u64,
         ws: &mut TrialWorkspace,
     ) -> TrialOutcome {
@@ -243,7 +243,7 @@ impl<'a> RadioSimulator<'a> {
 /// once per simulator; batch drivers that share a graph across many
 /// simulators compute it here once and pass it to
 /// [`RadioSimulator::with_reachable`].
-pub fn reachable_from(graph: &Graph, source: Vertex) -> usize {
+pub fn reachable_from<G: GraphView + ?Sized>(graph: &G, source: Vertex) -> usize {
     wx_graph::traversal::bfs(graph, source)
         .dist
         .iter()
@@ -370,7 +370,7 @@ mod tests {
             let mut p2 = DecayProtocol::default();
             let fresh = sim.run(&mut p1, seed);
             let trial = sim.run_in(&mut p2, seed, &mut ws);
-            let reused = sim.outcome_from(p2.name(), &trial, &ws);
+            let reused = sim.outcome_from(BroadcastProtocol::<Graph>::name(&p2), &trial, &ws);
             assert_eq!(fresh.completed_at, reused.completed_at);
             assert_eq!(fresh.rounds_simulated, reused.rounds_simulated);
             assert_eq!(fresh.informed_per_round, reused.informed_per_round);

@@ -24,7 +24,7 @@ use crate::protocols::BroadcastProtocol;
 use crate::simulator::{RadioSimulator, SimulatorConfig, TrialOutcome};
 use crate::workspace::{with_thread_workspace, TrialWorkspace};
 use rayon::prelude::*;
-use wx_graph::{Graph, Vertex};
+use wx_graph::{GraphView, Vertex};
 
 /// Runs `trials` independent simulations of the protocol produced by
 /// `make_protocol` (one fresh instance per trial) on a shared simulator,
@@ -36,15 +36,16 @@ use wx_graph::{Graph, Vertex};
 /// (per-round counts, first-informed rounds), so callers can extract exactly
 /// the statistics they need without the engine retaining any n-sized
 /// per-trial state.
-pub fn map_trials<P, F, T, S>(
-    sim: &RadioSimulator<'_>,
+pub fn map_trials<G, P, F, T, S>(
+    sim: &RadioSimulator<'_, G>,
     trials: usize,
     base_seed: u64,
     make_protocol: F,
     summarize: S,
 ) -> Vec<T>
 where
-    P: BroadcastProtocol,
+    G: GraphView + Sync + ?Sized,
+    P: BroadcastProtocol<G>,
     F: Fn() -> P + Sync,
     T: Send,
     S: Fn(usize, &TrialOutcome, &TrialWorkspace) -> T + Sync,
@@ -72,8 +73,8 @@ where
 /// Each returned [`BroadcastOutcome`] carries its full n-sized trajectory;
 /// for large ensembles prefer [`map_trials`] (constant-size summaries) or
 /// [`run_trials_stats`] (online aggregation).
-pub fn run_trials<P, F>(
-    graph: &Graph,
+pub fn run_trials<G, P, F>(
+    graph: &G,
     source: Vertex,
     config: &SimulatorConfig,
     trials: usize,
@@ -81,7 +82,8 @@ pub fn run_trials<P, F>(
     make_protocol: F,
 ) -> Vec<BroadcastOutcome>
 where
-    P: BroadcastProtocol,
+    G: GraphView + Sync + ?Sized,
+    P: BroadcastProtocol<G>,
     F: Fn() -> P + Sync,
 {
     let sim = RadioSimulator::new(graph, source, config.clone());
@@ -95,8 +97,8 @@ where
 ///
 /// Streams: only each trial's completion round is retained, so memory is
 /// O(trials) machine words regardless of graph size.
-pub fn run_trials_stats<P, F>(
-    graph: &Graph,
+pub fn run_trials_stats<G, P, F>(
+    graph: &G,
     source: Vertex,
     config: &SimulatorConfig,
     trials: usize,
@@ -104,7 +106,8 @@ pub fn run_trials_stats<P, F>(
     make_protocol: F,
 ) -> EnsembleStats
 where
-    P: BroadcastProtocol,
+    G: GraphView + Sync + ?Sized,
+    P: BroadcastProtocol<G>,
     F: Fn() -> P + Sync,
 {
     let sim = RadioSimulator::new(graph, source, config.clone());

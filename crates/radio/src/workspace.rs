@@ -24,7 +24,7 @@ use wx_graph::{NeighborhoodScratch, Vertex, VertexSet};
 
 /// Reusable buffers for one broadcast trial.
 ///
-/// A workspace is tied to no particular graph: [`TrialWorkspace::reset`]
+/// A workspace is tied to no particular graph: the per-trial reset
 /// grows the buffers on demand, so one workspace can serve graphs of mixed
 /// sizes (it only ever grows). [`crate::RadioSimulator::run_in`] resets the
 /// workspace itself; callers just hand the same workspace to trial after

@@ -99,4 +99,58 @@ proptest! {
         // rounds per BFS layer
         prop_assert!(outcome.completed_at.is_some());
     }
+
+    /// Backend equivalence: a full radio trial (decay — rng-driven, so any
+    /// divergence in iteration order would show — plus the deterministic
+    /// protocols) produces identical outcomes on a zero-copy `SubgraphView`
+    /// vs the materialized induced subgraph.
+    #[test]
+    fn full_trial_agrees_on_subgraph_view_vs_materialized(
+        edges in edge_list(16),
+        keep_raw in prop::collection::btree_set(0usize..16, 2..12),
+        seed in 0u64..50,
+    ) {
+        let g = Graph::from_edges(16, edges).unwrap();
+        let keep = VertexSet::from_iter(16, keep_raw.iter().copied());
+        let view = wx_graph::SubgraphView::new(&g, &keep);
+        let (mat, _) = g.induced_subgraph(&keep);
+        let config = SimulatorConfig { max_rounds: 300, stop_when_complete: true };
+        let sim_view = RadioSimulator::new(&view, 0, config.clone());
+        let sim_mat = RadioSimulator::new(&mat, 0, config);
+        prop_assert_eq!(sim_view.reachable_count(), sim_mat.reachable_count());
+        let a = sim_view.run(&mut DecayProtocol::default(), seed);
+        let b = sim_mat.run(&mut DecayProtocol::default(), seed);
+        prop_assert_eq!(a.completed_at, b.completed_at);
+        prop_assert_eq!(a.informed_per_round, b.informed_per_round);
+        prop_assert_eq!(a.first_informed_round, b.first_informed_round);
+        let a = sim_view.run(&mut NaiveFlooding, seed);
+        let b = sim_mat.run(&mut NaiveFlooding, seed);
+        prop_assert_eq!(a.informed_per_round, b.informed_per_round);
+    }
+
+    /// Backend equivalence: a full decay trial on an `ImplicitGraph` equals
+    /// the trial on the materialized family graph, bit for bit.
+    #[test]
+    fn full_trial_agrees_on_implicit_vs_materialized(
+        n in 8usize..40,
+        seed in 0u64..50,
+    ) {
+        let implicit = wx_graph::ImplicitGraph::cycle_power(n, 2).unwrap();
+        let mat = wx_graph::view::materialize(&implicit);
+        let config = SimulatorConfig { max_rounds: 500, stop_when_complete: true };
+        let sim_implicit = RadioSimulator::new(&implicit, 0, config.clone());
+        let sim_mat = RadioSimulator::new(&mat, 0, config);
+        prop_assert_eq!(sim_implicit.reachable_count(), sim_mat.reachable_count());
+        let a = sim_implicit.run(&mut DecayProtocol::default(), seed);
+        let b = sim_mat.run(&mut DecayProtocol::default(), seed);
+        prop_assert_eq!(a.completed_at, b.completed_at);
+        prop_assert_eq!(a.informed_per_round, b.informed_per_round);
+        prop_assert_eq!(a.first_informed_round, b.first_informed_round);
+        // the centralized spokesman schedule exercises the bipartite-view
+        // extraction on both backends
+        let a = sim_implicit.run(&mut wx_radio::protocols::spokesman::SpokesmanBroadcast::default(), seed);
+        let b = sim_mat.run(&mut wx_radio::protocols::spokesman::SpokesmanBroadcast::default(), seed);
+        prop_assert_eq!(a.completed_at, b.completed_at);
+        prop_assert_eq!(a.informed_per_round, b.informed_per_round);
+    }
 }

@@ -1,4 +1,4 @@
-//! The Chlamtac–Weinstein-style baseline (reference [7] of the paper).
+//! The Chlamtac–Weinstein-style baseline (reference \[7\] of the paper).
 //!
 //! The original wave-expansion approach computes a subset `S' ⊆ S` with
 //! `|Γ¹(S')| ≥ |N| / log|S|`, i.e. its loss factor is logarithmic in the
@@ -20,7 +20,7 @@ use rand::Rng;
 use wx_graph::random::{derive_seed, rng_from_seed};
 use wx_graph::{BipartiteGraph, VertexSet};
 
-/// Size-based halving baseline in the spirit of Chlamtac–Weinstein [7].
+/// Size-based halving baseline in the spirit of Chlamtac–Weinstein \[7\].
 #[derive(Clone, Copy, Debug)]
 pub struct ChlamtacWeinsteinSolver {
     /// Independent samples per halving level.

@@ -17,7 +17,7 @@
 //! | [`partition::PartitionSolver`] | Appendix A.1.2–A.2.1 (Procedure Partition) | `≥ \|N\|/(9·log 2δ_N)` deterministically |
 //! | [`greedy::GreedyMinDegreeSolver`] | Lemma A.1 | `≥ \|N\|/Δ_S` deterministically |
 //! | [`degree_class::DegreeClassSolver`] | Lemmas A.5–A.7 | `≥ 0.20087·\|N\|/log₂Δ` (with the optimal base `c ≈ 3.59`) |
-//! | [`chlamtac_weinstein::ChlamtacWeinsteinSolver`] | [7] (baseline) | `≥ \|N\|/log \|S\|` |
+//! | [`chlamtac_weinstein::ChlamtacWeinsteinSolver`] | \[7\] (baseline) | `≥ \|N\|/log \|S\|` |
 //! | [`solver::PortfolioSolver`] | — | best of all of the above |
 //!
 //! Every solver returns a [`SpokesmanResult`] containing the chosen subset,

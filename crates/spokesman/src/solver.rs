@@ -1,7 +1,7 @@
 //! The common solver interface, result type and the best-of portfolio.
 
 use serde::{Deserialize, Serialize};
-use wx_graph::{BipartiteGraph, VertexSet};
+use wx_graph::{BipartiteGraph, GraphView, VertexSet};
 
 /// Identifies which algorithm produced a [`SpokesmanResult`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -153,6 +153,32 @@ pub trait SpokesmanSolver {
     /// unique coverage. `seed` drives any internal randomness; deterministic
     /// solvers ignore it.
     fn solve(&self, g: &BipartiteGraph, seed: u64) -> SpokesmanResult;
+
+    /// Solves the Spokesman Election problem for a set `S` living in **any**
+    /// graph backend `G: GraphView` — CSR graphs, zero-copy
+    /// [`wx_graph::SubgraphView`]s or unmaterialized
+    /// [`wx_graph::ImplicitGraph`] families alike.
+    ///
+    /// The bipartite view `G_S = (S, Γ⁻(S))` is extracted through the
+    /// epoch-stamped neighborhood kernel and handed to
+    /// [`SpokesmanSolver::solve`]; the returned subset is translated back to
+    /// the original vertex ids of `g` (its `unique_coverage` refers to
+    /// `Γ¹_S(S')` in `g`, unchanged by the translation).
+    fn solve_in_graph<G: GraphView + ?Sized>(
+        &self,
+        g: &G,
+        s: &VertexSet,
+        seed: u64,
+    ) -> SpokesmanResult
+    where
+        Self: Sized,
+    {
+        let (bip, left_ids, _right_ids) = BipartiteGraph::from_set_in_graph(g, s);
+        let mut result = self.solve(&bip, seed);
+        result.subset =
+            VertexSet::from_iter(g.num_vertices(), result.subset.iter().map(|i| left_ids[i]));
+        result
+    }
 }
 
 /// Runs several solvers and keeps the best result.
@@ -308,6 +334,38 @@ mod tests {
         assert_eq!(SolverKind::parse("exact"), Some(SolverKind::Exact));
         assert_eq!(SolverKind::Exact.build().solve(&g, 0).unique_coverage, 4);
         assert!(SolverKind::parse("simulated-annealing").is_none());
+    }
+
+    #[test]
+    fn solve_in_graph_accepts_any_backend() {
+        use wx_graph::view::{materialize, ImplicitGraph, SubgraphView};
+        use wx_graph::{Graph, GraphView};
+
+        // C_12^2 as an implicit backend vs its CSR materialization: greedy
+        // and local-search must certify the same unique coverage on both.
+        let implicit = ImplicitGraph::cycle_power(12, 2).unwrap();
+        let csr: Graph = materialize(&implicit);
+        let s = VertexSet::from_iter(12, [0, 1, 2, 3]);
+        let greedy = crate::greedy::GreedyMinDegreeSolver;
+        let polish = crate::local_search::LocalSearchSolver::default();
+        let a = greedy.solve_in_graph(&implicit, &s, 3);
+        let b = greedy.solve_in_graph(&csr, &s, 3);
+        assert_eq!(a.unique_coverage, b.unique_coverage);
+        assert!(a.subset.iter().all(|v| s.contains(v)), "original-id subset");
+        let a = polish.solve_in_graph(&implicit, &s, 3);
+        let b = polish.solve_in_graph(&csr, &s, 3);
+        assert_eq!(a.unique_coverage, b.unique_coverage);
+
+        // and on a zero-copy induced view of a larger graph
+        let big = materialize(&ImplicitGraph::cycle_power(30, 2).unwrap());
+        let keep = VertexSet::from_iter(30, 0..15);
+        let view = SubgraphView::new(&big, &keep);
+        let s_local = VertexSet::from_iter(view.num_vertices(), [2, 3, 4]);
+        let (mat, _) = big.induced_subgraph(&keep);
+        let on_view = greedy.solve_in_graph(&view, &s_local, 9);
+        let on_mat = greedy.solve_in_graph(&mat, &s_local, 9);
+        assert_eq!(on_view.unique_coverage, on_mat.unique_coverage);
+        assert_eq!(on_view.subset.to_vec(), on_mat.subset.to_vec());
     }
 
     #[test]

@@ -37,6 +37,26 @@ fn main() {
         analysis.profile.unique.value, analysis.profile.wireless.value
     );
 
+    section("Backends: the same engine on an unmaterialized hypercube");
+    // Every entry point above is generic over `GraphView`; the implicit
+    // backend computes neighborhoods from the family rule, so nothing here
+    // materializes Q_12's 24k edges.
+    let q12 = ImplicitGraph::hypercube(12).expect("valid dimension");
+    let engine = MeasurementEngine::builder()
+        .alpha(0.5)
+        .strategy(MeasureStrategy::Sampled)
+        .sampler(SamplerConfig::light(0.5))
+        .seed(seed)
+        .build();
+    let beta = engine.measure(&q12, &Ordinary).expect("non-empty graph");
+    println!(
+        "implicit Q_12: n = {}, Δ = {}, sampled β ≈ {:.3} (witness |S| = {})",
+        GraphView::num_vertices(&q12),
+        GraphView::max_degree(&q12),
+        beta.value,
+        beta.witness.len()
+    );
+
     section("Broadcast race from the pendant source");
     let b = analysis.broadcast.expect("broadcast comparison enabled");
     println!(

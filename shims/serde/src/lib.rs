@@ -156,6 +156,11 @@ impl<T: ?Sized + Serialize> Serialize for &T {
         (**self).serialize(s)
     }
 }
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
         match self {
@@ -287,6 +292,11 @@ impl<'de> Deserialize<'de> for String {
                 other.kind()
             ))),
         }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
     }
 }
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {

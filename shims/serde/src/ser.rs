@@ -24,7 +24,7 @@ impl Error for SimpleError {
     }
 }
 
-/// Returned from [`Serializer::serialize_struct`].
+/// Returned from [`crate::Serializer::serialize_struct`].
 pub trait SerializeStruct {
     /// Output type, matching the parent serializer.
     type Ok;
@@ -44,7 +44,7 @@ pub trait SerializeStruct {
     fn end(self) -> Result<Self::Ok, Self::Error>;
 }
 
-/// Returned from [`Serializer::serialize_seq`].
+/// Returned from [`crate::Serializer::serialize_seq`].
 pub trait SerializeSeq {
     /// Output type, matching the parent serializer.
     type Ok;
@@ -56,7 +56,7 @@ pub trait SerializeSeq {
     fn end(self) -> Result<Self::Ok, Self::Error>;
 }
 
-/// Returned from [`Serializer::serialize_map`].
+/// Returned from [`crate::Serializer::serialize_map`].
 pub trait SerializeMap {
     /// Output type, matching the parent serializer.
     type Ok;
