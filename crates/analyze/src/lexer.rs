@@ -1,0 +1,545 @@
+//! A lightweight, dependency-free Rust lexer.
+//!
+//! The rule engine only needs a *token stream with positions*, not a parse
+//! tree, so this lexer is deliberately small: it recognises identifiers
+//! (including raw `r#ident` forms and keywords), lifetimes vs. character
+//! literals, every string flavour (`"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+//! `br#"…"#`), byte/char literals, numbers, line and (nested) block
+//! comments, and maximal-munch punctuation. It is **total**: any input
+//! produces a token stream (malformed bytes become [`TokenKind::Unknown`]),
+//! it never panics, and every non-whitespace byte of the input is covered by
+//! exactly one token — a property the proptests in
+//! `tests/lexer_proptest.rs` pin down.
+
+/// The classification of a single lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#fn`).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// A character literal: `'x'`, `'\n'`, `'\u{1F600}'`.
+    CharLit,
+    /// A byte literal: `b'x'`.
+    ByteCharLit,
+    /// A plain string literal: `"…"` (escapes handled, may span lines).
+    StrLit,
+    /// A raw string literal: `r"…"`, `r#"…"#`, …
+    RawStrLit,
+    /// A byte string literal: `b"…"`, `br#"…"#`, …
+    ByteStrLit,
+    /// A numeric literal (integer or float, any base, with suffix).
+    NumLit,
+    /// A `// …` comment (text retained for `wx-allow` parsing).
+    LineComment,
+    /// A `/* … */` comment, nesting handled.
+    BlockComment,
+    /// Punctuation, maximal munch (`::`, `->`, `+=`, …).
+    Punct,
+    /// A byte the lexer does not recognise (kept so coverage is total).
+    Unknown,
+}
+
+impl TokenKind {
+    /// `true` for comments — tokens the rule matchers skip over.
+    pub fn is_trivia(self) -> bool {
+        matches!(self, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// One token: kind plus byte span and 1-based line/column of its start.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte (inclusive).
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive).
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in characters) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text, sliced out of the source it was lexed from.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Multi-character punctuation, longest first so maximal munch is a simple
+/// prefix scan.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Cursor<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn new(src: &'s str) -> Self {
+        Cursor {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining line/col. Multi-byte UTF-8
+    /// continuation bytes do not bump the column.
+    fn bump(&mut self) {
+        if let Some(&b) = self.bytes.get(self.pos) {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else if b & 0xC0 != 0x80 {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a complete token stream (comments included).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while !cur.at_end() {
+        let b = cur.peek(0).unwrap_or(0);
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let start = cur.pos;
+        let line = cur.line;
+        let col = cur.col;
+        let kind = lex_one(&mut cur);
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Lexes exactly one token starting at the cursor (not whitespace, not EOF).
+fn lex_one(cur: &mut Cursor<'_>) -> TokenKind {
+    let b = match cur.peek(0) {
+        Some(b) => b,
+        None => return TokenKind::Unknown,
+    };
+    // Comments.
+    if b == b'/' {
+        match cur.peek(1) {
+            Some(b'/') => return lex_line_comment(cur),
+            Some(b'*') => return lex_block_comment(cur),
+            _ => {}
+        }
+    }
+    // String-ish prefixes that look like identifiers: r" r#" br" b" b' r#raw_ident
+    if b == b'r' || b == b'b' {
+        if let Some(kind) = try_lex_prefixed_literal(cur) {
+            return kind;
+        }
+    }
+    if is_ident_start(b) {
+        return lex_ident(cur);
+    }
+    if b == b'\'' {
+        return lex_lifetime_or_char(cur);
+    }
+    if b == b'"' {
+        lex_string_body(cur);
+        return TokenKind::StrLit;
+    }
+    if b.is_ascii_digit() {
+        return lex_number(cur);
+    }
+    // Maximal-munch punctuation.
+    let rest = &cur.src[cur.pos..];
+    for p in MULTI_PUNCT {
+        if rest.starts_with(p) {
+            cur.bump_n(p.len());
+            return TokenKind::Punct;
+        }
+    }
+    if b.is_ascii_punctuation() {
+        cur.bump();
+        return TokenKind::Punct;
+    }
+    cur.bump();
+    TokenKind::Unknown
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    while let Some(b) = cur.peek(0) {
+        if b == b'\n' {
+            break;
+        }
+        cur.bump();
+    }
+    TokenKind::LineComment
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump_n(2); // /*
+    let mut depth = 1usize;
+    while depth > 0 && !cur.at_end() {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                cur.bump_n(2);
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                cur.bump_n(2);
+            }
+            _ => cur.bump(),
+        }
+    }
+    // Unterminated comments swallow the rest of the file; still a comment.
+    TokenKind::BlockComment
+}
+
+/// Handles `r`/`b` prefixes: raw strings, byte strings, byte chars, and raw
+/// identifiers. Returns `None` when the `r`/`b` is just an ordinary ident
+/// start.
+fn try_lex_prefixed_literal(cur: &mut Cursor<'_>) -> Option<TokenKind> {
+    let b0 = cur.peek(0)?;
+    match (b0, cur.peek(1)) {
+        // b'x'
+        (b'b', Some(b'\'')) => {
+            cur.bump(); // b
+            lex_char_body(cur);
+            Some(TokenKind::ByteCharLit)
+        }
+        // b"…"
+        (b'b', Some(b'"')) => {
+            cur.bump();
+            lex_string_body(cur);
+            Some(TokenKind::ByteStrLit)
+        }
+        // br"…" / br#"…"#
+        (b'b', Some(b'r')) => {
+            let hashes = count_hashes(cur, 2);
+            if cur.peek(2 + hashes) == Some(b'"') {
+                cur.bump_n(2);
+                lex_raw_string_body(cur, hashes);
+                Some(TokenKind::ByteStrLit)
+            } else {
+                None
+            }
+        }
+        // r"…" / r#"…"# / r#ident
+        (b'r', Some(b'"')) => {
+            cur.bump();
+            lex_raw_string_body(cur, 0);
+            Some(TokenKind::RawStrLit)
+        }
+        (b'r', Some(b'#')) => {
+            let hashes = count_hashes(cur, 1);
+            if cur.peek(1 + hashes) == Some(b'"') {
+                cur.bump();
+                lex_raw_string_body(cur, hashes);
+                Some(TokenKind::RawStrLit)
+            } else if hashes == 1 && cur.peek(2).map(is_ident_start).unwrap_or(false) {
+                // raw identifier r#fn
+                cur.bump_n(2);
+                lex_ident(cur);
+                Some(TokenKind::Ident)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn count_hashes(cur: &Cursor<'_>, from: usize) -> usize {
+    let mut n = 0;
+    while cur.peek(from + n) == Some(b'#') {
+        n += 1;
+    }
+    n
+}
+
+fn lex_ident(cur: &mut Cursor<'_>) -> TokenKind {
+    while cur.peek(0).map(is_ident_continue).unwrap_or(false) {
+        cur.bump();
+    }
+    TokenKind::Ident
+}
+
+/// After a `'`: a lifetime (`'a`, `'static`) unless the identifier is a
+/// single char followed by a closing quote (`'a'` is a char literal).
+fn lex_lifetime_or_char(cur: &mut Cursor<'_>) -> TokenKind {
+    if cur.peek(1).map(is_ident_start).unwrap_or(false) {
+        // Scan the identifier run after the quote.
+        let mut n = 1;
+        while cur.peek(n).map(is_ident_continue).unwrap_or(false) {
+            n += 1;
+        }
+        if cur.peek(n) != Some(b'\'') {
+            cur.bump(); // '
+            cur.bump_n(n - 1);
+            return TokenKind::Lifetime;
+        }
+    }
+    lex_char_body(cur);
+    TokenKind::CharLit
+}
+
+/// Consumes a `'…'` literal starting at the opening quote; stops at the
+/// closing quote, a newline, or EOF (unterminated literals stay total).
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    cur.bump(); // '
+    if cur.peek(0) == Some(b'\\') {
+        cur.bump();
+        if !cur.at_end() {
+            cur.bump(); // the escaped byte (enough for \' \\ \n \u{…} prefixes)
+        }
+        // \u{…}: consume through the closing brace
+        if cur.bytes.get(cur.pos.wrapping_sub(1)) == Some(&b'u') && cur.peek(0) == Some(b'{') {
+            while let Some(b) = cur.peek(0) {
+                cur.bump();
+                if b == b'}' {
+                    break;
+                }
+            }
+        }
+    } else if cur.peek(0).is_some() && cur.peek(0) != Some(b'\'') {
+        cur.bump(); // the literal char (may be multi-byte; continuation below)
+        while cur.peek(0).map(|b| b & 0xC0 == 0x80).unwrap_or(false) {
+            cur.bump();
+        }
+    }
+    if cur.peek(0) == Some(b'\'') {
+        cur.bump();
+    }
+}
+
+/// Consumes a `"…"` literal starting at the opening quote, handling `\`
+/// escapes; runs to EOF if unterminated.
+fn lex_string_body(cur: &mut Cursor<'_>) {
+    cur.bump(); // "
+    while let Some(b) = cur.peek(0) {
+        if b == b'\\' {
+            cur.bump();
+            if !cur.at_end() {
+                cur.bump();
+            }
+            continue;
+        }
+        cur.bump();
+        if b == b'"' {
+            break;
+        }
+    }
+}
+
+/// Consumes `#…#"…"#…#` with `hashes` leading hashes; the cursor sits on the
+/// first `#` (or the `"` when `hashes == 0`).
+fn lex_raw_string_body(cur: &mut Cursor<'_>, hashes: usize) {
+    cur.bump_n(hashes); // leading hashes
+    cur.bump(); // opening quote
+    while let Some(b) = cur.peek(0) {
+        if b == b'"' {
+            let mut ok = true;
+            for i in 0..hashes {
+                if cur.peek(1 + i) != Some(b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                cur.bump_n(1 + hashes);
+                return;
+            }
+        }
+        cur.bump();
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    let radix_prefixed =
+        cur.peek(0) == Some(b'0') && matches!(cur.peek(1), Some(b'x' | b'o' | b'b' | b'X'));
+    // Integer part (covers 0x/0o/0b digits and `_` separators).
+    while cur
+        .peek(0)
+        .map(|b| b.is_ascii_alphanumeric() || b == b'_')
+        .unwrap_or(false)
+    {
+        cur.bump();
+    }
+    // Fractional part only when `.` is followed by a digit (so `0..n` and
+    // `1.max(2)` lex the dot separately).
+    if cur.peek(0) == Some(b'.') && cur.peek(1).map(|b| b.is_ascii_digit()).unwrap_or(false) {
+        cur.bump();
+        while cur
+            .peek(0)
+            .map(|b| b.is_ascii_alphanumeric() || b == b'_')
+            .unwrap_or(false)
+        {
+            cur.bump();
+        }
+    }
+    // Exponent sign: `1e-3` — the `e` was consumed above, pick up `-3`/`+3`.
+    // Radix-prefixed literals (`0xE`) never have signed exponents.
+    if !radix_prefixed
+        && matches!(cur.bytes.get(cur.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+        && matches!(cur.peek(0), Some(b'+' | b'-'))
+        && cur.peek(1).map(|b| b.is_ascii_digit()).unwrap_or(false)
+    {
+        cur.bump();
+        while cur.peek(0).map(|b| b.is_ascii_digit()).unwrap_or(false) {
+            cur.bump();
+        }
+    }
+    TokenKind::NumLit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_numbers() {
+        let ks = kinds("fn foo_1(x: u64) -> f64 { 1.5e-3 + 0xFF_u32 }");
+        let idents: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(idents, ["fn", "foo_1", "x", "u64", "f64"]);
+        let nums: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::NumLit)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(nums, ["1.5e-3", "0xFF_u32"]);
+    }
+
+    #[test]
+    fn arrow_is_not_minus() {
+        let ks = kinds("a -> b - c");
+        let puncts: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(puncts, ["->", "-"]);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let ks = kinds("&'a str; 'x'; '\\n'; 'static");
+        assert!(ks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(ks.contains(&(TokenKind::CharLit, "'x'".into())));
+        assert!(ks.contains(&(TokenKind::CharLit, "'\\n'".into())));
+        assert!(ks.contains(&(TokenKind::Lifetime, "'static".into())));
+    }
+
+    #[test]
+    fn string_flavours() {
+        let src = r####"let a = "pl\"ain"; let b = r"raw"; let c = r#"ra"w"#; let d = b"bytes"; let e = br##"x"##; let f = b'q';"####;
+        let ks = kinds(src);
+        assert!(ks.contains(&(TokenKind::StrLit, "\"pl\\\"ain\"".into())));
+        assert!(ks.contains(&(TokenKind::RawStrLit, "r\"raw\"".into())));
+        assert!(ks.contains(&(TokenKind::RawStrLit, "r#\"ra\"w\"#".into())));
+        assert!(ks.contains(&(TokenKind::ByteStrLit, "b\"bytes\"".into())));
+        assert!(ks.contains(&(TokenKind::ByteStrLit, "br##\"x\"##".into())));
+        assert!(ks.contains(&(TokenKind::ByteCharLit, "b'q'".into())));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let ks = kinds("let r#fn = 3;");
+        assert!(ks.contains(&(TokenKind::Ident, "r#fn".into())));
+    }
+
+    #[test]
+    fn comments_nested_and_line() {
+        let src = "code /* outer /* inner */ still */ more // tail\nnext";
+        let ks = kinds(src);
+        assert!(ks.contains(&(
+            TokenKind::BlockComment,
+            "/* outer /* inner */ still */".into()
+        )));
+        assert!(ks.contains(&(TokenKind::LineComment, "// tail".into())));
+        assert!(ks.contains(&(TokenKind::Ident, "next".into())));
+    }
+
+    #[test]
+    fn tokens_inside_strings_are_not_code() {
+        let ks = kinds(r#"let s = "seed + 1 // not a comment unwrap()";"#);
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokenKind::StrLit).count(),
+            1
+        );
+        assert!(!ks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "unwrap"));
+        assert!(!ks.iter().any(|(k, _)| *k == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn positions_are_one_based_and_accurate() {
+        let src = "ab\n  cd";
+        let ts = lex(src);
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn totality_on_garbage() {
+        // Unterminated constructs and stray bytes must still lex.
+        for src in ["\"unterminated", "/* open", "'", "r#\"open", "€ λ", "b'"] {
+            let ts = lex(src);
+            assert!(!ts.is_empty(), "no tokens for {src:?}");
+            assert_eq!(ts.last().map(|t| t.end), Some(src.len()));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Fixture: determinism rule.
+//! Analyzed as `crates/core/src/fixture.rs` with the workspace config
+//! (`core` is a hash-container crate; this path is not timing-allowed).
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Hash containers in report-producing code: iteration order leaks.
+pub fn tally(xs: &[u32]) -> usize {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let distinct: HashSet<u32> = xs.iter().copied().collect();
+    counts.len() + distinct.len()
+}
+
+/// Wall-clock reads outside the timing harness.
+pub fn timed() -> u64 {
+    let t0 = Instant::now();
+    let wall = std::time::SystemTime::now();
+    let _ = wall;
+    t0.elapsed().as_nanos() as u64
+}
+
+/// An OS-seeded RNG is non-reproducible anywhere in the workspace.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+/// Negative space: BTreeMap and deterministic RNG construction are the
+/// sanctioned alternatives.
+pub fn fine(xs: &[u32]) -> usize {
+    let counts: std::collections::BTreeMap<u32, usize> =
+        xs.iter().map(|&x| (x, 1)).collect();
+    counts.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn tests_may_use_hash_sets() {
+        let s: HashSet<u32> = [1, 2].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

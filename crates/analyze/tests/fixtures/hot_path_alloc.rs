@@ -1,0 +1,59 @@
+//! Fixture: hot-path-alloc rule.
+//! Analyzed as `crates/graph/src/neighborhood.rs` — a configured
+//! allocation-free hot-path module.
+
+/// A scratch structure: constructors may allocate.
+pub struct Scratch {
+    marks: Vec<u32>,
+    stack: Vec<u32>,
+}
+
+impl Scratch {
+    /// Constructor: allocation is the whole point here.
+    pub fn new(n: usize) -> Scratch {
+        Scratch {
+            marks: Vec::with_capacity(n),
+            stack: vec![0; n],
+        }
+    }
+
+    /// Prefixed constructors are exempt too.
+    pub fn with_capacity(n: usize) -> Scratch {
+        Scratch {
+            marks: Vec::new(),
+            stack: Vec::with_capacity(n),
+        }
+    }
+
+    /// The hot kernel: every allocation token is a violation.
+    pub fn step(&mut self, xs: &[u32]) -> usize {
+        let copied = xs.to_vec();
+        let doubled: Vec<u32> = xs.iter().map(|&x| x * 2).collect();
+        let boxed = Box::new(xs.len());
+        let local = vec![1u32, 2, 3];
+        let owned = self.marks.clone();
+        let s = format!("{}", xs.len());
+        copied.len() + doubled.len() + *boxed + local.len() + owned.len() + s.len()
+    }
+
+    /// Negative space: reuse-only code is what the rule protects.
+    pub fn step_clean(&mut self, xs: &[u32]) -> usize {
+        self.stack.clear();
+        for &x in xs {
+            self.stack.push(x);
+        }
+        self.stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_allocate() {
+        let v = vec![1u32, 2, 3];
+        let mut s = Scratch::new(4);
+        assert_eq!(s.step_clean(&v), 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: hygiene rule.
+//! Analyzed as `crates/expansion/src/fixture.rs` (library code; not a
+//! bin target and not in the hygiene allow-list).
+
+/// Debug output left in library code.
+pub fn noisy(x: u32) -> u32 {
+    println!("x = {x}");
+    eprintln!("still here");
+    print!("no newline");
+    eprint!("also this");
+    let y = dbg!(x + 1);
+    y
+}
+
+/// Negative space: building strings (even with `format!`) is fine; the
+/// rule only targets writes to the process's stdio.
+pub fn fine(x: u32) -> String {
+    format!("x = {x}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("debugging a test is fine");
+    }
+}

@@ -1,0 +1,35 @@
+//! Fixture: panic-freedom rule.
+//! Analyzed as `crates/lab/src/fixture.rs` (lab is a panic-free crate).
+
+/// Every panicking form in non-test library code must be caught.
+pub fn panicky(x: Option<u32>, y: Result<u32, String>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("must be ok");
+    if a > b {
+        panic!("a exceeded b");
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        2 => unimplemented!(),
+        _ => a + b,
+    }
+}
+
+/// Negative space: error propagation and idents that merely contain the
+/// words (`unwrap_or`, a field named `expect`) stay clean.
+pub fn fine(x: Option<u32>) -> Result<u32, String> {
+    let a = x.unwrap_or(3);
+    let b = x.unwrap_or_else(|| 4);
+    let c = x.unwrap_or_default();
+    Ok(a + b + c)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

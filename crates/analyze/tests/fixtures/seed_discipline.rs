@@ -1,0 +1,41 @@
+//! Fixture: seed-discipline rule.
+//! Analyzed as `crates/graph/src/fixture.rs` with the workspace config.
+
+/// The one blessed derivation site: arithmetic on seeds is fine here.
+pub fn derive_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^ (z >> 31)
+}
+
+/// Ad-hoc seed arithmetic: every operator form must be caught.
+pub fn bad_derivations(seed: u64, trial: u64) -> Vec<u64> {
+    let a = seed + 1;
+    let b = seed * 31 + trial;
+    let c = seed ^ trial;
+    let d = base_seed(trial) - 7;
+    let mut run_seed = seed;
+    run_seed += trial;
+    let e = seed.wrapping_add(trial);
+    vec![a, b, c, d, run_seed, e]
+}
+
+fn base_seed(x: u64) -> u64 {
+    x
+}
+
+/// Negative space: passing a seed through, comparing it, or using it as
+/// a struct field is not arithmetic and must stay clean.
+pub fn fine(seed: u64, other: u64) -> bool {
+    let reseeded = derive_seed(seed, 3);
+    reseeded == other && seed != 0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_do_seed_math() {
+        let seed = 5u64;
+        let _ = seed + 1;
+    }
+}

@@ -1,0 +1,46 @@
+//! Fixture: `wx-allow` suppression semantics.
+//! Analyzed as `crates/core/src/fixture.rs` with the workspace config.
+
+use std::collections::HashSet;
+
+/// A trailing suppression targets its own line.
+pub fn trailing(xs: &[u32]) -> usize {
+    let s: HashSet<u32> = xs.iter().copied().collect(); // wx-allow(determinism): membership only, never iterated
+    s.len()
+}
+
+/// A standalone suppression targets the next code line (comments and
+/// blank lines in between do not consume it).
+pub fn standalone(xs: &[u32]) -> usize {
+    // wx-allow(determinism): membership only, never iterated
+    let s: HashSet<u32> = xs.iter().copied().collect();
+    s.len()
+}
+
+/// One directive may name several rules.
+pub fn multi(xs: &[u32], seed: u64) -> usize {
+    // wx-allow(determinism, seed-discipline): fixture exercising multi-rule directives
+    let s: HashSet<u64> = xs.iter().map(|&x| seed + x as u64).collect();
+    s.len()
+}
+
+/// A directive with no reason is itself a violation, and it does not
+/// suppress anything.
+pub fn missing_reason(xs: &[u32]) -> usize {
+    // wx-allow(determinism)
+    let s: HashSet<u32> = xs.iter().copied().collect();
+    s.len()
+}
+
+/// Unknown rule ids are rejected.
+pub fn unknown_rule(x: u32) -> u32 {
+    // wx-allow(made-up-rule): this rule does not exist
+    x + 1
+}
+
+/// A suppression over a clean line is stale and must be flagged so
+/// suppressions get cleaned up when the code they excused goes away.
+pub fn stale(x: u32) -> u32 {
+    // wx-allow(determinism): nothing on the next line needs this
+    x + 1
+}

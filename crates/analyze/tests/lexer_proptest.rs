@@ -1,0 +1,238 @@
+//! Property tests for the `wx-analyze` lexer.
+//!
+//! The lexer must be *total*: on any input string it terminates, never
+//! panics, and produces a token stream that tiles the source exactly
+//! (every byte is either inside a token span or is inter-token
+//! whitespace). These tests drive it with generated token soup — valid
+//! Rust fragments glued together in random order — and with arbitrary
+//! Unicode garbage, and check the tiling invariant plus the shapes of
+//! the trickier tokens (nested comments, raw strings, lifetimes).
+
+use proptest::prelude::*;
+use wx_analyze::lexer::{lex, TokenKind};
+
+/// Checks the fundamental tiling invariant: tokens are in order,
+/// non-overlapping, within bounds, on char boundaries, and the gaps
+/// between them are pure whitespace.
+fn assert_tiles(src: &str) -> Result<(), proptest::TestCaseError> {
+    let tokens = lex(src);
+    let mut pos = 0usize;
+    for t in &tokens {
+        prop_assert!(
+            t.start >= pos,
+            "token at {} starts before previous end {} in {src:?}",
+            t.start,
+            pos
+        );
+        prop_assert!(t.end > t.start, "empty token span in {src:?}");
+        prop_assert!(t.end <= src.len(), "token overruns source in {src:?}");
+        prop_assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "token span not on char boundaries in {src:?}"
+        );
+        let gap = &src[pos..t.start];
+        prop_assert!(
+            gap.chars().all(|c| c.is_whitespace()),
+            "non-whitespace gap {gap:?} in {src:?}"
+        );
+        pos = t.end;
+    }
+    let tail = &src[pos..];
+    prop_assert!(
+        tail.chars().all(|c| c.is_whitespace()),
+        "non-whitespace tail {tail:?} in {src:?}"
+    );
+    Ok(())
+}
+
+/// One valid Rust fragment per entropy word; index 0 picks the shape.
+fn fragment(word: u64) -> String {
+    let payload = word >> 8;
+    match word % 24 {
+        0 => format!("ident_{payload}"),
+        1 => "fn".to_string(),
+        2 => format!("{payload}"),
+        3 => format!("{:#x}", payload),
+        4 => format!("{payload}.5f64"),
+        5 => format!("\"str {payload}\""),
+        6 => format!("r\"raw {payload}\""),
+        7 => format!("r#\"hash \"quoted\" {payload}\"#"),
+        8 => "r##\"deep \"# still inside\"##".to_string(),
+        9 => "'a'".to_string(),
+        10 => "'\\n'".to_string(),
+        11 => "'\\u{1F600}'".to_string(),
+        12 => format!("'lifetime_{payload}"),
+        13 => "b'x'".to_string(),
+        14 => format!("b\"bytes {payload}\""),
+        15 => format!("// line comment {payload}\n"),
+        16 => format!("/* block {payload} */"),
+        17 => format!("/* outer /* nested {payload} */ tail */"),
+        18 => "::<>".to_string(),
+        19 => "+-*/%^&|".to_string(),
+        20 => "..=".to_string(),
+        21 => "r#match".to_string(),
+        22 => format!("\"escape \\\" {payload}\""),
+        23 => "'_".to_string(),
+        _ => unreachable!(),
+    }
+}
+
+/// Expected kind of the *first* token of each fragment shape.
+fn first_kind(word: u64) -> TokenKind {
+    match word % 24 {
+        0 | 1 | 21 => TokenKind::Ident,
+        2..=4 => TokenKind::NumLit,
+        5 | 22 => TokenKind::StrLit,
+        6..=8 => TokenKind::RawStrLit,
+        9..=11 => TokenKind::CharLit,
+        12 | 23 => TokenKind::Lifetime,
+        13 => TokenKind::ByteCharLit,
+        14 => TokenKind::ByteStrLit,
+        15 => TokenKind::LineComment,
+        16 | 17 => TokenKind::BlockComment,
+        18..=20 => TokenKind::Punct,
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Token soup built from valid fragments tiles exactly and each
+    /// fragment lexes to its expected leading token kind.
+    #[test]
+    fn token_soup_round_trips(words in prop::collection::vec(any::<u64>(), 0..40)) {
+        let src: String = words
+            .iter()
+            .map(|&w| fragment(w))
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert_tiles(&src)?;
+
+        // Each fragment, lexed alone, starts with the kind we expect.
+        for &w in &words {
+            let frag = fragment(w);
+            let toks = lex(&frag);
+            prop_assert!(!toks.is_empty(), "fragment {frag:?} lexed to nothing");
+            prop_assert_eq!(toks[0].kind, first_kind(w), "fragment {:?}", frag);
+        }
+    }
+
+    /// The lexer is total on arbitrary Unicode garbage: no panics and
+    /// the tiling invariant still holds (unknown bytes become tokens,
+    /// not holes).
+    #[test]
+    fn arbitrary_unicode_never_breaks_tiling(words in prop::collection::vec(any::<u32>(), 0..60)) {
+        let src: String = words
+            .iter()
+            .map(|&w| char::from_u32(w % 0x11_0000).unwrap_or('\u{FFFD}'))
+            .collect();
+        assert_tiles(&src)?;
+    }
+
+    /// Block comments nest to arbitrary depth and lex as one token.
+    #[test]
+    fn nested_block_comments_lex_as_one(depth in 1usize..12, filler in any::<u64>()) {
+        let mut src = String::new();
+        for _ in 0..depth {
+            src.push_str("/* ");
+        }
+        src.push_str(&format!("core {filler}"));
+        for _ in 0..depth {
+            src.push_str(" */");
+        }
+        let toks = lex(&src);
+        prop_assert_eq!(toks.len(), 1, "source {:?}", src);
+        prop_assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        prop_assert_eq!(toks[0].text(&src), src.as_str());
+    }
+
+    /// An unterminated block comment swallows the rest of the file as a
+    /// single comment token rather than erroring.
+    #[test]
+    fn unterminated_block_comment_is_total(tail in prop::collection::vec(any::<u64>(), 0..8)) {
+        let mut src = "/* open ".to_string();
+        for &w in &tail {
+            let frag = fragment(w);
+            // A tail fragment containing `*/` (or opening a nested
+            // comment) would change the comment structure on purpose —
+            // skip those; this test is about the unterminated case.
+            if frag.contains("*/") || frag.contains("/*") {
+                continue;
+            }
+            src.push_str(&frag);
+            src.push(' ');
+        }
+        let toks = lex(&src);
+        prop_assert_eq!(toks.len(), 1, "source {:?}", src);
+        prop_assert_eq!(toks[0].kind, TokenKind::BlockComment);
+    }
+
+    /// Raw strings with k hashes can contain quote-hash runs of length
+    /// < k without terminating early.
+    #[test]
+    fn raw_string_hash_counting(hashes in 1usize..6, payload in any::<u64>()) {
+        let h = "#".repeat(hashes);
+        let inner_h = "#".repeat(hashes - 1);
+        let src = format!("r{h}\"body \"{inner_h} more {payload}\"{h}");
+        let toks = lex(&src);
+        prop_assert_eq!(toks.len(), 1, "source {:?}", src);
+        prop_assert_eq!(toks[0].kind, TokenKind::RawStrLit);
+        prop_assert_eq!(toks[0].text(&src), src.as_str());
+    }
+
+    /// String literals absorb comment markers; comments absorb quotes.
+    /// Interleaving them never confuses the lexer about where each ends.
+    #[test]
+    fn strings_and_comments_do_not_bleed(payload in any::<u64>()) {
+        let src = format!("\"/* not a comment {payload} */\" /* \"not a string\" */ after");
+        let toks = lex(&src);
+        prop_assert_eq!(toks.len(), 3, "source {:?}", src);
+        prop_assert_eq!(toks[0].kind, TokenKind::StrLit);
+        prop_assert_eq!(toks[1].kind, TokenKind::BlockComment);
+        prop_assert_eq!(toks[2].kind, TokenKind::Ident);
+        prop_assert_eq!(toks[2].text(&src), "after");
+    }
+
+    /// Lifetimes vs char literals: `'a` followed by non-quote is a
+    /// lifetime; `'a'` is a char. Mixing them in one source stays sorted.
+    #[test]
+    fn lifetime_char_disambiguation(n in 1usize..10) {
+        let mut src = String::new();
+        for i in 0..n {
+            if i % 2 == 0 {
+                src.push_str("&'a T ");
+            } else {
+                src.push_str("'x' ");
+            }
+        }
+        let toks = lex(&src);
+        let lifetimes = toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::CharLit).count();
+        prop_assert_eq!(lifetimes, n.div_ceil(2));
+        prop_assert_eq!(chars, n / 2);
+    }
+
+    /// Line/column bookkeeping: every token's (line, col) agrees with a
+    /// direct scan of the prefix before it.
+    #[test]
+    fn line_col_agree_with_prefix_scan(words in prop::collection::vec(any::<u64>(), 0..20)) {
+        let src: String = words
+            .iter()
+            .map(|&w| fragment(w))
+            .collect::<Vec<_>>()
+            .join("\n");
+        for t in lex(&src) {
+            let prefix = &src[..t.start];
+            let line = prefix.bytes().filter(|&b| b == b'\n').count() + 1;
+            let col = prefix
+                .rsplit_once('\n')
+                .map_or(prefix, |(_, last)| last)
+                .chars()
+                .count()
+                + 1;
+            prop_assert_eq!(t.line as usize, line, "token at byte {} in {:?}", t.start, src);
+            prop_assert_eq!(t.col as usize, col, "token at byte {} in {:?}", t.start, src);
+        }
+    }
+}

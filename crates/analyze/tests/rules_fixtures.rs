@@ -1,0 +1,133 @@
+//! Golden-file tests: each fixture under `tests/fixtures/` is analyzed
+//! under a fixed synthetic workspace path and the rendered diagnostics
+//! must match the committed `.expected` file byte-for-byte.
+//!
+//! To regenerate the goldens after an intentional rule change:
+//!
+//! ```text
+//! WX_FIXTURE_BLESS=1 cargo test -p wx-analyze --test rules_fixtures
+//! ```
+//!
+//! then review the diff like any other code change.
+
+use wx_analyze::{analyze_source, Config};
+
+/// Runs one fixture and compares (or blesses) its golden file.
+fn check_fixture(name: &str, rel_path: &str, src: &str, expected: &str) {
+    let cfg = Config::workspace();
+    let diags = analyze_source(rel_path, src, &cfg);
+    let mut rendered = diags
+        .iter()
+        .map(|d| d.render())
+        .collect::<Vec<_>>()
+        .join("\n");
+    if !rendered.is_empty() {
+        rendered.push('\n');
+    }
+
+    if std::env::var_os("WX_FIXTURE_BLESS").is_some() {
+        let path = format!(
+            "{}/tests/fixtures/{name}.expected",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+
+    assert_eq!(
+        rendered, expected,
+        "fixture `{name}` diverged from its golden file; \
+         run with WX_FIXTURE_BLESS=1 and review the diff if intentional"
+    );
+}
+
+macro_rules! fixture_test {
+    ($test_name:ident, $fixture:literal, $rel_path:literal) => {
+        #[test]
+        fn $test_name() {
+            check_fixture(
+                $fixture,
+                $rel_path,
+                include_str!(concat!("fixtures/", $fixture, ".rs")),
+                include_str!(concat!("fixtures/", $fixture, ".expected")),
+            );
+        }
+    };
+}
+
+fixture_test!(
+    seed_discipline_fixture,
+    "seed_discipline",
+    "crates/graph/src/fixture.rs"
+);
+fixture_test!(
+    determinism_fixture,
+    "determinism",
+    "crates/core/src/fixture.rs"
+);
+fixture_test!(
+    panic_freedom_fixture,
+    "panic_freedom",
+    "crates/lab/src/fixture.rs"
+);
+fixture_test!(
+    hot_path_alloc_fixture,
+    "hot_path_alloc",
+    "crates/graph/src/neighborhood.rs"
+);
+fixture_test!(
+    hygiene_fixture,
+    "hygiene",
+    "crates/expansion/src/fixture.rs"
+);
+fixture_test!(
+    suppression_fixture,
+    "suppression",
+    "crates/core/src/fixture.rs"
+);
+
+/// Panic-freedom outside the strict crates still reports (the baseline
+/// ratchet, not the rule, is what tolerates those) — same fixture under
+/// a non-strict crate path must produce identical findings.
+#[test]
+fn panic_freedom_reports_in_ratcheted_crates_too() {
+    let src = include_str!("fixtures/panic_freedom.rs");
+    let cfg = Config::workspace();
+    let strict = analyze_source("crates/lab/src/fixture.rs", src, &cfg);
+    let ratcheted = analyze_source("crates/graph/src/fixture.rs", src, &cfg);
+    assert_eq!(strict.len(), ratcheted.len());
+    for (a, b) in strict.iter().zip(&ratcheted) {
+        assert_eq!(a.rule, b.rule);
+        assert_eq!((a.line, a.col), (b.line, b.col));
+    }
+}
+
+/// Files in bin targets are exempt from panic-freedom and hygiene but
+/// not from determinism.
+#[test]
+fn bin_targets_keep_determinism_but_drop_panic_and_hygiene() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+               \x20   println!(\"{x:?}\");\n\
+               \x20   let mut m = std::collections::HashMap::new();\n\
+               \x20   m.insert(1u32, 2u32);\n\
+               \x20   x.unwrap()\n\
+               }\n";
+    let cfg = Config::workspace();
+    let diags = analyze_source("crates/lab/src/bin/wx.rs", src, &cfg);
+    let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, vec!["determinism"]);
+}
+
+/// Test targets produce no diagnostics at all (and no unused-allow
+/// noise for suppressions they contain).
+#[test]
+fn test_targets_are_fully_exempt() {
+    let src = "// wx-allow(determinism): would be unused in lib code\n\
+               pub fn f() -> usize {\n\
+               \x20   let s: std::collections::HashSet<u32> = Default::default();\n\
+               \x20   s.len()\n\
+               }\n";
+    let cfg = Config::workspace();
+    let diags = analyze_source("crates/core/tests/fixture.rs", src, &cfg);
+    assert!(diags.is_empty(), "got: {diags:?}");
+}

@@ -44,6 +44,11 @@ pub fn random_regular_graph(n: usize, d: usize, seed: u64) -> Result<Graph> {
     // Switching repair: keep a set of the currently-present simple edges and
     // a list of defective pairings (self-loops or duplicates).
     let normalize = |(a, b): (usize, usize)| if a <= b { (a, b) } else { (b, a) };
+    // Determinism audit: `present` is queried only via insert/contains/remove
+    // (membership), never iterated, so hash order cannot reach the RNG draw
+    // sequence or the emitted edge list — the output graph is a pure function
+    // of `seed` via the `edges` Vec, whose order drives everything.
+    // wx-allow(determinism): membership-only HashSet; never iterated, order cannot escape
     let mut present: HashSet<(usize, usize)> = HashSet::new();
     let mut defective: Vec<usize> = Vec::new();
     for (i, &e) in edges.iter().enumerate() {

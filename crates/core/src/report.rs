@@ -91,6 +91,7 @@ pub fn render_table(title: &str, header: &[&str], rows: &[TableRow]) -> String {
 /// Serializes any serializable record collection to pretty JSON (used by the
 /// harnesses' `--json` output paths).
 pub fn to_json_pretty<T: Serialize>(records: &T) -> String {
+    // wx-allow(panic-freedom): report records are plain data; serialization cannot fail
     serde_json::to_string_pretty(records).expect("records serialize")
 }
 
@@ -125,6 +126,7 @@ impl AggregateStats {
         if finite.is_empty() {
             return None;
         }
+        // wx-allow(panic-freedom): the filter above guarantees finiteness, so partial_cmp is total here
         finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values are ordered"));
         let count = finite.len();
         let mean = finite.iter().sum::<f64>() / count as f64;
@@ -252,6 +254,7 @@ impl StatsAccumulator {
             return None;
         }
         let mut sorted = self.reservoir.clone();
+        // wx-allow(panic-freedom): push() drops non-finite samples, so the reservoir is all-finite
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are ordered"));
         let (median, p95) = quantiles_of_sorted(&sorted);
         Some(AggregateStats {

@@ -328,6 +328,7 @@ impl NeighborhoodScratch {
             .iter()
             .copied()
             .filter(|&u| keep(self.count[u]))
+            // wx-allow(hot-path-alloc): materializing variant allocates by contract; hot loops use the count_* kernels
             .collect();
         members.sort_unstable();
         VertexSet::from_sorted(universe, members)

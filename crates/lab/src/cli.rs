@@ -283,7 +283,11 @@ fn cmd_adhoc(command: &str, args: &[String]) -> Result<i32> {
                 max_rounds: flags.take_parsed("--max-rounds")?,
             }
         }
-        other => unreachable!("dispatch only routes known ad-hoc commands, got {other}"),
+        other => {
+            return Err(LabError::invalid(format!(
+                "unknown ad-hoc command `{other}` (expected measure|profile|spokesman|radio)"
+            )))
+        }
     };
     flags.finish_no_positionals()?;
 

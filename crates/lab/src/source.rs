@@ -243,11 +243,15 @@ impl GraphSource {
                 if set.is_empty() {
                     return Err(GraphError::invalid("induced subset must be non-empty"));
                 }
-                Ok(match built {
-                    BuiltGraph::Csr(base) => BuiltGraph::InducedCsr { base, set },
-                    BuiltGraph::Implicit(base) => BuiltGraph::InducedImplicit { base, set },
-                    _ => unreachable!("nested induced rejected above"),
-                })
+                match built {
+                    BuiltGraph::Csr(base) => Ok(BuiltGraph::InducedCsr { base, set }),
+                    BuiltGraph::Implicit(base) => Ok(BuiltGraph::InducedImplicit { base, set }),
+                    // Nested induced bases were rejected when `n` was taken
+                    // above; propagate rather than panic if that ever drifts.
+                    BuiltGraph::InducedCsr { .. } | BuiltGraph::InducedImplicit { .. } => Err(
+                        GraphError::invalid("induced sources cannot nest another induced source"),
+                    ),
+                }
             }
         }
     }
