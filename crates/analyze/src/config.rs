@@ -57,6 +57,7 @@ impl Config {
                 "crates/graph/src/neighborhood.rs",
                 "crates/radio/src/workspace.rs",
                 "crates/radio/src/protocols/",
+                "crates/radio/src/bitslice.rs",
             ]),
             hygiene_allowed: s(&["crates/lab/src/cli.rs"]),
             constructor_names: s(&["new", "default", "build", "empty"]),
@@ -136,6 +137,10 @@ mod tests {
         ));
         assert!(matches_any_prefix(
             "crates/radio/src/protocols/decay.rs",
+            &cfg.hot_path_modules
+        ));
+        assert!(matches_any_prefix(
+            "crates/radio/src/bitslice.rs",
             &cfg.hot_path_modules
         ));
         assert!(!matches_any_prefix(

@@ -16,11 +16,14 @@
 //! machine-readable perf trajectory the criterion shim started.
 
 use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
-use wx_core::graph::Result as GraphResult;
+use wx_core::graph::random::WxRng;
+use wx_core::graph::{GraphView, Result as GraphResult, Vertex, VertexSet};
 use wx_core::radio::protocols::ProtocolKind;
-use wx_core::radio::trials::map_trials;
-use wx_core::radio::{RadioSimulator, SimulatorConfig};
+use wx_core::radio::trials::{map_trials, map_trials_lanes};
+use wx_core::radio::{BroadcastProtocol, RadioSimulator, RoundView, SimulatorConfig};
 use wx_core::report::{fmt_f64, render_table, to_json_pretty, TableRow};
 
 /// Configuration of one throughput race.
@@ -39,6 +42,13 @@ pub struct ThroughputConfig {
     pub max_rounds: usize,
     /// Protocols racing on the instance.
     pub protocols: Vec<ProtocolKind>,
+    /// Lane widths for the bit-sliced engine sweep. Each randomized protocol
+    /// additionally races once per width through
+    /// [`wx_core::radio::bitslice`], simulating that many trials per `u64`
+    /// word; empty disables the sweep. Deterministic protocols run one trial
+    /// total, so word-parallelism has nothing to amortize and they are
+    /// excluded.
+    pub lanes: Vec<usize>,
 }
 
 impl ThroughputConfig {
@@ -52,6 +62,7 @@ impl ThroughputConfig {
             seed: 0xBE,
             max_rounds: 10_000,
             protocols: vec![ProtocolKind::Decay, ProtocolKind::Spokesman],
+            lanes: vec![1, 8, 32, 64],
         }
     }
 
@@ -64,6 +75,7 @@ impl ThroughputConfig {
             seed: 0xBE,
             max_rounds: 10_000,
             protocols: vec![ProtocolKind::Decay, ProtocolKind::Spokesman],
+            lanes: vec![64],
         }
     }
 }
@@ -77,6 +89,13 @@ pub struct ProtocolThroughput {
     pub label: String,
     /// Protocol name.
     pub protocol: String,
+    /// Which trial engine produced the record: `"scalar"` (one trial at a
+    /// time through `run_in`) or `"bitsliced"` (word-parallel lanes through
+    /// [`wx_core::radio::bitslice`]).
+    pub engine: String,
+    /// Trials simulated per machine word — 1 for the scalar engine, the
+    /// swept width for the bit-sliced engine.
+    pub lanes: usize,
     /// Trials executed (1 for non-randomized protocols).
     pub trials: usize,
     /// Trials that completed the broadcast within the round cap.
@@ -87,6 +106,16 @@ pub struct ProtocolThroughput {
     pub total_rounds: usize,
     /// Wall-clock time for the whole ensemble.
     pub elapsed_seconds: f64,
+    /// Wall-clock time the protocol itself spent choosing transmitters
+    /// (`reset` plus every per-round `transmitters_into`) — for centralized
+    /// protocols (spokesman) this is dominated by the per-round schedule
+    /// *solver*, which earlier report versions conflated with simulation
+    /// throughput. Scalar records only; `None` for the bit-sliced engine.
+    pub solve_seconds: Option<f64>,
+    /// `elapsed_seconds` minus `solve_seconds`: the time spent in the
+    /// simulator proper (collision resolution, bookkeeping). Scalar records
+    /// only.
+    pub simulate_seconds: Option<f64>,
     /// Trials per second of wall-clock time.
     pub trials_per_sec: f64,
     /// Simulated rounds per second of wall-clock time.
@@ -129,10 +158,13 @@ impl ThroughputReport {
                 TableRow::new(
                     r.protocol.clone(),
                     vec![
+                        r.engine.clone(),
+                        r.lanes.to_string(),
                         r.trials.to_string(),
                         r.completed.to_string(),
                         r.mean_rounds.map(fmt_f64).unwrap_or_else(|| "-".into()),
                         fmt_f64(r.elapsed_seconds),
+                        r.solve_seconds.map(fmt_f64).unwrap_or_else(|| "-".into()),
                         fmt_f64(r.trials_per_sec),
                         fmt_f64(r.rounds_per_sec),
                     ],
@@ -146,10 +178,13 @@ impl ThroughputReport {
             ),
             &[
                 "protocol",
+                "engine",
+                "lanes",
                 "trials",
                 "completed",
                 "mean_rounds",
                 "elapsed_s",
+                "solve_s",
                 "trials/s",
                 "rounds/s",
             ],
@@ -158,8 +193,81 @@ impl ThroughputReport {
     }
 }
 
+/// Wraps a protocol and accumulates the wall-clock time spent inside the
+/// protocol's own calls — `reset` plus every per-round `transmitters_into`,
+/// where centralized protocols (spokesman) run their schedule solver — so
+/// the report can split `elapsed_seconds` into protocol *solve* time vs
+/// simulator time instead of conflating them into one throughput number.
+/// The counter is an atomic nanosecond tally shared across rayon workers.
+struct TimedProtocol<P> {
+    inner: P,
+    solve_nanos: Arc<AtomicU64>,
+}
+
+impl<G: GraphView + ?Sized, P: BroadcastProtocol<G>> BroadcastProtocol<G> for TimedProtocol<P> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn reset(&mut self, graph: &G, source: Vertex) {
+        let start = Instant::now();
+        self.inner.reset(graph, source);
+        self.solve_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn transmitters_into(&mut self, view: &RoundView<'_, G>, rng: &mut WxRng, out: &mut VertexSet) {
+        let start = Instant::now();
+        self.inner.transmitters_into(view, rng, out);
+        self.solve_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// One `(completed_at, rounds_simulated)` summary per trial — the
+/// constant-size reduction both engines produce.
+type TrialSummary = (Option<usize>, usize);
+
+/// Assembles a [`ProtocolThroughput`] record from an ensemble's summaries
+/// and its wall-clock time (shared by the scalar and bit-sliced paths).
+#[allow(clippy::too_many_arguments)]
+fn record_from_summaries(
+    label: String,
+    kind: ProtocolKind,
+    engine: &str,
+    lanes: usize,
+    summaries: &[TrialSummary],
+    elapsed_seconds: f64,
+    solve_seconds: Option<f64>,
+) -> ProtocolThroughput {
+    let trials = summaries.len();
+    let completed = summaries.iter().filter(|(c, _)| c.is_some()).count();
+    let total_rounds: usize = summaries.iter().map(|(_, r)| r).sum();
+    let mean_rounds = (completed > 0)
+        .then(|| summaries.iter().filter_map(|(c, _)| *c).sum::<usize>() as f64 / completed as f64);
+    ProtocolThroughput {
+        label,
+        protocol: kind.name().to_string(),
+        engine: engine.to_string(),
+        lanes,
+        trials,
+        completed,
+        mean_rounds,
+        total_rounds,
+        elapsed_seconds,
+        solve_seconds,
+        simulate_seconds: solve_seconds.map(|s| (elapsed_seconds - s).max(0.0)),
+        trials_per_sec: trials as f64 / elapsed_seconds,
+        rounds_per_sec: total_rounds as f64 / elapsed_seconds,
+    }
+}
+
 /// Runs the configured race: builds the shared instance once, then drives
 /// each protocol through the streaming trial engine and times the ensemble.
+/// Randomized protocols additionally race once per configured lane width
+/// through the bit-sliced engine (labels
+/// `radio_throughput/<protocol>/lanes<L>/<n>`, at least `L` trials so a
+/// full word is exercised).
 pub fn run(config: &ThroughputConfig) -> GraphResult<ThroughputReport> {
     let setup_start = Instant::now();
     let graph =
@@ -174,42 +282,68 @@ pub fn run(config: &ThroughputConfig) -> GraphResult<ThroughputReport> {
     );
     let setup_seconds = setup_start.elapsed().as_secs_f64();
 
-    let records = config
-        .protocols
-        .iter()
-        .map(|&kind| {
-            let trials = if kind.randomized() {
-                config.trials.max(1)
-            } else {
-                1
-            };
+    let mut records = Vec::new();
+    for &kind in &config.protocols {
+        let trials = if kind.randomized() {
+            config.trials.max(1)
+        } else {
+            1
+        };
+        let solve_nanos = Arc::new(AtomicU64::new(0));
+        let start = Instant::now();
+        let summaries = map_trials(
+            &sim,
+            trials,
+            config.seed,
+            || TimedProtocol {
+                inner: kind.build(),
+                solve_nanos: Arc::clone(&solve_nanos),
+            },
+            |_, outcome, _| (outcome.completed_at, outcome.rounds_simulated),
+        );
+        let elapsed_seconds = start.elapsed().as_secs_f64().max(f64::EPSILON);
+        let solve_seconds = solve_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        records.push(record_from_summaries(
+            format!("radio_throughput/{}/{}", kind.name(), config.n),
+            kind,
+            "scalar",
+            1,
+            &summaries,
+            elapsed_seconds,
+            Some(solve_seconds),
+        ));
+
+        if !kind.randomized() {
+            continue;
+        }
+        for &width in &config.lanes {
+            let lane_trials = trials.max(width);
             let start = Instant::now();
-            let summaries = map_trials(
+            let summaries = map_trials_lanes(
                 &sim,
-                trials,
+                lane_trials,
                 config.seed,
-                || kind.build(),
+                width,
+                || kind.build_lanes(),
                 |_, outcome, _| (outcome.completed_at, outcome.rounds_simulated),
             );
             let elapsed_seconds = start.elapsed().as_secs_f64().max(f64::EPSILON);
-            let completed = summaries.iter().filter(|(c, _)| c.is_some()).count();
-            let total_rounds: usize = summaries.iter().map(|(_, r)| r).sum();
-            let mean_rounds = (completed > 0).then(|| {
-                summaries.iter().filter_map(|(c, _)| *c).sum::<usize>() as f64 / completed as f64
-            });
-            ProtocolThroughput {
-                label: format!("radio_throughput/{}/{}", kind.name(), config.n),
-                protocol: kind.name().to_string(),
-                trials,
-                completed,
-                mean_rounds,
-                total_rounds,
+            records.push(record_from_summaries(
+                format!(
+                    "radio_throughput/{}/lanes{}/{}",
+                    kind.name(),
+                    width,
+                    config.n
+                ),
+                kind,
+                "bitsliced",
+                width,
+                &summaries,
                 elapsed_seconds,
-                trials_per_sec: trials as f64 / elapsed_seconds,
-                rounds_per_sec: total_rounds as f64 / elapsed_seconds,
-            }
-        })
-        .collect();
+                None,
+            ));
+        }
+    }
 
     Ok(ThroughputReport {
         bench: "radio_throughput".to_string(),
@@ -236,27 +370,73 @@ mod tests {
         };
         let report = run(&config).unwrap();
         assert_eq!(report.bench, "radio_throughput");
-        assert_eq!(report.records.len(), 2);
+        // decay scalar + decay lanes-64 + spokesman scalar
+        assert_eq!(report.records.len(), 3);
         let decay = &report.records[0];
         assert_eq!(decay.protocol, "decay");
+        assert_eq!(decay.engine, "scalar");
+        assert_eq!(decay.lanes, 1);
         assert_eq!(decay.trials, 3);
         assert_eq!(decay.completed, 3, "decay failed on a 4-regular expander");
         assert!(decay.trials_per_sec > 0.0);
         assert!(decay.rounds_per_sec > 0.0);
         assert!(decay.mean_rounds.unwrap() >= 1.0);
-        // the spokesman schedule is deterministic: one trial suffices
-        let spokesman = &report.records[1];
+        // the bit-sliced sweep runs at least one full word of trials and
+        // must agree with the scalar engine on the mean completion round
+        // over its (superset of) trials
+        let sliced = &report.records[1];
+        assert_eq!(sliced.protocol, "decay");
+        assert_eq!(sliced.engine, "bitsliced");
+        assert_eq!(sliced.lanes, 64);
+        assert_eq!(sliced.trials, 64);
+        assert_eq!(sliced.completed, 64);
+        assert_eq!(sliced.label, "radio_throughput/decay/lanes64/256");
+        assert!(sliced.solve_seconds.is_none());
+        // the spokesman schedule is deterministic: one trial suffices, and
+        // the solve/simulate split accounts for the whole elapsed time
+        let spokesman = &report.records[2];
         assert_eq!(spokesman.trials, 1);
         assert_eq!(spokesman.completed, 1);
+        assert_eq!(spokesman.engine, "scalar");
+        let solve = spokesman.solve_seconds.unwrap();
+        let simulate = spokesman.simulate_seconds.unwrap();
+        // the per-round schedule solver always costs measurable time
+        assert!(solve > 0.0 && simulate >= 0.0);
+        assert!(solve + simulate <= spokesman.elapsed_seconds + 1e-9);
         // the JSON form is a single top-level object with the records inline
         let json = report.to_json();
         assert!(json.trim_start().starts_with('{'));
         assert!(json.contains("\"radio_throughput/decay/256\""));
+        assert!(json.contains("\"radio_throughput/decay/lanes64/256\""));
         assert!(json.contains("\"trials_per_sec\""));
-        // and the table lists every protocol
+        assert!(json.contains("\"solve_seconds\""));
+        // and the table lists every protocol and engine
         let table = report.summary_table();
         assert!(table.contains("decay"));
         assert!(table.contains("spokesman"));
+        assert!(table.contains("bitsliced"));
+    }
+
+    #[test]
+    fn scalar_and_bitsliced_records_agree_on_shared_trials() {
+        // Same seed, same trial count: the per-trial summaries behind both
+        // engines' records are bit-exact, so the aggregate round statistics
+        // must coincide exactly.
+        let config = ThroughputConfig {
+            n: 256,
+            d: 4,
+            trials: 16,
+            protocols: vec![ProtocolKind::Decay],
+            lanes: vec![16],
+            ..ThroughputConfig::smoke()
+        };
+        let report = run(&config).unwrap();
+        assert_eq!(report.records.len(), 2);
+        let (scalar, sliced) = (&report.records[0], &report.records[1]);
+        assert_eq!(scalar.trials, sliced.trials);
+        assert_eq!(scalar.completed, sliced.completed);
+        assert_eq!(scalar.mean_rounds, sliced.mean_rounds);
+        assert_eq!(scalar.total_rounds, sliced.total_rounds);
     }
 
     #[test]

@@ -190,6 +190,36 @@ impl VertexSet {
         self.members.clone()
     }
 
+    /// Returns the underlying bitset words. Bit `v % 64` of word `v / 64` is
+    /// set iff vertex `v` is a member; bits at positions `>= universe` in the
+    /// final word are always zero. This is the zero-copy entry point for
+    /// word-parallel kernels (e.g. the bit-sliced radio engine) that combine
+    /// sets with AND/OR/XOR instead of per-vertex loops.
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The number of members, recomputed by popcount over the words.
+    ///
+    /// Always equals [`VertexSet::len`]; exists so word-level callers can
+    /// cross-check a bulk update (and as the natural popcount spelling next
+    /// to [`VertexSet::as_words`]).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Grants mutable word-level access to the bitset via a guard.
+    ///
+    /// The guard dereferences to `&mut [u64]`; callers may rewrite whole
+    /// words (bulk union from a lane mask, scatter from a kernel, …). When
+    /// the guard drops it restores the set's invariants: bits beyond
+    /// `universe` in the final word are masked off and the sorted member
+    /// list is rebuilt from the words in O(universe / 64 + |S|).
+    pub fn as_words_mut(&mut self) -> WordsMut<'_> {
+        WordsMut { set: self }
+    }
+
     /// Set union (both operands must share the same universe).
     pub fn union(&self, other: &VertexSet) -> VertexSet {
         assert_eq!(self.universe, other.universe, "universe mismatch");
@@ -270,6 +300,48 @@ impl VertexSet {
                 f(s)
             }
         });
+    }
+}
+
+/// Mutable word-level view of a [`VertexSet`], returned by
+/// [`VertexSet::as_words_mut`].
+///
+/// On drop, tail bits beyond the universe are cleared and the member list is
+/// rebuilt from the (possibly rewritten) words.
+pub struct WordsMut<'a> {
+    set: &'a mut VertexSet,
+}
+
+impl std::ops::Deref for WordsMut<'_> {
+    type Target = [u64];
+    fn deref(&self) -> &[u64] {
+        &self.set.words
+    }
+}
+
+impl std::ops::DerefMut for WordsMut<'_> {
+    fn deref_mut(&mut self) -> &mut [u64] {
+        &mut self.set.words
+    }
+}
+
+impl Drop for WordsMut<'_> {
+    fn drop(&mut self) {
+        let tail = self.set.universe % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.set.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        self.set.members.clear();
+        for (wi, &w) in self.set.words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                self.set.members.push(wi * WORD_BITS + b);
+                bits &= bits - 1;
+            }
+        }
     }
 }
 
@@ -455,5 +527,49 @@ mod tests {
     fn from_iter_ignores_duplicates() {
         let s = VertexSet::from_iter(8, [3, 3, 3, 4]);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn as_words_exposes_the_bitset() {
+        let s = VertexSet::from_iter(130, [0, 63, 64, 129]);
+        let words = s.as_words();
+        assert_eq!(words.len(), 3);
+        assert_eq!(words[0], 1 | (1u64 << 63));
+        assert_eq!(words[1], 1);
+        assert_eq!(words[2], 1u64 << 1);
+    }
+
+    #[test]
+    fn count_ones_matches_len() {
+        for n in [0usize, 1, 64, 65, 200] {
+            let s = VertexSet::from_iter(n.max(1), (0..n.max(1)).step_by(3));
+            assert_eq!(s.count_ones(), s.len(), "universe {n}");
+        }
+    }
+
+    #[test]
+    fn as_words_mut_rebuilds_members() {
+        let mut s = VertexSet::from_iter(100, [1, 2, 3]);
+        {
+            let mut words = s.as_words_mut();
+            words[0] = 1u64 << 40;
+            words[1] = 1u64 << 5; // vertex 69
+        }
+        assert_eq!(s.to_vec(), vec![40, 69]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(40));
+        assert!(!s.contains(1));
+        assert_eq!(s.count_ones(), 2);
+    }
+
+    #[test]
+    fn as_words_mut_masks_tail_bits() {
+        let mut s = VertexSet::empty(70);
+        {
+            let mut words = s.as_words_mut();
+            words[1] = !0u64; // bits 64..128, only 64..70 are in-universe
+        }
+        assert_eq!(s.to_vec(), vec![64, 65, 66, 67, 68, 69]);
+        assert_eq!(s.as_words()[1], (1u64 << 6) - 1);
     }
 }

@@ -10,7 +10,8 @@
 //!              [--max-rounds N] [...]
 //! wx sweep     (--all | NAME...) [--quick] [--seed N] [--out PATH]
 //! wx bench     [--smoke] [--n N] [--d D] [--trials N] [--seed N]
-//!              [--max-rounds N] [--protocols a,b] [--out PATH]
+//!              [--max-rounds N] [--protocols a,b] [--lanes 1,8,64]
+//!              [--out PATH]
 //! wx list
 //! wx validate <report.json>
 //! ```
@@ -86,7 +87,8 @@ USAGE:
                [--max-rounds N] [...]
   wx sweep     (--all | NAME...) [--quick] [--seed N] [--out PATH]
   wx bench     [--smoke] [--n N] [--d D] [--trials N] [--seed N]
-               [--max-rounds N] [--protocols a,b] [--out PATH]
+               [--max-rounds N] [--protocols a,b] [--lanes 1,8,64]
+               [--out PATH]
   wx list
   wx validate <report.json>
 
@@ -391,6 +393,24 @@ fn cmd_bench(args: &[String]) -> Result<i32> {
             })
             .collect::<Result<Vec<_>>>()?;
     }
+    if let Some(raw) = flags.take_value("--lanes")? {
+        config.lanes = raw
+            .split(',')
+            .map(|s| {
+                let width: usize = s
+                    .trim()
+                    .parse()
+                    .map_err(|_| LabError::invalid(format!("invalid lane width `{s}`")))?;
+                if width == 0 || width > wx_core::radio::MAX_LANES {
+                    return Err(LabError::invalid(format!(
+                        "lane width {width} outside 1..={}",
+                        wx_core::radio::MAX_LANES
+                    )));
+                }
+                Ok(width)
+            })
+            .collect::<Result<Vec<_>>>()?;
+    }
     let out = flags
         .take_value("--out")?
         .unwrap_or_else(|| BENCH_DEFAULT_OUT.to_string());
@@ -689,10 +709,17 @@ mod tests {
             "4",
             "--trials",
             "2",
+            "--lanes",
+            "8,64",
             "--out",
             out.to_str().unwrap(),
         ]));
         assert_eq!(code, 0);
+        // the lane sweep's records are present in the written report
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"radio_throughput/decay/lanes8/256\""));
+        assert!(json.contains("\"radio_throughput/decay/lanes64/256\""));
+        assert!(json.contains("\"bitsliced\""));
         assert_eq!(
             main_with_args(&strs(&["validate", out.to_str().unwrap()])),
             0
@@ -705,6 +732,10 @@ mod tests {
             main_with_args(&strs(&["bench", "--protocols", "carrier-pigeon"])),
             2
         );
+        // lane widths outside 1..=64 (and non-numeric ones) are refused
+        assert_eq!(main_with_args(&strs(&["bench", "--lanes", "0"])), 2);
+        assert_eq!(main_with_args(&strs(&["bench", "--lanes", "65"])), 2);
+        assert_eq!(main_with_args(&strs(&["bench", "--lanes", "wide"])), 2);
     }
 
     #[test]

@@ -30,7 +30,10 @@ use wx_core::expansion::engine::{MeasurementEngine, Wireless};
 use wx_core::graph::random::{derive_seed, random_subset_of_size, rng_from_seed};
 use wx_core::graph::scratch::with_thread_scratch;
 use wx_core::graph::{BipartiteGraph, GraphView, SubgraphView};
-use wx_core::radio::{with_thread_workspace, RadioSimulator, SimulatorConfig};
+use wx_core::radio::{
+    run_lanes_in, with_thread_lane_workspace, with_thread_workspace, LaneWorkspace, RadioSimulator,
+    SimulatorConfig, MAX_LANES,
+};
 use wx_core::report::{
     fmt_f64, render_table, to_json_pretty, AggregateStats, StatsAccumulator, TableRow,
 };
@@ -244,6 +247,68 @@ impl Runner {
             _ => None,
         };
 
+        // The bit-sliced lane fast path: when the graph is shared across
+        // trials, radio ensembles run through the word-parallel engine in
+        // `wx_core::radio::bitslice` — batches of up to 64 trials simulate
+        // simultaneously as bit-lanes of one `u64` word per vertex, with
+        // per-lane RNG streams keeping every trial bit-exact against the
+        // scalar `run_in` it replaces (deterministic protocols compute one
+        // scalar transmitter mask per round and broadcast it to every lane).
+        // Reports are byte-identical to the per-trial scalar path's.
+        if let (
+            Some(bg),
+            Task::Radio {
+                protocol,
+                source_vertex,
+                max_rounds,
+            },
+            Some(reachable),
+        ) = (&shared, &spec.task, radio_reachable)
+        {
+            let source = source_vertex.unwrap_or(0);
+            return with_graph_view!(bg, g => {
+                // always `Some` when the graph is shared; the recompute arm
+                // only exists to keep this path panic-free
+                let meta = shared_meta.unwrap_or_else(|| graph_meta(g));
+                let config = SimulatorConfig {
+                    max_rounds: max_rounds.unwrap_or(10 * g.num_vertices() + 100),
+                    stop_when_complete: true,
+                };
+                let sim = RadioSimulator::with_reachable(g, source, config, reachable);
+                let run_batch = |batch: &[TrialSpec]| -> Vec<Result<TrialRecord>> {
+                    let mut proto = protocol.build_lanes();
+                    let mut seeds = [0u64; MAX_LANES];
+                    for (j, trial) in batch.iter().enumerate() {
+                        seeds[j] = derive_seed(trial.seed, 1);
+                    }
+                    with_thread_lane_workspace(|ws| {
+                        run_lanes_in(&sim, &mut *proto, &seeds[..batch.len()], ws);
+                        batch
+                            .iter()
+                            .enumerate()
+                            .map(|(lane, trial)| {
+                                Ok(TrialRecord {
+                                    trial: trial.index,
+                                    seed: trial.seed,
+                                    metrics: lane_metrics(ws, lane, meta),
+                                })
+                            })
+                            .collect()
+                    })
+                };
+                let chunks = plan.trials.chunks(TRIAL_CHUNK).map(|chunk| {
+                    let lanes: Vec<&[TrialSpec]> = chunk.chunks(MAX_LANES).collect();
+                    let batches: Vec<Vec<Result<TrialRecord>>> = if self.parallel {
+                        lanes.par_iter().map(|batch| run_batch(batch)).collect()
+                    } else {
+                        lanes.iter().map(|batch| run_batch(batch)).collect()
+                    };
+                    batches.into_iter().flatten().collect()
+                });
+                self.aggregate(spec, chunks)
+            });
+        }
+
         let run_one = |trial: &TrialSpec| -> Result<TrialRecord> {
             let task_seed = derive_seed(trial.seed, 1);
             let metrics = if let Some((base_backend, size)) = &shared_induced {
@@ -279,16 +344,31 @@ impl Runner {
             })
         };
 
+        self.aggregate(
+            spec,
+            plan.trials.chunks(TRIAL_CHUNK).map(|chunk| {
+                if self.parallel {
+                    chunk.par_iter().map(run_one).collect()
+                } else {
+                    chunk.iter().map(run_one).collect()
+                }
+            }),
+        )
+    }
+
+    /// Streams chunked trial results into per-metric accumulators **in trial
+    /// order** and assembles the report — shared by the generic per-trial
+    /// path and the bit-sliced radio lane path, so both produce identical
+    /// report structure (and identical JSON when the metrics agree).
+    fn aggregate<I>(&self, spec: &ScenarioSpec, chunks: I) -> Result<ScenarioReport>
+    where
+        I: Iterator<Item = Vec<Result<TrialRecord>>>,
+    {
         let mut accumulators: BTreeMap<String, StatsAccumulator> = BTreeMap::new();
         let mut per_trial: Vec<TrialRecord> = Vec::new();
         let mut per_trial_truncated = false;
         let mut executed = 0usize;
-        for chunk in plan.trials.chunks(TRIAL_CHUNK) {
-            let results: Vec<Result<TrialRecord>> = if self.parallel {
-                chunk.par_iter().map(run_one).collect()
-            } else {
-                chunk.iter().map(run_one).collect()
-            };
+        for results in chunks {
             for result in results {
                 let record = result?;
                 executed += 1;
@@ -385,6 +465,32 @@ fn run_task_with_meta<G: GraphView + Sync + ?Sized>(
     metrics.insert("graph_m".to_string(), m);
     metrics.insert("graph_max_degree".to_string(), max_degree);
     Ok(metrics)
+}
+
+/// The metric map of one finished lane — key-for-key and value-for-value
+/// identical to what the scalar radio arm of [`execute_task`] plus
+/// [`run_task_with_meta`] records for the same trial seed, which is what
+/// keeps lane-path reports byte-identical to scalar-path reports.
+fn lane_metrics(ws: &LaneWorkspace, lane: usize, meta: GraphMeta) -> BTreeMap<String, f64> {
+    let outcome = ws.lane_outcome(lane);
+    let half = ws.lane_rounds_to_reach_fraction(lane, 0.5, outcome.reachable);
+    let mut metrics = BTreeMap::new();
+    metrics.insert(
+        "completed".to_string(),
+        if outcome.completed() { 1.0 } else { 0.0 },
+    );
+    metrics.insert("reachable".to_string(), outcome.reachable as f64);
+    if let Some(rounds) = outcome.completed_at {
+        metrics.insert("rounds".to_string(), rounds as f64);
+    }
+    if let Some(half) = half {
+        metrics.insert("rounds_to_half".to_string(), half as f64);
+    }
+    let (n, m, max_degree) = meta;
+    metrics.insert("graph_n".to_string(), n);
+    metrics.insert("graph_m".to_string(), m);
+    metrics.insert("graph_max_degree".to_string(), max_degree);
+    metrics
 }
 
 /// Executes one task on one graph instance (any [`GraphView`] backend),
@@ -865,6 +971,61 @@ mod tests {
                 batch.mean
             );
         }
+    }
+
+    #[test]
+    fn shared_radio_lane_reports_match_scalar_simulation() {
+        // A shared-graph radio scenario goes through the bit-sliced lane
+        // engine; every per-trial metric must equal what a scalar `run_in`
+        // with the same derived seed produces. 70 trials crosses a lane
+        // batch boundary (64 + a partial batch of 6).
+        use wx_core::radio::with_thread_workspace;
+        let spec = ScenarioSpec {
+            name: "radio-lanes".to_string(),
+            description: String::new(),
+            source: GraphSource::Hypercube { dim: 6 },
+            task: Task::Radio {
+                protocol: ProtocolKind::Decay,
+                source_vertex: Some(3),
+                max_rounds: None,
+            },
+            trials: 70,
+            seed: 77,
+        };
+        let report = Runner::new().run(&spec).unwrap();
+        assert_eq!(report.per_trial.len(), 70);
+
+        let g = GraphSource::Hypercube { dim: 6 }.build(0).unwrap();
+        let config = SimulatorConfig {
+            max_rounds: 10 * g.num_vertices() + 100,
+            stop_when_complete: true,
+        };
+        let sim = RadioSimulator::new(&g, 3, config);
+        for record in &report.per_trial {
+            assert_eq!(record.seed, derive_seed(77, record.trial as u64));
+            let mut proto = ProtocolKind::Decay.build();
+            let (outcome, half) = with_thread_workspace(|ws| {
+                let outcome = sim.run_in(&mut proto, derive_seed(record.seed, 1), ws);
+                (outcome, ws.rounds_to_reach_fraction(0.5, outcome.reachable))
+            });
+            assert_eq!(
+                record.metrics.get("rounds").copied(),
+                outcome.completed_at.map(|r| r as f64),
+                "trial {}",
+                record.trial
+            );
+            assert_eq!(
+                record.metrics.get("rounds_to_half").copied(),
+                half.map(|r| r as f64),
+                "trial {}",
+                record.trial
+            );
+            assert_eq!(record.metrics["reachable"], outcome.reachable as f64);
+            assert_eq!(record.metrics["graph_n"], 64.0);
+        }
+        // distinct lanes draw distinct RNG streams: across 70 trials the
+        // round counts must not all collapse to one value
+        assert!(report.metrics["rounds"].min < report.metrics["rounds"].max);
     }
 
     #[test]

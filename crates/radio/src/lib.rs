@@ -37,10 +37,42 @@
 //!   one workspace per rayon worker from the [`with_thread_workspace`] pool,
 //!   and reduces each trial to a caller-chosen constant-size summary, so
 //!   ensemble memory never grows with `trials × n`.
+//!
+//! # The bit-sliced lane engine
+//!
+//! [`bitslice`] multiplies the streaming engine by the machine word width:
+//! one `u64` per vertex holds the informed/transmitting state of up to
+//! [`MAX_LANES`] (64) **independent trials** in its bit-lanes, and every
+//! round of the collision kernel resolves all lanes with word-parallel
+//! AND/OR/NOT operations — one neighborhood traversal per round serves 64
+//! trials.
+//!
+//! **Lane semantics.** Lane `k` of a batch seeded with `seeds` reproduces
+//! `RadioSimulator::run_in` with seed `seeds[k]` *bit for bit*: the same
+//! completion round, the same per-round trajectory, the same per-vertex
+//! first-informed rounds. Randomized protocols implement [`LaneProtocol`]
+//! natively with one RNG stream per lane ([`LaneDecay`] draws its
+//! transmission coins through a transpose-to-lane-major bulk path);
+//! deterministic protocols wrap their scalar form in [`LaneMirror`], which
+//! runs the protocol once per round and broadcasts the transmitter mask to
+//! all live lanes. Lanes retire individually on completion, so a batch
+//! costs rounds proportional to its slowest lane, not 64× the mean.
+//!
+//! **Tradeoffs.** Bit-slicing pays off when trials on one shared graph are
+//! plentiful (Monte-Carlo ensembles): a partial final batch still sweeps
+//! full words, and per-lane trajectory bookkeeping adds a small constant
+//! overhead per round, so single-trial or per-trial-graph workloads should
+//! stay on the scalar engine. [`trials::map_trials_lanes`] makes the choice
+//! transparent: same seed derivation and summaries as
+//! [`trials::map_trials`], batched 64 trials per workspace. `wx bench`
+//! reports both engines (`engine`/`lanes` fields, labels
+//! `radio_throughput/<protocol>/lanes<L>/<n>`) so the speedup is tracked in
+//! the perf trajectory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitslice;
 pub mod lower_bound;
 pub mod metrics;
 pub mod protocols;
@@ -48,6 +80,10 @@ pub mod simulator;
 pub mod trials;
 pub mod workspace;
 
+pub use bitslice::{
+    run_lanes, run_lanes_in, with_thread_lane_workspace, LaneDecay, LaneMirror, LaneProtocol,
+    LaneView, LaneWorkspace, MAX_LANES,
+};
 pub use metrics::BroadcastOutcome;
 pub use protocols::{BroadcastProtocol, ProtocolKind};
 pub use simulator::{reachable_from, RadioSimulator, RoundView, SimulatorConfig, TrialOutcome};

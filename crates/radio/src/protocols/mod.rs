@@ -81,6 +81,23 @@ impl ProtocolKind {
             ProtocolKind::Spokesman => Box::new(spokesman::SpokesmanBroadcast::default()),
         }
     }
+
+    /// Builds the bit-sliced lane form of this protocol for the engine in
+    /// [`crate::bitslice`]: decay runs natively over lanes
+    /// ([`crate::bitslice::LaneDecay`], per-lane RNG streams bit-exact
+    /// against the scalar protocol); the deterministic protocols are wrapped
+    /// in [`crate::bitslice::LaneMirror`], which runs the scalar protocol
+    /// once per round and broadcasts the transmitter mask to every lane.
+    pub fn build_lanes<'g, G: GraphView + ?Sized + 'g>(
+        self,
+    ) -> Box<dyn crate::bitslice::LaneProtocol<G> + 'g> {
+        match self {
+            // wx-allow(hot-path-alloc): by-name factory like `build`, called once per lane batch
+            ProtocolKind::Decay => Box::new(crate::bitslice::LaneDecay::default()),
+            // wx-allow(hot-path-alloc): by-name factory like `build`, called once per lane batch
+            other => Box::new(crate::bitslice::LaneMirror::new(other.build::<G>())),
+        }
+    }
 }
 
 impl std::fmt::Display for ProtocolKind {

@@ -114,6 +114,12 @@ impl<'a, G: GraphView + ?Sized> RadioSimulator<'a, G> {
         self.source
     }
 
+    /// The simulator configuration (round cap and stopping rule) — shared by
+    /// the scalar loop and the bit-sliced lane engine in [`crate::bitslice`].
+    pub fn config(&self) -> &SimulatorConfig {
+        &self.config
+    }
+
     /// Executes one round given the set of transmitters; returns the set of
     /// vertices that receive the message this round (whether or not they
     /// were already informed).

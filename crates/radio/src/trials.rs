@@ -19,6 +19,9 @@
 //! [`run_trials_stats`] aggregates completion rounds without materializing
 //! any outcome at all.
 
+use crate::bitslice::{
+    run_lanes_in, with_thread_lane_workspace, LaneProtocol, LaneWorkspace, MAX_LANES,
+};
 use crate::metrics::{BroadcastOutcome, EnsembleStats};
 use crate::protocols::BroadcastProtocol;
 use crate::simulator::{RadioSimulator, SimulatorConfig, TrialOutcome};
@@ -63,6 +66,91 @@ where
                 summarize(t, &outcome, ws)
             })
         })
+        .collect()
+}
+
+/// One trial's view into the [`LaneWorkspace`] that ran it, handed to
+/// [`map_trials_lanes`] summarize closures — the lane analogue of the
+/// `&TrialWorkspace` argument of [`map_trials`], exposing the same
+/// per-trajectory queries.
+#[derive(Clone, Copy, Debug)]
+pub struct LaneTrialView<'a> {
+    ws: &'a LaneWorkspace,
+    lane: usize,
+}
+
+impl LaneTrialView<'_> {
+    /// Per-round informed counts of this trial (`[0] == 1`).
+    pub fn informed_per_round(&self) -> &[usize] {
+        self.ws.lane_informed_per_round(self.lane)
+    }
+
+    /// The round at which this trial first informed vertex `v`.
+    pub fn first_informed_round(&self, v: Vertex) -> Option<usize> {
+        self.ws.lane_first_informed_round(self.lane, v)
+    }
+
+    /// Rounds needed to inform at least `fraction` of `reachable` vertices
+    /// (mirrors [`TrialWorkspace::rounds_to_reach_fraction`]).
+    pub fn rounds_to_reach_fraction(&self, fraction: f64, reachable: usize) -> Option<usize> {
+        self.ws
+            .lane_rounds_to_reach_fraction(self.lane, fraction, reachable)
+    }
+}
+
+/// Bit-sliced counterpart of [`map_trials`]: runs `trials` independent
+/// simulations in word-parallel batches of up to `lanes` trials each
+/// (`lanes ∈ 1..=64`), reducing each trial to whatever `summarize` returns.
+///
+/// Per-trial seeds are `derive_seed(base_seed, trial)` — the **same**
+/// derivation as [`map_trials`] — and every lane is bit-exact against the
+/// scalar engine, so summaries are identical to the scalar runner's: results
+/// come back in trial order and downstream aggregation (reports, stats) is
+/// byte-for-byte unchanged, only faster. Batches are farmed out over rayon
+/// with one [`LaneWorkspace`] per worker from the thread-local pool.
+pub fn map_trials_lanes<G, P, F, T, S>(
+    sim: &RadioSimulator<'_, G>,
+    trials: usize,
+    base_seed: u64,
+    lanes: usize,
+    make_protocol: F,
+    summarize: S,
+) -> Vec<T>
+where
+    G: GraphView + Sync + ?Sized,
+    P: LaneProtocol<G>,
+    F: Fn() -> P + Sync,
+    T: Send,
+    S: Fn(usize, &TrialOutcome, &LaneTrialView<'_>) -> T + Sync,
+{
+    assert!(
+        (1..=MAX_LANES).contains(&lanes),
+        "lane width must be 1..=64, got {lanes}"
+    );
+    let batches = trials.div_ceil(lanes);
+    (0..batches)
+        .into_par_iter()
+        .map(|b| {
+            let start = b * lanes;
+            let width = lanes.min(trials - start);
+            let mut seeds = [0u64; MAX_LANES];
+            for (j, s) in seeds[..width].iter_mut().enumerate() {
+                *s = wx_graph::random::derive_seed(base_seed, (start + j) as u64);
+            }
+            with_thread_lane_workspace(|ws| {
+                let mut proto = make_protocol();
+                run_lanes_in(sim, &mut proto, &seeds[..width], ws);
+                (0..width)
+                    .map(|lane| {
+                        let outcome = ws.lane_outcome(lane);
+                        summarize(start + lane, &outcome, &LaneTrialView { ws, lane })
+                    })
+                    .collect::<Vec<T>>()
+            })
+        })
+        .collect::<Vec<Vec<T>>>()
+        .into_iter()
+        .flatten()
         .collect()
 }
 
@@ -178,6 +266,39 @@ mod tests {
             assert_eq!(*completed_at, full[i].completed_at);
             assert_eq!(*rounds, full[i].rounds_simulated);
             assert_eq!(*half, full[i].rounds_to_reach_fraction(0.5));
+        }
+    }
+
+    #[test]
+    fn lane_summaries_are_identical_to_scalar_summaries() {
+        use crate::bitslice::LaneDecay;
+        let g = wx_constructions::families::random_regular_graph(90, 4, 11).unwrap();
+        let sim = RadioSimulator::new(&g, 0, SimulatorConfig::default());
+        let scalar = map_trials(&sim, 70, 23, DecayProtocol::default, |t, outcome, ws| {
+            (
+                t,
+                *outcome,
+                ws.rounds_to_reach_fraction(0.5, outcome.reachable),
+                ws.first_informed_round()[89],
+            )
+        });
+        for lanes in [1usize, 8, 64] {
+            let sliced = map_trials_lanes(
+                &sim,
+                70,
+                23,
+                lanes,
+                LaneDecay::default,
+                |t, outcome, view| {
+                    (
+                        t,
+                        *outcome,
+                        view.rounds_to_reach_fraction(0.5, outcome.reachable),
+                        view.first_informed_round(89),
+                    )
+                },
+            );
+            assert_eq!(scalar, sliced, "lanes={lanes}");
         }
     }
 
