@@ -246,7 +246,7 @@ fn print_rule_catalog() {
     println!();
     println!("  seed-discipline   arithmetic on seed values outside derive_seed");
     println!("  determinism       HashMap/HashSet in report-producing crates; Instant::now/");
-    println!("                    SystemTime/thread_rng outside the timing modules");
+    println!("                    SystemTime outside wx_trace::clock; thread_rng anywhere");
     println!("  panic-freedom     unwrap/expect/panic!/unreachable!/todo! in library code");
     println!("  hot-path-alloc    allocation in the allocation-free hot-path modules");
     println!("  hygiene           dbg!/println!/eprintln! in library code");

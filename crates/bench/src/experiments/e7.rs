@@ -6,7 +6,6 @@
 //! when the instance is small enough — the exact optimum.
 
 use crate::ExperimentOptions;
-use std::time::Instant;
 use wx_core::prelude::*;
 use wx_core::report::{fmt_f64, render_table, TableRow};
 
@@ -66,9 +65,9 @@ pub fn run(opts: &ExperimentOptions) -> String {
             None
         };
         for (label, solver) in solvers {
-            let start = Instant::now();
+            let clock = wx_core::trace::Clock::start();
             let r = solver.solve(g, opts.seed);
-            let elapsed = start.elapsed();
+            let elapsed = clock.elapsed();
             rows.push(TableRow::new(
                 format!("{name} / {label}"),
                 vec![

@@ -16,15 +16,13 @@
 //! machine-readable perf trajectory the criterion shim started.
 
 use serde::Serialize;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
 use wx_core::graph::random::WxRng;
 use wx_core::graph::{GraphView, Result as GraphResult, Vertex, VertexSet};
 use wx_core::radio::protocols::ProtocolKind;
 use wx_core::radio::trials::{map_trials, map_trials_lanes};
 use wx_core::radio::{BroadcastProtocol, RadioSimulator, RoundView, SimulatorConfig};
 use wx_core::report::{fmt_f64, render_table, to_json_pretty, TableRow};
+use wx_core::trace::Clock;
 
 /// Configuration of one throughput race.
 #[derive(Clone, Debug, Serialize)]
@@ -193,34 +191,35 @@ impl ThroughputReport {
     }
 }
 
-/// Wraps a protocol and accumulates the wall-clock time spent inside the
+/// Span name under which [`SolveSpanProtocol`] records protocol time; the
+/// per-ensemble solve split is read back from the drained trace's
+/// overflow-immune phase totals for this name.
+const SOLVE_SPAN: &str = "bench.solve";
+
+/// Wraps a protocol and records the wall-clock time spent inside the
 /// protocol's own calls — `reset` plus every per-round `transmitters_into`,
-/// where centralized protocols (spokesman) run their schedule solver — so
-/// the report can split `elapsed_seconds` into protocol *solve* time vs
-/// simulator time instead of conflating them into one throughput number.
-/// The counter is an atomic nanosecond tally shared across rayon workers.
-struct TimedProtocol<P> {
+/// where centralized protocols (spokesman) run their schedule solver — as
+/// `bench.solve` spans, so the report can split `elapsed_seconds` into
+/// protocol *solve* time vs simulator time instead of conflating them into
+/// one throughput number. Spans land in each rayon worker's thread-local
+/// ring; [`run`] drains them per ensemble and reads the phase total.
+struct SolveSpanProtocol<P> {
     inner: P,
-    solve_nanos: Arc<AtomicU64>,
 }
 
-impl<G: GraphView + ?Sized, P: BroadcastProtocol<G>> BroadcastProtocol<G> for TimedProtocol<P> {
+impl<G: GraphView + ?Sized, P: BroadcastProtocol<G>> BroadcastProtocol<G> for SolveSpanProtocol<P> {
     fn name(&self) -> &'static str {
         self.inner.name()
     }
 
     fn reset(&mut self, graph: &G, source: Vertex) {
-        let start = Instant::now();
+        let _span = wx_trace::span(SOLVE_SPAN);
         self.inner.reset(graph, source);
-        self.solve_nanos
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
     fn transmitters_into(&mut self, view: &RoundView<'_, G>, rng: &mut WxRng, out: &mut VertexSet) {
-        let start = Instant::now();
+        let _span = wx_trace::span(SOLVE_SPAN);
         self.inner.transmitters_into(view, rng, out);
-        self.solve_nanos
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -269,7 +268,11 @@ fn record_from_summaries(
 /// `radio_throughput/<protocol>/lanes<L>/<n>`, at least `L` trials so a
 /// full word is exercised).
 pub fn run(config: &ThroughputConfig) -> GraphResult<ThroughputReport> {
-    let setup_start = Instant::now();
+    // The solve split is read from the process-global tracer, so the whole
+    // race owns it: serialize against other traced sections.
+    let _session = wx_trace::exclusive();
+
+    let setup_clock = Clock::start();
     let graph =
         wx_core::constructions::families::random_regular_graph(config.n, config.d, config.seed)?;
     let sim = RadioSimulator::new(
@@ -280,7 +283,13 @@ pub fn run(config: &ThroughputConfig) -> GraphResult<ThroughputReport> {
             stop_when_complete: true,
         },
     );
-    let setup_seconds = setup_start.elapsed().as_secs_f64();
+    let setup_seconds = setup_clock.elapsed_seconds();
+
+    // Remember the caller's enabled state and start from drained buffers;
+    // nothing below can early-return, so both are restored at the end.
+    let was_enabled = wx_trace::is_enabled();
+    wx_trace::enable();
+    let _ = wx_trace::take_trace();
 
     let mut records = Vec::new();
     for &kind in &config.protocols {
@@ -289,20 +298,18 @@ pub fn run(config: &ThroughputConfig) -> GraphResult<ThroughputReport> {
         } else {
             1
         };
-        let solve_nanos = Arc::new(AtomicU64::new(0));
-        let start = Instant::now();
+        let clock = Clock::start();
         let summaries = map_trials(
             &sim,
             trials,
             config.seed,
-            || TimedProtocol {
+            || SolveSpanProtocol {
                 inner: kind.build(),
-                solve_nanos: Arc::clone(&solve_nanos),
             },
             |_, outcome, _| (outcome.completed_at, outcome.rounds_simulated),
         );
-        let elapsed_seconds = start.elapsed().as_secs_f64().max(f64::EPSILON);
-        let solve_seconds = solve_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        let elapsed_seconds = clock.elapsed_seconds().max(f64::EPSILON);
+        let solve_seconds = wx_trace::take_trace().phase_seconds(SOLVE_SPAN);
         records.push(record_from_summaries(
             format!("radio_throughput/{}/{}", kind.name(), config.n),
             kind,
@@ -318,7 +325,7 @@ pub fn run(config: &ThroughputConfig) -> GraphResult<ThroughputReport> {
         }
         for &width in &config.lanes {
             let lane_trials = trials.max(width);
-            let start = Instant::now();
+            let clock = Clock::start();
             let summaries = map_trials_lanes(
                 &sim,
                 lane_trials,
@@ -327,7 +334,7 @@ pub fn run(config: &ThroughputConfig) -> GraphResult<ThroughputReport> {
                 || kind.build_lanes(),
                 |_, outcome, _| (outcome.completed_at, outcome.rounds_simulated),
             );
-            let elapsed_seconds = start.elapsed().as_secs_f64().max(f64::EPSILON);
+            let elapsed_seconds = clock.elapsed_seconds().max(f64::EPSILON);
             records.push(record_from_summaries(
                 format!(
                     "radio_throughput/{}/lanes{}/{}",
@@ -343,6 +350,13 @@ pub fn run(config: &ThroughputConfig) -> GraphResult<ThroughputReport> {
                 None,
             ));
         }
+    }
+
+    // Leave the tracer as we found it: drop our leftover simulator spans
+    // and restore the caller's enabled state.
+    let _ = wx_trace::take_trace();
+    if !was_enabled {
+        wx_trace::disable();
     }
 
     Ok(ThroughputReport {

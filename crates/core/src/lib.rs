@@ -57,3 +57,4 @@ pub use wx_expansion as expansion;
 pub use wx_graph as graph;
 pub use wx_radio as radio;
 pub use wx_spokesman as spokesman;
+pub use wx_trace as trace;

@@ -84,6 +84,7 @@ use wx_graph::random::derive_seed;
 use wx_graph::scratch::with_thread_scratch;
 use wx_graph::{Graph, GraphView, NeighborhoodScratch, VertexSet};
 use wx_spokesman::PortfolioSolver;
+use wx_trace::CounterId;
 
 /// How a [`MeasurementEngine`] chooses its candidate sets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -503,7 +504,10 @@ impl MeasurementEngine {
     /// Generates the engine's sampled candidate pool for `g` (shared across
     /// measures so their results are comparable set-by-set).
     pub fn candidate_pool<G: GraphView + ?Sized>(&self, g: &G) -> CandidateSets {
-        CandidateSets::generate(g, &self.sampler, self.seed)
+        let _span = wx_trace::span("engine.candidate_pool");
+        let pool = CandidateSets::generate(g, &self.sampler, self.seed);
+        wx_trace::count(CounterId::EnginePoolSets, pool.sets.len() as u64);
+        pool
     }
 
     /// The maximum candidate-set size for a graph on `n` vertices
@@ -522,8 +526,14 @@ impl MeasurementEngine {
             return None;
         }
         Some(match self.resolved_strategy(n) {
-            MeasureStrategy::Exact => (all_small_sets(n, self.max_set_size(n)), true),
-            _ => (self.candidate_pool(g).sets, false),
+            MeasureStrategy::Exact => {
+                wx_trace::count(CounterId::EngineStrategyExact, 1);
+                (all_small_sets(n, self.max_set_size(n)), true)
+            }
+            _ => {
+                wx_trace::count(CounterId::EngineStrategySampled, 1);
+                (self.candidate_pool(g).sets, false)
+            }
         })
     }
 
@@ -578,11 +588,19 @@ impl MeasurementEngine {
                 measure.evaluate(g, s, false, derive_seed(seed, i as u64), scratch)
             })
         };
-        if self.parallel {
-            pool.sets.par_iter().enumerate().map(eval_one).collect()
-        } else {
-            pool.sets.iter().enumerate().map(eval_one).collect()
-        }
+        let _span = wx_trace::span("engine.evaluate_pool");
+        wx_trace::count(CounterId::EngineSetsEvaluated, pool.sets.len() as u64);
+        // Shielded: rayon may run the evaluations on worker threads *or* on
+        // this thread (one-thread pools), so per-set counts inside the
+        // measures must be dropped consistently to keep telemetry identical
+        // across thread counts.
+        wx_trace::shield(|| {
+            if self.parallel {
+                pool.sets.par_iter().enumerate().map(eval_one).collect()
+            } else {
+                pool.sets.iter().enumerate().map(eval_one).collect()
+            }
+        })
     }
 
     /// Measures several notions over one shared candidate enumeration/pool,
@@ -626,23 +644,29 @@ impl MeasurementEngine {
         G: GraphView + Sync + ?Sized,
         M: ExpansionMeasure<G> + ?Sized,
     {
+        let _span = wx_trace::span("engine.find_violation");
         let (sets, exact) = self.candidate_sets(g)?;
         self.check_exact_feasible(measure, &sets, exact);
         let seed = self.seed;
-        sets.into_iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let eval = with_thread_scratch(g.num_vertices(), |scratch| {
-                    measure.evaluate(g, &s, exact, derive_seed(seed, i as u64), scratch)
-                });
-                Measurement {
-                    value: eval.value,
-                    witness: s,
-                    exact,
-                    certificate: eval.certificate,
-                }
-            })
-            .find(|m| m.value < threshold)
+        // Shielded like the other evaluation loops: the early-exit `find`
+        // makes the number of per-set evaluations data-dependent, so counts
+        // from inside the measures must never reach a report.
+        wx_trace::shield(|| {
+            sets.into_iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let eval = with_thread_scratch(g.num_vertices(), |scratch| {
+                        measure.evaluate(g, &s, exact, derive_seed(seed, i as u64), scratch)
+                    });
+                    Measurement {
+                        value: eval.value,
+                        witness: s,
+                        exact,
+                        certificate: eval.certificate,
+                    }
+                })
+                .find(|m| m.value < threshold)
+        })
     }
 
     /// Panics with an informative message when an exact evaluation would be
@@ -678,7 +702,9 @@ impl MeasurementEngine {
         G: GraphView + Sync + ?Sized,
         M: ExpansionMeasure<G> + ?Sized,
     {
+        let _span = wx_trace::span("engine.minimize");
         self.check_exact_feasible(measure, sets, exact);
+        wx_trace::count(CounterId::EngineSetsEvaluated, sets.len() as u64);
         let seed = self.seed;
         let eval_one = |(i, s): (usize, &VertexSet)| {
             // one scratch per rayon worker: candidate evaluation allocates
@@ -695,14 +721,20 @@ impl MeasurementEngine {
                 a
             }
         };
-        let best = if self.parallel {
-            sets.par_iter()
-                .enumerate()
-                .map(eval_one)
-                .reduce_with(keep_min)
-        } else {
-            sets.iter().enumerate().map(eval_one).reduce(keep_min)
-        };
+        // Shielded: the evaluations run on rayon workers or (one-thread
+        // pools) right here; counts from inside the measures — e.g. the
+        // spokesman solves driving a wireless evaluation — must be dropped
+        // consistently so telemetry is identical at every thread count.
+        let best = wx_trace::shield(|| {
+            if self.parallel {
+                sets.par_iter()
+                    .enumerate()
+                    .map(eval_one)
+                    .reduce_with(keep_min)
+            } else {
+                sets.iter().enumerate().map(eval_one).reduce(keep_min)
+            }
+        });
         best.map(|(i, eval)| Measurement {
             value: eval.value,
             witness: sets[i].clone(),

@@ -270,6 +270,7 @@ impl CandidateSets {
         sets.retain(|s| !s.is_empty() && s.len() <= max_size);
         sets.sort_by(|a, b| a.as_slice().cmp(b.as_slice()));
         sets.dedup_by(|a, b| a.as_slice() == b.as_slice());
+        wx_trace::count(wx_trace::CounterId::SamplerDraws, sets.len() as u64);
 
         CandidateSets {
             sets,

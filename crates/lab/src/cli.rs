@@ -1,10 +1,11 @@
 //! The `wx` command-line interface.
 //!
 //! ```text
-//! wx run <scenario.json> [--out PATH] [--sequential]
+//! wx run <scenario.json> [--out PATH] [--sequential] [--trace PATH]
 //! wx measure   --source SRC --notion ordinary|unique|wireless [--alpha F]
 //!              [--exact-up-to N] [--fast] [--trials N] [--seed N] [--out PATH]
-//! wx profile   --source SRC [--alpha F] [--exact-up-to N] [--fast] [...]
+//! wx profile   --source SRC [--alpha F] [--exact-up-to N] [--fast]
+//!              [--trace PATH] [--folded PATH] [...]
 //! wx spokesman --source SRC --set-size N [--solvers a,b,c] [...]
 //! wx radio     --source SRC --protocol NAME [--source-vertex V]
 //!              [--max-rounds N] [...]
@@ -13,7 +14,7 @@
 //!              [--max-rounds N] [--protocols a,b] [--lanes 1,8,64]
 //!              [--out PATH]
 //! wx list
-//! wx validate <report.json>
+//! wx validate <report.json | trace.json>
 //! ```
 //!
 //! `SRC` is either inline JSON (`'{"RandomRegular": {"n": 64, "d": 4}}'`) or
@@ -26,6 +27,13 @@
 //! Reports go to `--out` as pretty JSON (stdout when absent); the human
 //! summary table goes to stderr so stdout stays machine-readable. Exit
 //! codes: 0 success, 1 runtime/sweep failure, 2 usage error.
+//!
+//! Observability: `--trace PATH` (on `wx run` and `wx profile`) records the
+//! run through [`wx_core::trace`] and writes Chrome trace-event JSON that
+//! Perfetto / `chrome://tracing` load directly; `wx profile` additionally
+//! prints a wall-clock phase-time table and, with `--folded PATH`, emits
+//! folded stacks for `flamegraph.pl`. Tracing never changes report bytes —
+//! the deterministic `telemetry` section is always present.
 
 use crate::error::{LabError, Result};
 use crate::registry;
@@ -78,10 +86,11 @@ pub fn usage() -> &'static str {
     "wx — declarative scenario lab for the wireless-expanders reproduction
 
 USAGE:
-  wx run <scenario.json> [--out PATH] [--sequential]
+  wx run <scenario.json> [--out PATH] [--sequential] [--trace PATH]
   wx measure   --source SRC --notion ordinary|unique|wireless [--alpha F]
                [--exact-up-to N] [--fast] [--trials N] [--seed N] [--out PATH]
-  wx profile   --source SRC [--alpha F] [--exact-up-to N] [--fast] [...]
+  wx profile   --source SRC [--alpha F] [--exact-up-to N] [--fast]
+               [--trace PATH] [--folded PATH] [...]
   wx spokesman --source SRC --set-size N [--solvers a,b,c] [...]
   wx radio     --source SRC --protocol NAME [--source-vertex V]
                [--max-rounds N] [...]
@@ -90,7 +99,7 @@ USAGE:
                [--max-rounds N] [--protocols a,b] [--lanes 1,8,64]
                [--out PATH]
   wx list
-  wx validate <report.json>
+  wx validate <report.json | trace.json>
 
 SRC is inline JSON like '{\"RandomRegular\": {\"n\": 64, \"d\": 4}}' or a
 graph file path (.edges/.txt = edge list, .col/.dimacs/.clq = DIMACS).
@@ -98,7 +107,10 @@ graph file path (.edges/.txt = edge list, .col/.dimacs/.clq = DIMACS).
 plus the demo scenarios; `wx bench` races broadcast protocols on a
 production-scale random regular graph and records trials/sec into
 BENCH_radio_throughput.json (--smoke for the CI-sized variant);
-`wx list` shows everything available."
+`wx list` shows everything available. `--trace PATH` writes a Chrome
+trace-event JSON (load in Perfetto); `wx profile` prints a phase-time
+table and `--folded PATH` emits folded stacks for flamegraphs. Tracing
+never changes report bytes. `wx validate` checks reports and traces."
 }
 
 /// A tiny flag parser: consumes `--flag value` pairs and boolean flags from
@@ -201,14 +213,69 @@ fn emit_report(report: &ScenarioReport, out: Option<&str>) -> Result<()> {
     Ok(())
 }
 
+/// Runs a spec with the tracer enabled for the whole run, then exports
+/// the drained trace: Chrome trace-event JSON to `chrome_out`, folded
+/// stacks to `folded_out`, and (for `wx profile`) a wall-clock
+/// phase-time table to stderr. The report itself is unaffected —
+/// tracing never changes report bytes.
+fn run_traced(
+    runner: &Runner,
+    spec: &ScenarioSpec,
+    chrome_out: Option<&str>,
+    folded_out: Option<&str>,
+    phase_times: bool,
+) -> Result<ScenarioReport> {
+    use wx_core::report::{fmt_f64, render_table, TableRow};
+    let _session = wx_core::trace::exclusive();
+    wx_core::trace::enable();
+    let _ = wx_core::trace::take_trace();
+    let run_result = runner.run(spec);
+    wx_core::trace::disable();
+    let trace = wx_core::trace::take_trace();
+    let report = run_result?;
+    if let Some(path) = chrome_out {
+        std::fs::write(path, trace.to_chrome_json())
+            .map_err(|e| LabError::Io(format!("writing {path}: {e}")))?;
+        eprintln!(
+            "chrome trace written to {path} ({} spans, {} events; load in Perfetto)",
+            trace.spans.len(),
+            trace.events.len()
+        );
+    }
+    if let Some(path) = folded_out {
+        std::fs::write(path, trace.folded())
+            .map_err(|e| LabError::Io(format!("writing {path}: {e}")))?;
+        eprintln!("folded stacks written to {path} (feed to flamegraph.pl)");
+    }
+    if phase_times {
+        let rows: Vec<TableRow> = trace
+            .phase_table()
+            .into_iter()
+            .map(|(name, count, seconds)| {
+                TableRow::new(name, vec![count.to_string(), fmt_f64(seconds)])
+            })
+            .collect();
+        eprintln!(
+            "{}",
+            render_table(
+                "phase times (wall-clock, merged across threads)",
+                &["span", "count", "total_s"],
+                &rows,
+            )
+        );
+    }
+    Ok(report)
+}
+
 fn cmd_run(args: &[String]) -> Result<i32> {
     let mut flags = Flags::new(args);
     let out = flags.take_value("--out")?;
+    let trace_out = flags.take_value("--trace")?;
     let sequential = flags.take_flag("--sequential");
     let positional = flags.finish()?;
     let [path] = positional.as_slice() else {
         return Err(LabError::invalid(
-            "usage: wx run <scenario.json> [--out PATH]",
+            "usage: wx run <scenario.json> [--out PATH] [--trace PATH]",
         ));
     };
     let spec = ScenarioSpec::from_file(path)?;
@@ -217,7 +284,10 @@ fn cmd_run(args: &[String]) -> Result<i32> {
     } else {
         Runner::new()
     };
-    let report = runner.run(&spec)?;
+    let report = match trace_out.as_deref() {
+        Some(trace_path) => run_traced(&runner, &spec, Some(trace_path), None, false)?,
+        None => runner.run(&spec)?,
+    };
     emit_report(&report, out.as_deref())?;
     Ok(0)
 }
@@ -232,11 +302,13 @@ fn cmd_adhoc(command: &str, args: &[String]) -> Result<i32> {
     let trials = flags.take_parsed::<usize>("--trials")?.unwrap_or(1);
     let seed = flags.take_parsed::<u64>("--seed")?.unwrap_or(0);
     let out = flags.take_value("--out")?;
+    let trace_out = flags.take_value("--trace")?;
     let sequential = flags.take_flag("--sequential");
     let name = flags
         .take_value("--name")?
         .unwrap_or_else(|| format!("adhoc-{command}"));
 
+    let mut folded_out = None;
     let task = match command {
         "measure" => {
             let notion_raw = flags.take_value("--notion")?.ok_or_else(|| {
@@ -251,11 +323,14 @@ fn cmd_adhoc(command: &str, args: &[String]) -> Result<i32> {
                 fast: flags.take_flag("--fast").then_some(true),
             }
         }
-        "profile" => Task::Profile {
-            alpha: flags.take_parsed("--alpha")?,
-            exact_up_to: flags.take_parsed("--exact-up-to")?,
-            fast: flags.take_flag("--fast").then_some(true),
-        },
+        "profile" => {
+            folded_out = flags.take_value("--folded")?;
+            Task::Profile {
+                alpha: flags.take_parsed("--alpha")?,
+                exact_up_to: flags.take_parsed("--exact-up-to")?,
+                fast: flags.take_flag("--fast").then_some(true),
+            }
+        }
         "spokesman" => {
             let set_size = flags
                 .take_parsed::<usize>("--set-size")?
@@ -306,7 +381,19 @@ fn cmd_adhoc(command: &str, args: &[String]) -> Result<i32> {
     } else {
         Runner::new()
     };
-    let report = runner.run(&spec)?;
+    // `wx profile` always traces (it exists to show where time goes);
+    // the other ad-hoc commands trace only when `--trace` asks for it.
+    let report = if command == "profile" || trace_out.is_some() {
+        run_traced(
+            &runner,
+            &spec,
+            trace_out.as_deref(),
+            folded_out.as_deref(),
+            command == "profile",
+        )?
+    } else {
+        runner.run(&spec)?
+    };
     emit_report(&report, out.as_deref())?;
     Ok(0)
 }
@@ -476,7 +563,9 @@ fn cmd_list() -> Result<i32> {
 
 fn cmd_validate(args: &[String]) -> Result<i32> {
     let [path] = args else {
-        return Err(LabError::invalid("usage: wx validate <report.json>"));
+        return Err(LabError::invalid(
+            "usage: wx validate <report.json | trace.json>",
+        ));
     };
     let text =
         std::fs::read_to_string(path).map_err(|e| LabError::Io(format!("reading {path}: {e}")))?;
@@ -488,8 +577,69 @@ fn cmd_validate(args: &[String]) -> Result<i32> {
             "expected a top-level JSON object",
         ));
     }
+    if !matches!(
+        value.get("traceEvents"),
+        None | Some(serde_json::Value::Null)
+    ) {
+        let spans = validate_chrome_trace(&value, path)?;
+        println!("{path}: valid chrome trace ({spans} complete spans)");
+        return Ok(0);
+    }
     println!("{path}: valid JSON report");
     Ok(0)
+}
+
+/// Validates a Chrome trace-event file: `traceEvents` must be an array of
+/// objects each carrying a string `ph`, a string `name`, and a numeric
+/// `ts`, with at least one complete (`ph:"X"`) span. Returns the number
+/// of complete spans.
+fn validate_chrome_trace(value: &serde_json::Value, path: &str) -> Result<usize> {
+    let events = match value.get("traceEvents") {
+        Some(serde_json::Value::Seq(items)) => items,
+        _ => {
+            return Err(LabError::json(
+                path.to_string(),
+                "`traceEvents` must be an array",
+            ))
+        }
+    };
+    let mut spans = 0usize;
+    for (i, event) in events.iter().enumerate() {
+        if event.as_map().is_none() {
+            return Err(LabError::json(
+                path.to_string(),
+                format!("traceEvents[{i}] is not an object"),
+            ));
+        }
+        let ph = event.get("ph").and_then(|v| v.as_str()).ok_or_else(|| {
+            LabError::json(
+                path.to_string(),
+                format!("traceEvents[{i}] lacks a string `ph`"),
+            )
+        })?;
+        if event.get("name").and_then(|v| v.as_str()).is_none() {
+            return Err(LabError::json(
+                path.to_string(),
+                format!("traceEvents[{i}] lacks a string `name`"),
+            ));
+        }
+        if event.get("ts").and_then(|v| v.as_u64()).is_none() {
+            return Err(LabError::json(
+                path.to_string(),
+                format!("traceEvents[{i}] lacks a numeric `ts`"),
+            ));
+        }
+        if ph == "X" {
+            spans += 1;
+        }
+    }
+    if spans == 0 {
+        return Err(LabError::json(
+            path.to_string(),
+            "chrome trace contains no complete (ph \"X\") spans",
+        ));
+    }
+    Ok(spans)
 }
 
 #[cfg(test)]
@@ -662,6 +812,118 @@ mod tests {
             main_with_args(&strs(&["validate", out.to_str().unwrap()])),
             0
         );
+    }
+
+    #[test]
+    fn run_with_trace_writes_a_valid_chrome_trace_without_changing_the_report() {
+        let dir = std::env::temp_dir().join("wx-lab-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("scenario.json");
+        std::fs::write(
+            &spec_path,
+            r#"{
+                "name": "cli-trace",
+                "source": {"Grid": {"rows": 3, "cols": 3}},
+                "task": {"Radio": {"protocol": "NaiveFlooding"}},
+                "trials": 2,
+                "seed": 1
+            }"#,
+        )
+        .unwrap();
+        let out_plain = dir.join("plain.json");
+        let out_traced = dir.join("traced.json");
+        let trace = dir.join("trace.json");
+        assert_eq!(
+            main_with_args(&strs(&[
+                "run",
+                spec_path.to_str().unwrap(),
+                "--out",
+                out_plain.to_str().unwrap(),
+            ])),
+            0
+        );
+        assert_eq!(
+            main_with_args(&strs(&[
+                "run",
+                spec_path.to_str().unwrap(),
+                "--out",
+                out_traced.to_str().unwrap(),
+                "--trace",
+                trace.to_str().unwrap(),
+            ])),
+            0
+        );
+        // tracing must never change report bytes
+        let plain = std::fs::read_to_string(&out_plain).unwrap();
+        let traced = std::fs::read_to_string(&out_traced).unwrap();
+        assert_eq!(plain, traced, "--trace changed the report bytes");
+        assert!(plain.contains("\"telemetry\""), "{plain}");
+        // the trace file validates as a chrome trace and contains spans
+        assert_eq!(
+            main_with_args(&strs(&["validate", trace.to_str().unwrap()])),
+            0
+        );
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(text.starts_with("{\"traceEvents\":["), "{text}");
+        assert!(text.contains("\"ph\":\"X\""), "{text}");
+        assert!(text.contains("lab.simulate"), "{text}");
+    }
+
+    #[test]
+    fn profile_emits_folded_stacks() {
+        let dir = std::env::temp_dir().join("wx-lab-cli-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("report.json");
+        let folded = dir.join("stacks.folded");
+        let code = main_with_args(&strs(&[
+            "profile",
+            "--source",
+            r#"{"CompletePlus": {"k": 6}}"#,
+            "--fast",
+            "--folded",
+            folded.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        let stacks = std::fs::read_to_string(&folded).unwrap();
+        assert!(!stacks.trim().is_empty(), "folded output is empty");
+        for line in stacks.lines() {
+            let (path, micros) = line.rsplit_once(' ').unwrap();
+            assert!(!path.is_empty(), "{line}");
+            micros
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("bad folded line: {line}"));
+        }
+        assert!(stacks.contains("lab.measure"), "{stacks}");
+    }
+
+    #[test]
+    fn validate_rejects_span_free_or_malformed_traces() {
+        let dir = std::env::temp_dir().join("wx-lab-cli-trace-validate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cases = [
+            ("empty.json", r#"{"traceEvents": []}"#),
+            ("noname.json", r#"{"traceEvents": [{"ph": "X", "ts": 1}]}"#),
+            (
+                "nots.json",
+                r#"{"traceEvents": [{"ph": "X", "name": "a"}]}"#,
+            ),
+            ("notarray.json", r#"{"traceEvents": 5}"#),
+            (
+                "nospans.json",
+                r#"{"traceEvents": [{"ph": "C", "name": "a", "ts": 1}]}"#,
+            ),
+        ];
+        for (file, body) in cases {
+            let path = dir.join(file);
+            std::fs::write(&path, body).unwrap();
+            assert_eq!(
+                main_with_args(&strs(&["validate", path.to_str().unwrap()])),
+                2,
+                "{file} should fail trace validation"
+            );
+        }
     }
 
     #[test]

@@ -88,6 +88,12 @@ pub struct ScenarioReport {
     /// [`StatsAccumulator`]s, so aggregation memory is bounded regardless of
     /// trial count).
     pub metrics: BTreeMap<String, AggregateStats>,
+    /// Deterministic work counters summed over every trial (counter name →
+    /// total). Only scheduling-independent counts are recorded — rounds
+    /// simulated, candidate sets evaluated, solver flips — and they are
+    /// collected whether or not tracing is enabled, so this section is
+    /// byte-identical across thread counts and with `--trace` on or off.
+    pub telemetry: BTreeMap<String, u64>,
     /// The first raw per-trial records (in trial order), up to the runner's
     /// [`Runner::keep_per_trial`] cap.
     pub per_trial: Vec<TrialRecord>,
@@ -211,6 +217,7 @@ impl Runner {
         let shared: Option<BuiltGraph> = if spec.source.is_randomized() {
             None
         } else {
+            let _span = wx_trace::span("lab.build_graph");
             Some(spec.source.build_backend(0)?)
         };
 
@@ -275,73 +282,86 @@ impl Runner {
                     stop_when_complete: true,
                 };
                 let sim = RadioSimulator::with_reachable(g, source, config, reachable);
-                let run_batch = |batch: &[TrialSpec]| -> Vec<Result<TrialRecord>> {
-                    let mut proto = protocol.build_lanes();
-                    let mut seeds = [0u64; MAX_LANES];
-                    for (j, trial) in batch.iter().enumerate() {
-                        seeds[j] = derive_seed(trial.seed, 1);
-                    }
-                    with_thread_lane_workspace(|ws| {
-                        run_lanes_in(&sim, &mut *proto, &seeds[..batch.len()], ws);
-                        batch
-                            .iter()
-                            .enumerate()
-                            .map(|(lane, trial)| {
-                                Ok(TrialRecord {
-                                    trial: trial.index,
-                                    seed: trial.seed,
-                                    metrics: lane_metrics(ws, lane, meta),
+                // The counter scope lives *inside* the closure, so counts
+                // land on whichever thread rayon runs the batch on and are
+                // summed in deterministic batch order by `aggregate`.
+                let run_batch = |batch: &[TrialSpec]| -> WorkUnit {
+                    wx_trace::with_counters(|| {
+                        let _span = wx_trace::span("lab.simulate");
+                        let mut proto = protocol.build_lanes();
+                        let mut seeds = [0u64; MAX_LANES];
+                        for (j, trial) in batch.iter().enumerate() {
+                            seeds[j] = derive_seed(trial.seed, 1);
+                        }
+                        with_thread_lane_workspace(|ws| {
+                            run_lanes_in(&sim, &mut *proto, &seeds[..batch.len()], ws);
+                            batch
+                                .iter()
+                                .enumerate()
+                                .map(|(lane, trial)| {
+                                    Ok(TrialRecord {
+                                        trial: trial.index,
+                                        seed: trial.seed,
+                                        metrics: lane_metrics(ws, lane, meta),
+                                    })
                                 })
-                            })
-                            .collect()
+                                .collect()
+                        })
                     })
                 };
                 let chunks = plan.trials.chunks(TRIAL_CHUNK).map(|chunk| {
                     let lanes: Vec<&[TrialSpec]> = chunk.chunks(MAX_LANES).collect();
-                    let batches: Vec<Vec<Result<TrialRecord>>> = if self.parallel {
+                    if self.parallel {
                         lanes.par_iter().map(|batch| run_batch(batch)).collect()
                     } else {
                         lanes.iter().map(|batch| run_batch(batch)).collect()
-                    };
-                    batches.into_iter().flatten().collect()
+                    }
                 });
                 self.aggregate(spec, chunks)
             });
         }
 
-        let run_one = |trial: &TrialSpec| -> Result<TrialRecord> {
-            let task_seed = derive_seed(trial.seed, 1);
-            let metrics = if let Some((base_backend, size)) = &shared_induced {
-                // Fast path: shared deterministic base, per-trial subset —
-                // the subset draw is byte-identical to what
-                // `build_backend(derive_seed(trial.seed, 0))` would produce.
-                with_graph_view!(base_backend, base => {
-                    let set = crate::source::induced_subset_for_seed(
-                        base.num_vertices(),
-                        *size,
-                        derive_seed(trial.seed, 0),
-                    )?;
-                    let view = SubgraphView::new(base, &set);
-                    run_task_with_meta(&view, &spec.task, task_seed, radio_reachable, None)
-                })?
-            } else {
-                let built;
-                let backend = match &shared {
-                    Some(bg) => bg,
-                    None => {
-                        built = spec.source.build_backend(derive_seed(trial.seed, 0))?;
-                        &built
-                    }
+        // The counter scope lives *inside* the closure, so counts land on
+        // whichever thread rayon runs the trial on and are summed in
+        // deterministic trial order by `aggregate`.
+        let run_one = |trial: &TrialSpec| -> WorkUnit {
+            let (record, counters) = wx_trace::with_counters(|| -> Result<TrialRecord> {
+                let _span = wx_trace::span("lab.trial");
+                let task_seed = derive_seed(trial.seed, 1);
+                let metrics = if let Some((base_backend, size)) = &shared_induced {
+                    // Fast path: shared deterministic base, per-trial subset —
+                    // the subset draw is byte-identical to what
+                    // `build_backend(derive_seed(trial.seed, 0))` would produce.
+                    with_graph_view!(base_backend, base => {
+                        let set = crate::source::induced_subset_for_seed(
+                            base.num_vertices(),
+                            *size,
+                            derive_seed(trial.seed, 0),
+                        )?;
+                        let view = SubgraphView::new(base, &set);
+                        run_task_with_meta(&view, &spec.task, task_seed, radio_reachable, None)
+                    })?
+                } else {
+                    let built;
+                    let backend = match &shared {
+                        Some(bg) => bg,
+                        None => {
+                            let _span = wx_trace::span("lab.build_graph");
+                            built = spec.source.build_backend(derive_seed(trial.seed, 0))?;
+                            &built
+                        }
+                    };
+                    with_graph_view!(backend, g => {
+                        run_task_with_meta(g, &spec.task, task_seed, radio_reachable, shared_meta)
+                    })?
                 };
-                with_graph_view!(backend, g => {
-                    run_task_with_meta(g, &spec.task, task_seed, radio_reachable, shared_meta)
-                })?
-            };
-            Ok(TrialRecord {
-                trial: trial.index,
-                seed: trial.seed,
-                metrics,
-            })
+                Ok(TrialRecord {
+                    trial: trial.index,
+                    seed: trial.seed,
+                    metrics,
+                })
+            });
+            (vec![record], counters)
         };
 
         self.aggregate(
@@ -359,39 +379,49 @@ impl Runner {
     /// Streams chunked trial results into per-metric accumulators **in trial
     /// order** and assembles the report — shared by the generic per-trial
     /// path and the bit-sliced radio lane path, so both produce identical
-    /// report structure (and identical JSON when the metrics agree).
+    /// report structure (and identical JSON when the metrics agree). Each
+    /// [`WorkUnit`]'s deterministic counters are summed in the same fixed
+    /// order into the report's `telemetry` section.
     fn aggregate<I>(&self, spec: &ScenarioSpec, chunks: I) -> Result<ScenarioReport>
     where
-        I: Iterator<Item = Vec<Result<TrialRecord>>>,
+        I: Iterator<Item = Vec<WorkUnit>>,
     {
         let mut accumulators: BTreeMap<String, StatsAccumulator> = BTreeMap::new();
         let mut per_trial: Vec<TrialRecord> = Vec::new();
         let mut per_trial_truncated = false;
         let mut executed = 0usize;
-        for results in chunks {
-            for result in results {
-                let record = result?;
-                executed += 1;
-                for (key, value) in &record.metrics {
-                    match accumulators.get_mut(key) {
-                        Some(acc) => acc.push(*value),
-                        None => {
-                            let mut acc = StatsAccumulator::new();
-                            acc.push(*value);
-                            accumulators.insert(key.clone(), acc);
+        let mut totals = wx_trace::CounterSet::new();
+        for units in chunks {
+            for (results, counters) in units {
+                totals.merge(&counters);
+                for result in results {
+                    let record = result?;
+                    executed += 1;
+                    for (key, value) in &record.metrics {
+                        match accumulators.get_mut(key) {
+                            Some(acc) => acc.push(*value),
+                            None => {
+                                let mut acc = StatsAccumulator::new();
+                                acc.push(*value);
+                                accumulators.insert(key.clone(), acc);
+                            }
                         }
                     }
-                }
-                if per_trial.len() < self.per_trial_cap {
-                    per_trial.push(record);
-                } else {
-                    per_trial_truncated = true;
+                    if per_trial.len() < self.per_trial_cap {
+                        per_trial.push(record);
+                    } else {
+                        per_trial_truncated = true;
+                    }
                 }
             }
         }
         let metrics: BTreeMap<String, AggregateStats> = accumulators
             .into_iter()
             .filter_map(|(key, acc)| acc.finish().map(|stats| (key, stats)))
+            .collect();
+        let telemetry: BTreeMap<String, u64> = totals
+            .iter_nonzero()
+            .map(|(name, value)| (name.to_string(), value))
             .collect();
 
         Ok(ScenarioReport {
@@ -402,6 +432,7 @@ impl Runner {
             seed: spec.seed,
             trials: executed,
             metrics,
+            telemetry,
             per_trial,
             per_trial_truncated,
         })
@@ -437,6 +468,11 @@ macro_rules! with_graph_view {
     };
 }
 use with_graph_view;
+
+/// One unit of executed work: its trial records plus the deterministic
+/// counters captured while they ran (one unit per trial on the generic
+/// path, one per lane batch on the bit-sliced radio path).
+type WorkUnit = (Vec<Result<TrialRecord>>, wx_trace::CounterSet);
 
 /// The constant per-graph metadata metrics every trial records.
 type GraphMeta = (f64, f64, f64);
@@ -511,6 +547,7 @@ fn execute_task<G: GraphView + Sync + ?Sized>(
             exact_up_to,
             fast,
         } => {
+            let _span = wx_trace::span("lab.measure");
             let engine = engine_for(*alpha, *exact_up_to, seed);
             let measure = notion.measure(fast.unwrap_or(false));
             let m = engine
@@ -528,6 +565,7 @@ fn execute_task<G: GraphView + Sync + ?Sized>(
             exact_up_to,
             fast,
         } => {
+            let _span = wx_trace::span("lab.measure");
             let engine = engine_for(*alpha, *exact_up_to, seed);
             let wireless = if fast.unwrap_or(false) {
                 Wireless::fast()
@@ -566,6 +604,7 @@ fn execute_task<G: GraphView + Sync + ?Sized>(
             let kinds: Vec<SolverKind> = solvers
                 .clone()
                 .unwrap_or_else(|| SolverKind::POLYNOMIAL.to_vec());
+            let _span = wx_trace::span("lab.solve");
             let mut best = 0.0f64;
             for (i, kind) in kinds.iter().enumerate() {
                 let result = kind.build().solve(&view, derive_seed(seed, 1 + i as u64));
@@ -608,6 +647,7 @@ fn execute_task<G: GraphView + Sync + ?Sized>(
             // Constant-size summary through the per-worker trial workspace —
             // no n-sized allocation per trial.
             let (outcome, half) = with_thread_workspace(|ws| {
+                let _span = wx_trace::span("lab.simulate");
                 let outcome = sim.run_in(&mut proto, seed, ws);
                 (outcome, ws.rounds_to_reach_fraction(0.5, outcome.reachable))
             });

@@ -294,8 +294,11 @@ pub fn run_lanes_in<G: GraphView + ?Sized>(
     ws.reset(n, source, lanes, target);
     protocol.reset(graph, source, seeds);
     let mut live = live_mask(lanes);
+    let _span = wx_trace::span("radio.lanes");
+    let mut word_rounds = 0u64;
 
     for round in 0..config.max_rounds {
+        word_rounds = round as u64 + 1;
         {
             let view = LaneView {
                 graph,
@@ -374,6 +377,7 @@ pub fn run_lanes_in<G: GraphView + ?Sized>(
             ws.informed_per_round[l].push(ws.informed_count[l]);
             if ws.informed_count[l] == target && ws.completed_at[l].is_none() {
                 ws.completed_at[l] = Some(round + 1);
+                wx_trace::event_value("radio.lane_retired", (round + 1) as u64);
                 if config.stop_when_complete {
                     still &= !(1u64 << l);
                 }
@@ -384,6 +388,30 @@ pub fn run_lanes_in<G: GraphView + ?Sized>(
             break;
         }
     }
+
+    // Scheduling-independent work counts. Per-lane simulated rounds and
+    // final informed counts are bit-identical to the scalar engine's, so
+    // `radio.rounds_simulated`/`radio.informed_final` telemetry agrees
+    // between the two paths; the lane-occupancy pair is sliced-engine-only
+    // (`lane_rounds` is the paid word-round capacity, whose ratio against
+    // `rounds_simulated` is the batch's useful occupancy).
+    let mut rounds_total = 0u64;
+    let mut informed_total = 0u64;
+    let mut completed = 0u64;
+    for l in 0..lanes {
+        rounds_total += (ws.informed_per_round[l].len() - 1) as u64;
+        informed_total += ws.informed_count[l] as u64;
+        if ws.completed_at[l].is_some() {
+            completed += 1;
+        }
+    }
+    wx_trace::count(wx_trace::CounterId::RadioRoundsSimulated, rounds_total);
+    wx_trace::count(wx_trace::CounterId::RadioInformedFinal, informed_total);
+    wx_trace::count(
+        wx_trace::CounterId::RadioLaneRounds,
+        word_rounds * lanes as u64,
+    );
+    wx_trace::count(wx_trace::CounterId::RadioLanesCompleted, completed);
 }
 
 /// Allocating convenience wrapper over [`run_lanes_in`]: runs one batch in a

@@ -189,6 +189,7 @@ impl<'a, G: GraphView + ?Sized> RadioSimulator<'a, G> {
         seed: u64,
         ws: &mut TrialWorkspace,
     ) -> TrialOutcome {
+        let _span = wx_trace::span("radio.trial");
         let n = self.graph.num_vertices();
         let mut rng: WxRng = rng_from_seed(seed);
         ws.reset(n, self.source);
@@ -223,6 +224,7 @@ impl<'a, G: GraphView + ?Sized> RadioSimulator<'a, G> {
                 }
             }
             std::mem::swap(&mut ws.newly, &mut ws.fresh);
+            wx_trace::event_value("radio.newly_informed", ws.newly.len() as u64);
             ws.informed_per_round.push(ws.informed.len());
             if ws.informed.len() == target && completed_at.is_none() {
                 // record the *first* completion round; with
@@ -235,11 +237,22 @@ impl<'a, G: GraphView + ?Sized> RadioSimulator<'a, G> {
             }
         }
 
+        // Scheduling-independent work counts: identical values whether the
+        // trial ran here or as a bit-lane of the sliced engine.
+        let rounds_simulated = ws.informed_per_round.len() - 1;
+        wx_trace::count(
+            wx_trace::CounterId::RadioRoundsSimulated,
+            rounds_simulated as u64,
+        );
+        wx_trace::count(
+            wx_trace::CounterId::RadioInformedFinal,
+            ws.informed.len() as u64,
+        );
         TrialOutcome {
             reachable: target,
             informed: ws.informed.len(),
             completed_at,
-            rounds_simulated: ws.informed_per_round.len() - 1,
+            rounds_simulated,
         }
     }
 }

@@ -32,6 +32,7 @@ pub struct GreedyOutcome {
 impl GreedyMinDegreeSolver {
     /// Runs the Lemma A.1 procedure and returns the full outcome.
     pub fn run(g: &BipartiteGraph) -> GreedyOutcome {
+        let _span = wx_trace::span("spokesman.greedy");
         let num_left = g.num_left();
         let num_right = g.num_right();
 
@@ -128,6 +129,12 @@ impl GreedyMinDegreeSolver {
             }
         }
 
+        // One promotion per loop iteration, so |S_uni| *is* the number of
+        // greedy picks — a scheduling-independent work count.
+        wx_trace::count(
+            wx_trace::CounterId::SpokesmanGreedyPicks,
+            s_uni.len() as u64,
+        );
         GreedyOutcome { s_uni, n_uni }
     }
 

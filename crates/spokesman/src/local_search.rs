@@ -43,9 +43,12 @@ impl LocalSearchImprover {
     /// [`CoverageTracker`], so probing a flip costs O(deg u) rather than a
     /// full re-measurement of `|Γ¹_S(S')|`.
     pub fn improve(&self, g: &BipartiteGraph, subset: &VertexSet) -> (VertexSet, usize) {
+        let _span = wx_trace::span("spokesman.local_search");
         let mut tracker = CoverageTracker::new(g, subset);
         let mut flips = 0usize;
+        let mut rejected = 0u64;
         let mut improved = true;
+        wx_trace::event_value("spokesman.coverage", tracker.coverage() as u64);
         while improved && flips < self.max_flips {
             improved = false;
             for u in 0..g.num_left() {
@@ -53,12 +56,20 @@ impl LocalSearchImprover {
                     tracker.flip(u);
                     improved = true;
                     flips += 1;
+                    // the best-so-far trajectory: one structured event per
+                    // accepted flip (coverage strictly increases, so this is
+                    // the curve an anytime racer would race against)
+                    wx_trace::event_value("spokesman.coverage", tracker.coverage() as u64);
                     if flips >= self.max_flips {
                         break;
                     }
+                } else {
+                    rejected += 1;
                 }
             }
         }
+        wx_trace::count(wx_trace::CounterId::SpokesmanFlipsAccepted, flips as u64);
+        wx_trace::count(wx_trace::CounterId::SpokesmanFlipsRejected, rejected);
         let (current, coverage) = tracker.into_parts();
         debug_assert_eq!(coverage, g.unique_coverage(&current));
         (current, coverage)
@@ -201,6 +212,51 @@ mod tests {
             assert!(cov > 0);
             assert!(!subset.is_empty());
         }
+    }
+
+    #[test]
+    fn tracing_records_a_nondecreasing_coverage_trajectory() {
+        // Own the process-global tracer for the whole record+drain window.
+        let _session = wx_trace::exclusive();
+        let _ = wx_trace::take_trace();
+        wx_trace::enable();
+        // Run on a dedicated thread: its events carry a unique tid, so
+        // concurrent tests that also emit coverage events while tracing is
+        // enabled cannot pollute the trajectory we assert on.
+        let cov = std::thread::spawn(|| {
+            wx_trace::event_value("spokesman.trajectory_test", 0);
+            let g = random_instance(5, 12, 30, 0.3);
+            let (_, cov) =
+                LocalSearchImprover::default().improve(&g, &VertexSet::empty(g.num_left()));
+            cov
+        })
+        .join()
+        .unwrap();
+        wx_trace::disable();
+        let trace = wx_trace::take_trace();
+        let tid = trace
+            .events
+            .iter()
+            .find(|e| e.name == "spokesman.trajectory_test")
+            .expect("marker event recorded")
+            .tid;
+        let trajectory: Vec<u64> = trace
+            .events
+            .iter()
+            .filter(|e| e.tid == tid && e.name == "spokesman.coverage")
+            .map(|e| e.value)
+            .collect();
+        // one point at the start plus one per accepted flip, strictly
+        // climbing to the final coverage — the anytime best-so-far curve
+        assert!(trajectory.len() >= 2, "{trajectory:?}");
+        assert_eq!(trajectory[0], 0, "starts from the empty subset");
+        assert!(
+            trajectory.windows(2).all(|w| w[0] < w[1]),
+            "coverage trajectory not strictly increasing: {trajectory:?}"
+        );
+        assert_eq!(*trajectory.last().unwrap(), cov as u64);
+        // the surrounding span was recorded too
+        assert!(trace.phase_count("spokesman.local_search") >= 1);
     }
 
     #[test]
