@@ -56,6 +56,8 @@ impl Config {
             hot_path_modules: s(&[
                 "crates/graph/src/scratch.rs",
                 "crates/graph/src/neighborhood.rs",
+                "crates/graph/src/disk.rs",
+                "crates/graph/src/mmap.rs",
                 "crates/radio/src/workspace.rs",
                 "crates/radio/src/protocols/",
                 "crates/radio/src/bitslice.rs",
@@ -142,6 +144,16 @@ mod tests {
         ));
         assert!(matches_any_prefix(
             "crates/radio/src/bitslice.rs",
+            &cfg.hot_path_modules
+        ));
+        // the out-of-core layer serves neighborhood queries straight off a
+        // mapping and streams conversions — both are allocation-audited
+        assert!(matches_any_prefix(
+            "crates/graph/src/mmap.rs",
+            &cfg.hot_path_modules
+        ));
+        assert!(matches_any_prefix(
+            "crates/graph/src/disk.rs",
             &cfg.hot_path_modules
         ));
         assert!(!matches_any_prefix(

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod materialize;
 pub mod throughput;
 
 /// Common options for experiment harnesses.

@@ -1,0 +1,301 @@
+//! Materialize-policy sweep: the measurement behind the engine's
+//! [`MaterializePolicy::Auto`] default threshold.
+//!
+//! `MeasurementEngine::measure_induced` can serve an induced-subgraph
+//! measurement two ways: through the zero-copy `SubgraphView` (no copy,
+//! but every neighborhood query pays the membership filter against the
+//! base graph) or by materializing the induced CSR first (an `O(n + m)`
+//! copy, after which queries touch only subset-sized arrays). Which is
+//! cheaper depends on the subset size `|U|`: the view wins for small
+//! subsets where the copy dominates, the materialized CSR wins for large
+//! ones where the filtered queries dominate.
+//!
+//! [`run`] races both modes across a sweep of subset sizes on one shared
+//! `random_regular(n, d)` instance — the same methodology as the
+//! committed `BENCH_subgraph_view.json` (alpha 0.5, sampled strategy,
+//! light sampler, single-threaded engine) — and reports the measured
+//! crossover: the smallest swept `|U|` from which materializing stays at
+//! least as fast as the view. The committed full run lives in
+//! `BENCH_materialize_policy.json`, and its crossover is wired in as
+//! [`DEFAULT_MATERIALIZE_THRESHOLD`]; a test asserts the committed
+//! report and the engine default still agree.
+//!
+//! [`MaterializePolicy::Auto`]: wx_core::expansion::engine::MaterializePolicy
+//! [`DEFAULT_MATERIALIZE_THRESHOLD`]: wx_core::expansion::engine::DEFAULT_MATERIALIZE_THRESHOLD
+
+use serde::Serialize;
+use wx_core::expansion::engine::{
+    MaterializePolicy, MeasureStrategy, MeasurementEngine, NotionKind,
+};
+use wx_core::expansion::SamplerConfig;
+use wx_core::graph::random::{random_subset_of_size, rng_from_seed};
+use wx_core::graph::VertexSet;
+use wx_core::report::{fmt_f64, render_table, to_json_pretty, TableRow};
+use wx_core::trace::Clock;
+
+/// Configuration of one materialize-policy sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct MaterializeConfig {
+    /// Number of vertices of the shared `random_regular` instance.
+    pub n: usize,
+    /// Degree of the instance.
+    pub d: usize,
+    /// Seed for graph generation (subset draws derive from each swept size).
+    pub seed: u64,
+    /// Subset sizes `|U|` to sweep, in increasing order.
+    pub subset_sizes: Vec<usize>,
+    /// Timed measurement repetitions per (size, mode) cell; one untimed
+    /// warmup run precedes them.
+    pub repeats: usize,
+}
+
+impl MaterializeConfig {
+    /// The committed-trajectory configuration: the `BENCH_subgraph_view`
+    /// instance (`random_regular(4096, 8)`, seed 3) swept over
+    /// `|U| ∈ {16, 64, 256, 1024, 4096}`.
+    pub fn full() -> MaterializeConfig {
+        MaterializeConfig {
+            n: 4096,
+            d: 8,
+            seed: 3,
+            subset_sizes: vec![16, 64, 256, 1024, 4096],
+            repeats: 5,
+        }
+    }
+
+    /// CI-sized smoke variant (same race, small instance).
+    pub fn smoke() -> MaterializeConfig {
+        MaterializeConfig {
+            n: 512,
+            d: 8,
+            seed: 3,
+            subset_sizes: vec![16, 64, 256],
+            repeats: 2,
+        }
+    }
+}
+
+/// Measured cost of both modes at one subset size.
+#[derive(Clone, Debug, Serialize)]
+pub struct MaterializeRecord {
+    /// `materialize_policy/<n>/<k>` — same labeling scheme as the other
+    /// `BENCH_*.json` trajectory records.
+    pub label: String,
+    /// The swept subset size `|U|`.
+    pub subset_size: usize,
+    /// Mean nanoseconds per measurement through the zero-copy view
+    /// (`MaterializePolicy::Never`).
+    pub view_ns: f64,
+    /// Mean nanoseconds per measurement with an up-front induced-CSR copy
+    /// (`MaterializePolicy::Always`).
+    pub materialized_ns: f64,
+    /// The cheaper mode at this size: `"view"` or `"materialized"`.
+    pub winner: String,
+}
+
+/// A full materialize-policy report (one shared instance, one record per
+/// swept subset size).
+#[derive(Clone, Debug, Serialize)]
+pub struct MaterializeReport {
+    /// Report discriminator (`"materialize_policy"`).
+    pub bench: String,
+    /// Instance size.
+    pub n: usize,
+    /// Instance degree.
+    pub d: usize,
+    /// Graph seed.
+    pub seed: u64,
+    /// Timed repetitions per cell.
+    pub repeats: usize,
+    /// Per-size measurements, in sweep order.
+    pub records: Vec<MaterializeRecord>,
+    /// The measured `Auto` threshold: the start of the final
+    /// materialized-winning suffix of the sweep — the smallest swept `|U|`
+    /// from which materializing stayed at least as fast as the view at
+    /// every larger swept size. (Taking the suffix rather than the first
+    /// win keeps small-`|U|` timing jitter, where both modes cost a few
+    /// microseconds, from dragging the threshold down.) `None` when the
+    /// view won at the largest swept size.
+    pub crossover_threshold: Option<usize>,
+    /// The engine's compiled-in default threshold
+    /// ([`wx_core::expansion::engine::DEFAULT_MATERIALIZE_THRESHOLD`]),
+    /// echoed so trajectory tooling can flag drift between the committed
+    /// measurement and the shipped default.
+    pub engine_default: usize,
+}
+
+impl MaterializeReport {
+    /// Serializes the report as pretty JSON (a single top-level object, as
+    /// `wx validate` expects).
+    pub fn to_json(&self) -> String {
+        to_json_pretty(self)
+    }
+
+    /// Renders the human-readable summary table.
+    pub fn summary_table(&self) -> String {
+        let rows: Vec<TableRow> = self
+            .records
+            .iter()
+            .map(|r| {
+                TableRow::new(
+                    r.subset_size.to_string(),
+                    vec![
+                        fmt_f64(r.view_ns),
+                        fmt_f64(r.materialized_ns),
+                        r.winner.clone(),
+                    ],
+                )
+            })
+            .collect();
+        render_table(
+            &format!(
+                "materialize policy — random_regular({}, {}), crossover {} (engine default {})",
+                self.n,
+                self.d,
+                self.crossover_threshold
+                    .map_or_else(|| "none".to_string(), |t| t.to_string()),
+                self.engine_default,
+            ),
+            &["|U|", "view_ns", "materialized_ns", "winner"],
+            &rows,
+        )
+    }
+}
+
+/// The bench's engine: the `BENCH_subgraph_view` methodology — sampled
+/// strategy with the light sampler, single-threaded so the race measures
+/// the backend path rather than rayon, fixed seed.
+fn engine(policy: MaterializePolicy) -> MeasurementEngine {
+    MeasurementEngine::builder()
+        .alpha(0.5)
+        .strategy(MeasureStrategy::Sampled)
+        .sampler(SamplerConfig::light(0.5))
+        .parallel(false)
+        .seed(11)
+        .materialize(policy)
+        .build()
+}
+
+/// Mean nanoseconds per `measure_induced` call under `policy`, after one
+/// untimed warmup run.
+fn time_mode(
+    eng: &MeasurementEngine,
+    g: &wx_core::graph::Graph,
+    subset: &VertexSet,
+    repeats: usize,
+) -> f64 {
+    let warm = eng.measure_induced(g, subset, NotionKind::Ordinary, false);
+    let clock = Clock::start();
+    for _ in 0..repeats {
+        let m = eng.measure_induced(g, subset, NotionKind::Ordinary, false);
+        // Keep the measurement observable so the loop cannot be elided,
+        // and catch a broken engine configuration early.
+        assert_eq!(
+            m.as_ref().map(|m| m.value),
+            warm.as_ref().map(|m| m.value),
+            "measure_induced became nondeterministic"
+        );
+    }
+    clock.elapsed_seconds() * 1e9 / repeats.max(1) as f64
+}
+
+/// Runs the sweep: builds the shared instance once, races both modes at
+/// every configured subset size, and derives the measured crossover.
+pub fn run(config: &MaterializeConfig) -> wx_core::graph::Result<MaterializeReport> {
+    let g =
+        wx_core::constructions::families::random_regular_graph(config.n, config.d, config.seed)?;
+    let never = engine(MaterializePolicy::Never);
+    let always = engine(MaterializePolicy::Always);
+
+    let mut records = Vec::new();
+    for &k in &config.subset_sizes {
+        let mut rng = rng_from_seed(k as u64);
+        let subset = random_subset_of_size(&mut rng, config.n, k);
+        let view_ns = time_mode(&never, &g, &subset, config.repeats);
+        let materialized_ns = time_mode(&always, &g, &subset, config.repeats);
+        records.push(MaterializeRecord {
+            label: format!("materialize_policy/{}/{}", config.n, k),
+            subset_size: k,
+            view_ns,
+            materialized_ns,
+            winner: if materialized_ns <= view_ns {
+                "materialized".to_string()
+            } else {
+                "view".to_string()
+            },
+        });
+    }
+
+    // The start of the final materialized-winning suffix: scan from the
+    // largest size down while materializing keeps winning.
+    let crossover_threshold = records
+        .iter()
+        .rev()
+        .take_while(|r| r.materialized_ns <= r.view_ns)
+        .last()
+        .map(|r| r.subset_size);
+
+    Ok(MaterializeReport {
+        bench: "materialize_policy".to_string(),
+        n: config.n,
+        d: config.d,
+        seed: config.seed,
+        repeats: config.repeats,
+        records,
+        crossover_threshold,
+        engine_default: wx_core::expansion::engine::DEFAULT_MATERIALIZE_THRESHOLD,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_produces_well_formed_records() {
+        let config = MaterializeConfig {
+            n: 128,
+            d: 4,
+            subset_sizes: vec![8, 32],
+            repeats: 1,
+            ..MaterializeConfig::smoke()
+        };
+        let report = run(&config).unwrap();
+        assert_eq!(report.bench, "materialize_policy");
+        assert_eq!(report.records.len(), 2);
+        for record in &report.records {
+            assert!(record.view_ns > 0.0, "{record:?}");
+            assert!(record.materialized_ns > 0.0, "{record:?}");
+            assert!(matches!(record.winner.as_str(), "view" | "materialized"));
+        }
+        assert_eq!(report.records[0].label, "materialize_policy/128/8");
+        // any reported crossover names a swept size
+        if let Some(t) = report.crossover_threshold {
+            assert!(config.subset_sizes.contains(&t));
+        }
+        // a single top-level JSON object (wx validate's shape), table renders
+        let json = report.to_json();
+        assert!(json.trim_start().starts_with('{'));
+        assert!(json.contains("\"crossover_threshold\""));
+        assert!(json.contains("\"materialize_policy/128/8\""));
+        assert!(report.summary_table().contains("materialized_ns"));
+    }
+
+    #[test]
+    fn committed_report_crossover_matches_the_engine_default() {
+        // BENCH_materialize_policy.json is the measurement behind the
+        // engine's Auto default: if either side changes without the other,
+        // this test fails and the PR must re-measure or re-wire.
+        let committed = include_str!("../BENCH_materialize_policy.json");
+        let expected = format!(
+            "\"crossover_threshold\": {}",
+            wx_core::expansion::engine::DEFAULT_MATERIALIZE_THRESHOLD
+        );
+        assert!(
+            committed.contains(&expected),
+            "committed crossover and DEFAULT_MATERIALIZE_THRESHOLD drifted \
+             (expected `{expected}` in BENCH_materialize_policy.json)"
+        );
+        assert!(committed.contains("\"bench\": \"materialize_policy\""));
+    }
+}

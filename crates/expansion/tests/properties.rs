@@ -189,4 +189,48 @@ proptest! {
             prop_assert_eq!(a.witness.to_vec(), b.witness.to_vec());
         }
     }
+
+    /// Backend equivalence for the out-of-core path: the three notions agree
+    /// between an [`MmapGraph`] serving a `.wxg` file and the in-memory CSR
+    /// it was written from — exhaustively, witnesses and certificates
+    /// included.
+    #[test]
+    fn three_notions_agree_on_mmap_vs_in_memory_csr(
+        edges in edge_list(12),
+        seed in 0u64..1000,
+    ) {
+        use wx_expansion::engine::{MeasureStrategy, MeasurementEngine, Wireless};
+        use wx_graph::MmapGraph;
+
+        let g = Graph::from_edges(12, edges).unwrap();
+        let dir = std::env::temp_dir()
+            .join(format!("wx-expansion-mmap-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("case-{seed}.wxg"));
+        g.write_wxg(&path).unwrap();
+        let m = MmapGraph::open(&path).unwrap();
+
+        let engine = MeasurementEngine::builder()
+            .alpha(0.5)
+            .strategy(MeasureStrategy::Exact)
+            .seed(seed)
+            .build();
+        let on_mmap = engine.measure_all(&m, &Wireless::default()).unwrap();
+        let on_csr = engine.measure_all(&g, &Wireless::default()).unwrap();
+        for (a, b) in [
+            (&on_mmap.ordinary, &on_csr.ordinary),
+            (&on_mmap.unique, &on_csr.unique),
+            (&on_mmap.wireless, &on_csr.wireless),
+        ] {
+            prop_assert_eq!(a.value, b.value);
+            prop_assert_eq!(a.witness.to_vec(), b.witness.to_vec());
+            prop_assert_eq!(a.exact, b.exact);
+            prop_assert_eq!(
+                a.certificate.as_ref().map(|c| c.to_vec()),
+                b.certificate.as_ref().map(|c| c.to_vec())
+            );
+        }
+        drop(m);
+        std::fs::remove_file(&path).ok();
+    }
 }

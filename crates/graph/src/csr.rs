@@ -261,6 +261,12 @@ impl Graph {
         b.build()
     }
 
+    /// The raw CSR arrays `(offsets, neighbors)` — the exact layout the
+    /// `.wxg` writer in [`crate::disk`] streams to disk.
+    pub(crate) fn csr_parts(&self) -> (&[usize], &[Vertex]) {
+        (&self.offsets, &self.neighbors)
+    }
+
     /// A full vertex set over this graph's universe.
     pub fn full_vertex_set(&self) -> VertexSet {
         VertexSet::full(self.num_vertices())

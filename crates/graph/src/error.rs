@@ -42,10 +42,51 @@ pub enum GraphError {
         msg: String,
     },
 
+    /// A binary `.wxg` graph file was rejected by the on-open validation.
+    /// `defect` classifies the corruption so callers (and tests) can match
+    /// on the failure mode without parsing the message.
+    #[error("invalid .wxg file ({defect}): {msg}")]
+    Format {
+        /// Which validation step rejected the file.
+        defect: WxgDefect,
+        /// Details: expected vs observed values, offending offsets, etc.
+        msg: String,
+    },
+
     /// An underlying filesystem operation failed (message includes the
     /// path and the OS error).
     #[error("I/O error: {0}")]
     Io(String),
+}
+
+/// The classes of defect the `.wxg` on-open validation distinguishes
+/// (see [`crate::mmap::MmapGraph::open`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WxgDefect {
+    /// The file is shorter than its header (or than the payload the header
+    /// declares).
+    Truncated,
+    /// The first 8 bytes are not the `.wxg` magic.
+    BadMagic,
+    /// The header's format version is not one this build understands.
+    UnsupportedVersion,
+    /// The payload checksum does not match the header's.
+    ChecksumMismatch,
+    /// The arrays decode but violate a CSR structural invariant
+    /// (non-monotone offsets, out-of-range or unsorted neighbors, …).
+    Structure,
+}
+
+impl std::fmt::Display for WxgDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WxgDefect::Truncated => "truncated",
+            WxgDefect::BadMagic => "bad magic",
+            WxgDefect::UnsupportedVersion => "unsupported version",
+            WxgDefect::ChecksumMismatch => "checksum mismatch",
+            WxgDefect::Structure => "structure",
+        })
+    }
 }
 
 impl From<std::io::Error> for GraphError {
@@ -95,6 +136,28 @@ mod tests {
         let e: GraphError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
         assert!(matches!(e, GraphError::Io(_)));
         assert!(e.to_string().contains("nope"));
+
+        let e = GraphError::Format {
+            defect: WxgDefect::ChecksumMismatch,
+            msg: "expected 1 got 2".to_string(),
+        };
+        assert!(e.to_string().contains("checksum mismatch"));
+        assert!(e.to_string().contains("expected 1 got 2"));
+    }
+
+    #[test]
+    fn wxg_defects_display_distinctly() {
+        let all = [
+            WxgDefect::Truncated,
+            WxgDefect::BadMagic,
+            WxgDefect::UnsupportedVersion,
+            WxgDefect::ChecksumMismatch,
+            WxgDefect::Structure,
+        ];
+        let mut names: Vec<String> = all.iter().map(|d| d.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
     }
 
     #[test]

@@ -11,6 +11,15 @@
 //!   `c` (comment) / `p edge <n> <m>` (problem) / `e <u> <v>` (edge, 1-based)
 //!   format used by graph-coloring and clique benchmarks.
 //!
+//! Both grammars are implemented as push-based line state machines
+//! (`EdgeListParser` / `DimacsParser`): feed raw lines in order, get fully
+//! validated 0-based edges out. One grammar implementation therefore serves
+//! three consumers — the in-memory string entry points here, the streaming
+//! [`load_graph`] (which reads through a [`BufRead`] line by line into one
+//! reused buffer and never slurps the file), and the bounded-memory `.wxg`
+//! converter in [`crate::disk`] — and they reject exactly the same inputs
+//! with exactly the same errors.
+//!
 //! Malformed input never panics: every defect maps to a precise
 //! [`GraphError`] variant — [`GraphError::Parse`] with the 1-based line
 //! number for syntax problems, [`GraphError::VertexOutOfRange`] /
@@ -22,7 +31,8 @@
 //! build time) but the declared edge count must match the number of edge
 //! *lines*, so truncated files are detected.
 
-use crate::{Graph, GraphBuilder, GraphError, Result};
+use crate::{Graph, GraphBuilder, GraphError, Result, Vertex};
+use std::io::BufRead;
 use std::path::Path;
 
 /// The on-disk formats [`load_graph`] / [`save_graph`] understand.
@@ -72,21 +82,60 @@ fn parse_usize(tok: &str, line: usize, what: &str) -> Result<usize> {
     })
 }
 
-/// Parses the edge-list format.
-///
-/// Grammar (line-oriented): blank lines and lines starting with `#` or `%`
-/// are ignored; the first significant line must be the header `<n> <m>`;
-/// each following significant line is one edge `<u> <v>` with
-/// `0 ≤ u, v < n`. Exactly `m` edge lines must follow the header.
-pub fn parse_edge_list(text: &str) -> Result<Graph> {
-    let mut header: Option<(usize, usize)> = None;
-    let mut builder: Option<GraphBuilder> = None;
-    let mut edge_lines = 0usize;
-    for (idx, raw) in text.lines().enumerate() {
-        let lineno = idx + 1;
+/// Replicates [`GraphBuilder::add_edge`]'s validation — same check order,
+/// same error values — so streaming consumers that bypass the builder (the
+/// `.wxg` converter) reject exactly what the builder path rejects, wrapped
+/// with the offending line number.
+fn check_edge(lineno: usize, u: Vertex, v: Vertex, n: usize) -> Result<()> {
+    let semantic = if u >= n {
+        Some(GraphError::VertexOutOfRange { vertex: u, n })
+    } else if v >= n {
+        Some(GraphError::VertexOutOfRange { vertex: v, n })
+    } else if u == v {
+        Some(GraphError::SelfLoop(u))
+    } else {
+        None
+    };
+    match semantic {
+        Some(e) => Err(parse_err(lineno, e)),
+        None => Ok(()),
+    }
+}
+
+/// A push-based, line-oriented graph parser: feed raw lines in order via
+/// [`line`](LineParser::line), then [`finish`](LineParser::finish) checks
+/// the end-of-input invariants. Implementations hold O(1) state, so any
+/// number of edges can stream through without materializing anything.
+pub(crate) trait LineParser {
+    /// Consumes the 1-based input line `lineno`. Returns
+    /// `Some((n, u, v))` — the declared vertex count plus one fully
+    /// validated 0-based edge — when the line declares an edge; comment,
+    /// blank and header lines return `None`.
+    fn line(&mut self, lineno: usize, raw: &str) -> Result<Option<(usize, Vertex, Vertex)>>;
+
+    /// End-of-input checks (header present, edge count matches); the
+    /// declared `(n, m)`.
+    fn finish(&self) -> Result<(usize, usize)>;
+}
+
+/// Line state machine for the edge-list grammar (see [`parse_edge_list`]).
+#[derive(Debug, Default)]
+pub(crate) struct EdgeListParser {
+    header: Option<(usize, usize)>,
+    edge_lines: usize,
+}
+
+impl EdgeListParser {
+    pub(crate) fn new() -> EdgeListParser {
+        EdgeListParser::default()
+    }
+}
+
+impl LineParser for EdgeListParser {
+    fn line(&mut self, lineno: usize, raw: &str) -> Result<Option<(usize, Vertex, Vertex)>> {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
-            continue;
+            return Ok(None);
         }
         let toks = tokens(line);
         if toks.len() != 2 {
@@ -95,15 +144,15 @@ pub fn parse_edge_list(text: &str) -> Result<Graph> {
                 format!("expected two integers, got {} token(s)", toks.len()),
             ));
         }
-        match header {
+        match self.header {
             None => {
                 let n = parse_usize(toks[0], lineno, "vertex count")?;
                 let m = parse_usize(toks[1], lineno, "edge count")?;
-                header = Some((n, m));
-                builder = Some(GraphBuilder::new(n));
+                self.header = Some((n, m));
+                Ok(None)
             }
-            Some((_, m)) => {
-                if edge_lines == m {
+            Some((n, m)) => {
+                if self.edge_lines == m {
                     return Err(parse_err(
                         lineno,
                         format!("more than the declared {m} edge line(s)"),
@@ -111,55 +160,54 @@ pub fn parse_edge_list(text: &str) -> Result<Graph> {
                 }
                 let u = parse_usize(toks[0], lineno, "edge endpoint")?;
                 let v = parse_usize(toks[1], lineno, "edge endpoint")?;
-                builder
-                    .as_mut()
-                    .expect("builder exists once the header is read")
-                    .add_edge(u, v)
-                    .map_err(|e| parse_err(lineno, e))?;
-                edge_lines += 1;
+                check_edge(lineno, u, v, n)?;
+                self.edge_lines += 1;
+                Ok(Some((n, u, v)))
             }
         }
     }
-    let (_, m) = header.ok_or_else(|| parse_err(0, "missing `<n> <m>` header line"))?;
-    if edge_lines != m {
-        return Err(parse_err(
-            0,
-            format!("header declares {m} edge(s) but the file has {edge_lines}"),
-        ));
+
+    fn finish(&self) -> Result<(usize, usize)> {
+        let (n, m) = self
+            .header
+            .ok_or_else(|| parse_err(0, "missing `<n> <m>` header line"))?;
+        if self.edge_lines != m {
+            return Err(parse_err(
+                0,
+                format!(
+                    "header declares {m} edge(s) but the file has {}",
+                    self.edge_lines
+                ),
+            ));
+        }
+        Ok((n, m))
     }
-    Ok(builder
-        .expect("builder exists once the header is read")
-        .build())
 }
 
-/// Writes the edge-list format (round-trips through [`parse_edge_list`]).
-pub fn format_edge_list(g: &Graph) -> String {
-    let mut out = String::new();
-    out.push_str("# wireless-expanders edge list: `n m` header, then `u v` per edge (0-based)\n");
-    out.push_str(&format!("{} {}\n", g.num_vertices(), g.num_edges()));
-    for (u, v) in g.edges() {
-        out.push_str(&format!("{u} {v}\n"));
-    }
-    out
+/// Line state machine for the DIMACS grammar (see [`parse_dimacs`]).
+#[derive(Debug, Default)]
+pub(crate) struct DimacsParser {
+    header: Option<(usize, usize)>,
+    edge_lines: usize,
 }
 
-/// Parses the DIMACS format: `c` comment lines, one `p edge <n> <m>` problem
-/// line, then `e <u> <v>` edge lines with **1-based** endpoints.
-pub fn parse_dimacs(text: &str) -> Result<Graph> {
-    let mut header: Option<(usize, usize)> = None;
-    let mut builder: Option<GraphBuilder> = None;
-    let mut edge_lines = 0usize;
-    for (idx, raw) in text.lines().enumerate() {
-        let lineno = idx + 1;
+impl DimacsParser {
+    pub(crate) fn new() -> DimacsParser {
+        DimacsParser::default()
+    }
+}
+
+impl LineParser for DimacsParser {
+    fn line(&mut self, lineno: usize, raw: &str) -> Result<Option<(usize, Vertex, Vertex)>> {
         let line = raw.trim();
         if line.is_empty() {
-            continue;
+            return Ok(None);
         }
         let toks = tokens(line);
         match toks[0] {
-            "c" => continue,
+            "c" => Ok(None),
             "p" => {
-                if header.is_some() {
+                if self.header.is_some() {
                     return Err(parse_err(lineno, "duplicate `p` line"));
                 }
                 if toks.len() != 4 || toks[1] != "edge" {
@@ -167,13 +215,14 @@ pub fn parse_dimacs(text: &str) -> Result<Graph> {
                 }
                 let n = parse_usize(toks[2], lineno, "vertex count")?;
                 let m = parse_usize(toks[3], lineno, "edge count")?;
-                header = Some((n, m));
-                builder = Some(GraphBuilder::new(n));
+                self.header = Some((n, m));
+                Ok(None)
             }
             "e" => {
-                let (n, m) =
-                    header.ok_or_else(|| parse_err(lineno, "`e` line before the `p edge` line"))?;
-                if edge_lines == m {
+                let (n, m) = self
+                    .header
+                    .ok_or_else(|| parse_err(lineno, "`e` line before the `p edge` line"))?;
+                if self.edge_lines == m {
                     return Err(parse_err(
                         lineno,
                         format!("more than the declared {m} edge line(s)"),
@@ -193,31 +242,111 @@ pub fn parse_dimacs(text: &str) -> Result<Graph> {
                         format!("vertex {} out of range 1..={n}", u.max(v)),
                     ));
                 }
-                builder
-                    .as_mut()
-                    .expect("builder exists once the `p` line is read")
-                    .add_edge(u - 1, v - 1)
-                    .map_err(|e| parse_err(lineno, e))?;
-                edge_lines += 1;
+                if u == v {
+                    return Err(parse_err(lineno, GraphError::SelfLoop(u - 1)));
+                }
+                self.edge_lines += 1;
+                Ok(Some((n, u - 1, v - 1)))
             }
-            other => {
-                return Err(parse_err(
-                    lineno,
-                    format!("unknown DIMACS line type `{other}` (expected c/p/e)"),
-                ));
-            }
+            other => Err(parse_err(
+                lineno,
+                format!("unknown DIMACS line type `{other}` (expected c/p/e)"),
+            )),
         }
     }
-    let (_, m) = header.ok_or_else(|| parse_err(0, "missing `p edge <n> <m>` line"))?;
-    if edge_lines != m {
-        return Err(parse_err(
-            0,
-            format!("`p` line declares {m} edge(s) but the file has {edge_lines}"),
-        ));
+
+    fn finish(&self) -> Result<(usize, usize)> {
+        let (n, m) = self
+            .header
+            .ok_or_else(|| parse_err(0, "missing `p edge <n> <m>` line"))?;
+        if self.edge_lines != m {
+            return Err(parse_err(
+                0,
+                format!(
+                    "`p` line declares {m} edge(s) but the file has {}",
+                    self.edge_lines
+                ),
+            ));
+        }
+        Ok((n, m))
     }
-    Ok(builder
-        .expect("builder exists once the `p` line is read")
-        .build())
+}
+
+/// Drives a [`LineParser`] over any [`BufRead`], reading line by line into
+/// one reused buffer (peak memory: one line, not the file), and pushes each
+/// validated edge into `sink` as `(lineno, n, u, v)`. Returns the declared
+/// `(n, m)` after the parser's end-of-input checks.
+pub(crate) fn stream_lines<R: BufRead, P: LineParser>(
+    mut reader: R,
+    parser: &mut P,
+    mut sink: impl FnMut(usize, usize, Vertex, Vertex) -> Result<()>,
+) -> Result<(usize, usize)> {
+    let mut buf = String::new();
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        if let Some((n, u, v)) = parser.line(lineno, &buf)? {
+            sink(lineno, n, u, v)?;
+        }
+    }
+    parser.finish()
+}
+
+/// Streams a parser's edges into a [`GraphBuilder`] and finalizes the CSR
+/// graph — the shared body of every parse entry point.
+fn build_graph<R: BufRead, P: LineParser>(reader: R, mut parser: P) -> Result<Graph> {
+    let mut builder: Option<GraphBuilder> = None;
+    let (n, _m) = stream_lines(reader, &mut parser, |lineno, n, u, v| {
+        builder
+            .get_or_insert_with(|| GraphBuilder::new(n))
+            .add_edge(u, v)
+            .map_err(|e| parse_err(lineno, e))
+    })?;
+    Ok(builder.unwrap_or_else(|| GraphBuilder::new(n)).build())
+}
+
+/// Names `path` in parse and read errors, so multi-file scenarios point at
+/// the broken input.
+pub(crate) fn attach_path(e: GraphError, path: &Path) -> GraphError {
+    match e {
+        GraphError::Parse { line, msg } => GraphError::Parse {
+            line,
+            msg: format!("{}: {msg}", path.display()),
+        },
+        GraphError::Io(msg) => GraphError::Io(format!("reading {}: {msg}", path.display())),
+        other => other,
+    }
+}
+
+/// Parses the edge-list format.
+///
+/// Grammar (line-oriented): blank lines and lines starting with `#` or `%`
+/// are ignored; the first significant line must be the header `<n> <m>`;
+/// each following significant line is one edge `<u> <v>` with
+/// `0 ≤ u, v < n`. Exactly `m` edge lines must follow the header.
+pub fn parse_edge_list(text: &str) -> Result<Graph> {
+    build_graph(text.as_bytes(), EdgeListParser::new())
+}
+
+/// Writes the edge-list format (round-trips through [`parse_edge_list`]).
+pub fn format_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str("# wireless-expanders edge list: `n m` header, then `u v` per edge (0-based)\n");
+    out.push_str(&format!("{} {}\n", g.num_vertices(), g.num_edges()));
+    for (u, v) in g.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+/// Parses the DIMACS format: `c` comment lines, one `p edge <n> <m>` problem
+/// line, then `e <u> <v>` edge lines with **1-based** endpoints.
+pub fn parse_dimacs(text: &str) -> Result<Graph> {
+    build_graph(text.as_bytes(), DimacsParser::new())
 }
 
 /// Writes the DIMACS format (round-trips through [`parse_dimacs`]).
@@ -249,18 +378,20 @@ pub fn format_graph(g: &Graph, format: GraphFileFormat) -> String {
 
 /// Loads a graph from `path`, picking the format from the extension
 /// ([`GraphFileFormat::from_path`]).
+///
+/// The file is read **line by line** through a [`std::io::BufReader`] into
+/// one reused buffer — peak memory is the graph under construction plus a
+/// single line, never the whole file, so multi-gigabyte inputs stream.
 pub fn load_graph(path: impl AsRef<Path>) -> Result<Graph> {
     let path = path.as_ref();
-    let text = std::fs::read_to_string(path)
+    let file = std::fs::File::open(path)
         .map_err(|e| GraphError::Io(format!("reading {}: {e}", path.display())))?;
-    parse_graph(&text, GraphFileFormat::from_path(path)).map_err(|e| match e {
-        // name the file, so multi-file scenarios point at the broken input
-        GraphError::Parse { line, msg } => GraphError::Parse {
-            line,
-            msg: format!("{}: {msg}", path.display()),
-        },
-        other => other,
-    })
+    let reader = std::io::BufReader::new(file);
+    let result = match GraphFileFormat::from_path(path) {
+        GraphFileFormat::EdgeList => build_graph(reader, EdgeListParser::new()),
+        GraphFileFormat::Dimacs => build_graph(reader, DimacsParser::new()),
+    };
+    result.map_err(|e| attach_path(e, path))
 }
 
 /// Saves a graph to `path`, picking the format from the extension.
@@ -274,6 +405,7 @@ pub fn save_graph(g: &Graph, path: impl AsRef<Path>) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write as _;
 
     fn petersen_outer() -> Graph {
         // C5 plus an isolated vertex to exercise isolated-vertex round-trips.
@@ -371,6 +503,20 @@ mod tests {
     }
 
     #[test]
+    fn dimacs_rejects_self_loops_with_zero_based_id() {
+        // the builder path reported self-loops on the 0-based id; the
+        // streaming parser must agree byte for byte
+        let err = parse_dimacs("p edge 3 1\ne 2 2\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, ref msg } => {
+                assert_eq!(line, 2);
+                assert_eq!(msg, &GraphError::SelfLoop(1).to_string());
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn dimacs_rejects_unknown_line_type() {
         let err = parse_dimacs("p edge 2 0\nq 1 2\n").unwrap_err();
         assert!(
@@ -428,5 +574,60 @@ mod tests {
         let err = load_graph(&path).unwrap_err();
         assert!(matches!(err, GraphError::Parse { line: 2, .. }), "{err}");
         assert!(err.to_string().contains("broken.edges"), "{err}");
+    }
+
+    #[test]
+    fn load_graph_streams_multi_megabyte_files() {
+        // Regression for the slurping loader: a multi-MB path graph must
+        // load correctly line by line (and in bounded memory — the loader
+        // never calls read_to_string).
+        let dir = std::env::temp_dir().join("wx-graph-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("big.edges");
+        let n = 300_000usize;
+        {
+            let mut w = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+            writeln!(w, "{} {}", n, n - 1).unwrap();
+            for i in 0..n - 1 {
+                writeln!(w, "{} {}", i, i + 1).unwrap();
+            }
+        }
+        assert!(
+            std::fs::metadata(&path).unwrap().len() > 2 * 1024 * 1024,
+            "fixture must be multi-megabyte to exercise streaming"
+        );
+        let g = load_graph(&path).unwrap();
+        assert_eq!(g.num_vertices(), n);
+        assert_eq!(g.num_edges(), n - 1);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_error_deep_in_a_large_file_reports_the_line() {
+        let dir = std::env::temp_dir().join("wx-graph-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("big-broken.edges");
+        let n = 100_000usize;
+        {
+            let mut w = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+            writeln!(w, "{} {}", n, n - 1).unwrap();
+            for i in 0..n - 1 {
+                if i == 60_000 {
+                    writeln!(w, "{} oops", i).unwrap();
+                } else {
+                    writeln!(w, "{} {}", i, i + 1).unwrap();
+                }
+            }
+        }
+        let err = load_graph(&path).unwrap_err();
+        // header is line 1, edge i sits on line i + 2
+        assert!(
+            matches!(err, GraphError::Parse { line: 60_002, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("oops"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 }

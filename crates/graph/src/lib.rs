@@ -6,9 +6,16 @@
 //! every other crate in the workspace builds on:
 //!
 //! * [`view`] — the [`GraphView`] trait every algorithm is generic over,
-//!   with three backends: the CSR [`Graph`] (default), the zero-copy
-//!   induced [`SubgraphView`], and the [`ImplicitGraph`] family backend
-//!   whose neighborhoods are computed on the fly.
+//!   with four backends: the CSR [`Graph`] (default), the zero-copy
+//!   induced [`SubgraphView`], the [`ImplicitGraph`] family backend
+//!   whose neighborhoods are computed on the fly, and the out-of-core
+//!   [`MmapGraph`].
+//! * [`disk`] — the versioned, checksummed `.wxg` on-disk CSR format:
+//!   [`Graph::write_wxg`] for in-memory graphs and the bounded-memory
+//!   external-sort converter [`convert_to_wxg`] for text files that do not
+//!   fit in RAM.
+//! * [`mmap`] — [`MmapGraph`], a read-only zero-copy [`GraphView`] over a
+//!   memory-mapped `.wxg` file, fully validated at open time.
 //! * [`Graph`] — an immutable, compressed-sparse-row undirected graph.
 //! * [`GraphBuilder`] — incremental construction with duplicate-edge and
 //!   self-loop handling.
@@ -48,8 +55,10 @@ pub mod bipartite;
 pub mod builder;
 pub mod csr;
 pub mod degree;
+pub mod disk;
 pub mod error;
 pub mod io;
+pub mod mmap;
 pub mod neighborhood;
 pub mod parallel;
 pub mod petgraph_compat;
@@ -69,7 +78,9 @@ pub use csr::Graph;
 /// `CsrGraph`; both names are the same type, so downstream diffs against
 /// either spelling stay mechanical.
 pub type CsrGraph = csr::Graph;
-pub use error::GraphError;
+pub use disk::{convert_to_wxg, ConvertOptions, ConvertStats};
+pub use error::{GraphError, WxgDefect};
+pub use mmap::MmapGraph;
 pub use scratch::NeighborhoodScratch;
 pub use vertex_set::VertexSet;
 pub use view::{GraphView, ImplicitFamily, ImplicitGraph, SubgraphView};

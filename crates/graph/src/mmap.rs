@@ -1,0 +1,629 @@
+//! [`MmapGraph`]: a read-only, zero-copy [`GraphView`] backend over a
+//! memory-mapped `.wxg` file (see [`crate::disk`] for the byte layout).
+//!
+//! [`MmapGraph::open`] validates the **entire** file once — header fields,
+//! exact file size, payload checksum, and every CSR structural invariant
+//! (monotone offsets bounded by `2m`, strictly increasing in-range
+//! neighbor lists, no self-loops, symmetric edges) — so corruption
+//! surfaces as a typed [`GraphError::Format`] at open time, never as a
+//! panic or a wrong answer later. After validation the query methods trust
+//! the bytes: `degree`, `neighbors_iter` and `has_edge` decode `u64` words
+//! straight out of the mapping with `u64::from_le_bytes`, allocating
+//! nothing.
+//!
+//! Because the adjacency lives in the page cache rather than the heap,
+//! graphs far larger than RAM serve neighborhood queries at whatever speed
+//! the access pattern earns — hot vertices stay resident, cold ones fault
+//! in on demand. Degree extremes are computed during the validation scan,
+//! so `max_degree`/`min_degree` stay O(1) like the in-RAM CSR's.
+//!
+//! This module is covered by the wx-analyze `hot-path-alloc` rule: all
+//! allocation happens in the `from_*` constructors, and the query path is
+//! allocation-free by construction.
+
+use crate::disk::{Fnv1a, WXG_HEADER_LEN, WXG_MAGIC, WXG_VERSION};
+use crate::error::WxgDefect;
+use crate::view::GraphView;
+use crate::{GraphError, Result, Vertex};
+use std::fs::File;
+use std::path::Path;
+
+/// A read-only CSR graph served zero-copy from a memory-mapped `.wxg`
+/// file. Implements [`GraphView`], so every measurement and protocol in
+/// the workspace runs against it unchanged.
+#[derive(Debug)]
+pub struct MmapGraph {
+    map: memmap2::Mmap,
+    n: usize,
+    m: usize,
+    min_degree: usize,
+    max_degree: usize,
+}
+
+/// Decodes the little-endian `u64` at byte offset `pos`.
+#[inline]
+fn u64_at(bytes: &[u8], pos: usize) -> u64 {
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&bytes[pos..pos + 8]);
+    u64::from_le_bytes(word)
+}
+
+/// CSR offset `i` (`0..=n`) inside the payload.
+#[inline]
+fn offset_at(payload: &[u8], i: usize) -> u64 {
+    u64_at(payload, i * 8)
+}
+
+/// Neighbor array slot `slot` (`0..2m`) inside the payload.
+#[inline]
+fn neighbor_at(payload: &[u8], n: usize, slot: usize) -> u64 {
+    u64_at(payload, (n + 1 + slot) * 8)
+}
+
+/// Binary search for `target` in vertex `v`'s (sorted) neighbor list.
+fn list_contains(payload: &[u8], n: usize, v: usize, target: u64) -> bool {
+    let mut lo = offset_at(payload, v) as usize;
+    let mut hi = offset_at(payload, v + 1) as usize;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let w = neighbor_at(payload, n, mid);
+        if w < target {
+            lo = mid + 1;
+        } else if w > target {
+            hi = mid;
+        } else {
+            return true;
+        }
+    }
+    false
+}
+
+fn defect(defect: WxgDefect, msg: String) -> GraphError {
+    GraphError::Format { defect, msg }
+}
+
+impl MmapGraph {
+    /// Opens and fully validates a `.wxg` file. Every way the file can be
+    /// wrong maps to a typed error: [`WxgDefect::Truncated`],
+    /// [`WxgDefect::BadMagic`], [`WxgDefect::UnsupportedVersion`],
+    /// [`WxgDefect::ChecksumMismatch`] or [`WxgDefect::Structure`] inside
+    /// [`GraphError::Format`], and filesystem failures are
+    /// [`GraphError::Io`]. Arbitrary bytes never panic.
+    pub fn open(path: impl AsRef<Path>) -> Result<MmapGraph> {
+        MmapGraph::from_path(path.as_ref())
+    }
+
+    fn from_path(path: &Path) -> Result<MmapGraph> {
+        let file = File::open(path)
+            .map_err(|e| GraphError::Io(format!("opening {}: {e}", path.display())))?;
+        let map = memmap2::Mmap::map(&file)
+            .map_err(|e| GraphError::Io(format!("mapping {}: {e}", path.display())))?;
+        MmapGraph::from_map(map)
+    }
+
+    /// The whole validation pipeline, start to finish, over an existing
+    /// mapping. Cheap header checks run first, then one checksum pass,
+    /// then the structural scan (which also collects the degree extremes).
+    fn from_map(map: memmap2::Mmap) -> Result<MmapGraph> {
+        let bytes: &[u8] = &map;
+        if bytes.len() < WXG_HEADER_LEN {
+            return Err(defect(
+                WxgDefect::Truncated,
+                format!(
+                    "file is {} byte(s), smaller than the {WXG_HEADER_LEN}-byte header",
+                    bytes.len()
+                ),
+            ));
+        }
+        if bytes[..8] != WXG_MAGIC {
+            return Err(defect(
+                WxgDefect::BadMagic,
+                format!("first bytes {:02x?} are not the WXGRAPH magic", &bytes[..8]),
+            ));
+        }
+        let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        if version != WXG_VERSION {
+            return Err(defect(
+                WxgDefect::UnsupportedVersion,
+                format!("file is format version {version}; this build reads version {WXG_VERSION}"),
+            ));
+        }
+        let flags = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+        if flags != 0 {
+            return Err(defect(
+                WxgDefect::UnsupportedVersion,
+                format!("reserved flags 0x{flags:08x} are set; this build understands none"),
+            ));
+        }
+        let n64 = u64_at(bytes, 16);
+        let m64 = u64_at(bytes, 24);
+        let checksum = u64_at(bytes, 32);
+
+        let expected_len = n64
+            .checked_add(1)
+            .and_then(|words| m64.checked_mul(2).and_then(|t| words.checked_add(t)))
+            .and_then(|words| words.checked_mul(8))
+            .and_then(|payload| payload.checked_add(WXG_HEADER_LEN as u64));
+        let (n, m, expected_len) = match (
+            usize::try_from(n64).ok(),
+            usize::try_from(m64).ok(),
+            expected_len.filter(|&e| usize::try_from(e).is_ok()),
+        ) {
+            (Some(n), Some(m), Some(e)) => (n, m, e),
+            _ => {
+                return Err(defect(
+                    WxgDefect::Structure,
+                    format!("header counts n={n64}, m={m64} overflow the address space"),
+                ))
+            }
+        };
+        let actual_len = bytes.len() as u64;
+        if actual_len < expected_len {
+            return Err(defect(
+                WxgDefect::Truncated,
+                format!(
+                    "header declares n={n64}, m={m64} ({expected_len} bytes) but the file has {actual_len}"
+                ),
+            ));
+        }
+        if actual_len > expected_len {
+            return Err(defect(
+                WxgDefect::Structure,
+                format!(
+                    "{} trailing byte(s) after the declared payload",
+                    actual_len - expected_len
+                ),
+            ));
+        }
+
+        let payload = &bytes[WXG_HEADER_LEN..];
+        let mut hasher = Fnv1a::new();
+        hasher.update(payload);
+        let computed = hasher.finish();
+        if computed != checksum {
+            return Err(defect(
+                WxgDefect::ChecksumMismatch,
+                format!("stored 0x{checksum:016x}, computed 0x{computed:016x}"),
+            ));
+        }
+
+        // Structural scan: monotone offsets bounded by 2m, per-vertex
+        // neighbor lists strictly increasing, in range and loop-free.
+        // Degree extremes fall out of the same pass.
+        let two_m = 2 * (m as u64);
+        if offset_at(payload, 0) != 0 {
+            return Err(defect(
+                WxgDefect::Structure,
+                format!("offsets[0] = {} (must be 0)", offset_at(payload, 0)),
+            ));
+        }
+        let mut prev = 0u64;
+        let mut min_degree = usize::MAX;
+        let mut max_degree = 0usize;
+        for v in 0..n {
+            let next = offset_at(payload, v + 1);
+            if next < prev || next > two_m {
+                return Err(defect(
+                    WxgDefect::Structure,
+                    format!(
+                        "offsets[{}] = {next} out of order (previous {prev}, 2m = {two_m})",
+                        v + 1
+                    ),
+                ));
+            }
+            let mut last: Option<u64> = None;
+            for slot in prev..next {
+                let w = neighbor_at(payload, n, slot as usize);
+                if w >= n as u64 {
+                    return Err(defect(
+                        WxgDefect::Structure,
+                        format!("neighbor {w} of vertex {v} out of range 0..{n}"),
+                    ));
+                }
+                if w == v as u64 {
+                    return Err(defect(
+                        WxgDefect::Structure,
+                        format!("self-loop on vertex {v}"),
+                    ));
+                }
+                if last.is_some_and(|l| w <= l) {
+                    return Err(defect(
+                        WxgDefect::Structure,
+                        format!("neighbor list of vertex {v} is not strictly increasing"),
+                    ));
+                }
+                last = Some(w);
+            }
+            let d = (next - prev) as usize;
+            min_degree = min_degree.min(d);
+            max_degree = max_degree.max(d);
+            prev = next;
+        }
+        if prev != two_m {
+            return Err(defect(
+                WxgDefect::Structure,
+                format!("offsets[n] = {prev}, expected 2m = {two_m}"),
+            ));
+        }
+        if min_degree == usize::MAX {
+            min_degree = 0;
+        }
+
+        // Symmetry: every recorded edge must appear in both endpoint lists
+        // (checked once per undirected edge via binary search).
+        for v in 0..n {
+            let start = offset_at(payload, v) as usize;
+            let end = offset_at(payload, v + 1) as usize;
+            for slot in start..end {
+                let w = neighbor_at(payload, n, slot) as usize;
+                if w > v && !list_contains(payload, n, w, v as u64) {
+                    return Err(defect(
+                        WxgDefect::Structure,
+                        format!("edge {v}-{w} is missing its reverse entry"),
+                    ));
+                }
+            }
+        }
+
+        Ok(MmapGraph {
+            map,
+            n,
+            m,
+            min_degree,
+            max_degree,
+        })
+    }
+
+    #[inline]
+    fn payload(&self) -> &[u8] {
+        &self.map[WXG_HEADER_LEN..]
+    }
+
+    #[inline]
+    fn offset(&self, i: usize) -> usize {
+        offset_at(self.payload(), i) as usize
+    }
+
+    #[inline]
+    fn neighbor(&self, slot: usize) -> Vertex {
+        neighbor_at(self.payload(), self.n, slot) as Vertex
+    }
+
+    /// The mapped file's size in bytes.
+    pub fn file_len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Neighbor iterator of an [`MmapGraph`]: decodes one `u64` word out of
+/// the mapping per step; no allocation, no bounds re-derivation.
+pub struct MmapNeighbors<'a> {
+    g: &'a MmapGraph,
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for MmapNeighbors<'_> {
+    type Item = Vertex;
+
+    #[inline]
+    fn next(&mut self) -> Option<Vertex> {
+        if self.next >= self.end {
+            return None;
+        }
+        let v = self.g.neighbor(self.next);
+        self.next += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.end - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for MmapNeighbors<'_> {}
+
+impl GraphView for MmapGraph {
+    type Neighbors<'a> = MmapNeighbors<'a>;
+
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn degree(&self, v: Vertex) -> usize {
+        self.offset(v + 1) - self.offset(v)
+    }
+
+    #[inline]
+    fn neighbors_iter(&self, v: Vertex) -> MmapNeighbors<'_> {
+        MmapNeighbors {
+            g: self,
+            next: self.offset(v),
+            end: self.offset(v + 1),
+        }
+    }
+
+    fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        if u >= self.n || v >= self.n {
+            return false;
+        }
+        list_contains(self.payload(), self.n, u, v as u64)
+    }
+
+    fn degree_sum(&self) -> usize {
+        2 * self.m
+    }
+
+    fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    fn min_degree(&self) -> usize {
+        self.min_degree
+    }
+
+    fn is_regular(&self, d: usize) -> bool {
+        self.n == 0 || (self.min_degree == d && self.max_degree == d)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<MmapGraph>() + self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::materialize;
+    use crate::Graph;
+    use std::path::PathBuf;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("wx-graph-mmap-test").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_graph() -> Graph {
+        Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]).unwrap()
+    }
+
+    fn wxg_bytes(g: &Graph, dir: &Path) -> Vec<u8> {
+        let path = dir.join("pristine.wxg");
+        g.write_wxg(&path).unwrap();
+        std::fs::read(path).unwrap()
+    }
+
+    fn open_bytes(bytes: &[u8], dir: &Path, name: &str) -> Result<MmapGraph> {
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).unwrap();
+        MmapGraph::open(path)
+    }
+
+    /// Recomputes the payload checksum after a test mutated payload bytes,
+    /// so structural defects are reached instead of tripping the checksum.
+    fn rehash(bytes: &mut [u8]) {
+        let mut h = Fnv1a::new();
+        h.update(&bytes[WXG_HEADER_LEN..]);
+        bytes[32..40].copy_from_slice(&h.finish().to_le_bytes());
+    }
+
+    fn expect_defect(result: Result<MmapGraph>, want: WxgDefect) {
+        match result {
+            Err(GraphError::Format { defect, msg }) => {
+                assert_eq!(defect, want, "wrong defect class: {msg}")
+            }
+            Err(other) => panic!("expected Format({want:?}), got {other:?}"),
+            Ok(_) => panic!("expected Format({want:?}), file was accepted"),
+        }
+    }
+
+    #[test]
+    fn round_trip_matches_in_memory_graph() {
+        let dir = test_dir("roundtrip");
+        let g = sample_graph();
+        let path = dir.join("g.wxg");
+        g.write_wxg(&path).unwrap();
+        let mg = MmapGraph::open(&path).unwrap();
+
+        assert_eq!(mg.num_vertices(), g.num_vertices());
+        assert_eq!(mg.num_edges(), g.num_edges());
+        assert_eq!(mg.degree_sum(), g.degree_sum());
+        assert_eq!(mg.max_degree(), g.max_degree());
+        assert_eq!(mg.min_degree(), g.min_degree());
+        for v in 0..g.num_vertices() {
+            assert_eq!(mg.degree(v), g.degree(v), "degree of {v}");
+            let a: Vec<_> = mg.neighbors_iter(v).collect();
+            let b: Vec<_> = g.neighbors_iter(v).collect();
+            assert_eq!(a, b, "neighbors of {v}");
+            assert_eq!(mg.neighbors_iter(v).len(), mg.degree(v), "exact size");
+        }
+        for u in 0..g.num_vertices() {
+            for v in 0..g.num_vertices() {
+                assert_eq!(mg.has_edge(u, v), g.has_edge(u, v), "has_edge({u},{v})");
+            }
+        }
+        assert!(!mg.has_edge(0, 999), "out of range is false, not a panic");
+        assert_eq!(materialize(&mg), g, "materialized mmap view == original");
+        assert!(
+            mg.memory_bytes() >= mg.file_len(),
+            "memory_bytes counts the mapping"
+        );
+    }
+
+    #[test]
+    fn empty_graph_opens() {
+        let dir = test_dir("empty");
+        let g = Graph::from_edges(0, []).unwrap();
+        let path = dir.join("empty.wxg");
+        g.write_wxg(&path).unwrap();
+        let mg = MmapGraph::open(&path).unwrap();
+        assert_eq!(mg.num_vertices(), 0);
+        assert_eq!(mg.num_edges(), 0);
+        assert_eq!(mg.min_degree(), 0);
+        assert_eq!(mg.max_degree(), 0);
+        assert!(mg.is_regular(3), "vacuously regular like the CSR backend");
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let dir = test_dir("missing");
+        let err = MmapGraph::open(dir.join("nope.wxg")).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)), "{err}");
+        assert!(err.to_string().contains("nope.wxg"), "{err}");
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        let dir = test_dir("trunc-header");
+        let bytes = wxg_bytes(&sample_graph(), &dir);
+        expect_defect(
+            open_bytes(&bytes[..20], &dir, "t.wxg"),
+            WxgDefect::Truncated,
+        );
+        expect_defect(open_bytes(&[], &dir, "t0.wxg"), WxgDefect::Truncated);
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let dir = test_dir("trunc-payload");
+        let bytes = wxg_bytes(&sample_graph(), &dir);
+        let cut = bytes.len() - 9;
+        expect_defect(
+            open_bytes(&bytes[..cut], &dir, "t.wxg"),
+            WxgDefect::Truncated,
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let dir = test_dir("trailing");
+        let mut bytes = wxg_bytes(&sample_graph(), &dir);
+        bytes.push(0);
+        expect_defect(open_bytes(&bytes, &dir, "t.wxg"), WxgDefect::Structure);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let dir = test_dir("magic");
+        let mut bytes = wxg_bytes(&sample_graph(), &dir);
+        bytes[0] ^= 0xff;
+        expect_defect(open_bytes(&bytes, &dir, "t.wxg"), WxgDefect::BadMagic);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let dir = test_dir("version");
+        let mut bytes = wxg_bytes(&sample_graph(), &dir);
+        bytes[8] = 2;
+        expect_defect(
+            open_bytes(&bytes, &dir, "t.wxg"),
+            WxgDefect::UnsupportedVersion,
+        );
+    }
+
+    #[test]
+    fn reserved_flags_are_rejected() {
+        let dir = test_dir("flags");
+        let mut bytes = wxg_bytes(&sample_graph(), &dir);
+        bytes[12] = 1;
+        expect_defect(
+            open_bytes(&bytes, &dir, "t.wxg"),
+            WxgDefect::UnsupportedVersion,
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let dir = test_dir("checksum");
+        let mut bytes = wxg_bytes(&sample_graph(), &dir);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        expect_defect(
+            open_bytes(&bytes, &dir, "t.wxg"),
+            WxgDefect::ChecksumMismatch,
+        );
+    }
+
+    #[test]
+    fn out_of_range_neighbor_is_structural() {
+        let dir = test_dir("range");
+        let mut bytes = wxg_bytes(&sample_graph(), &dir);
+        // first neighbor slot sits right after the 7 offsets (n = 6)
+        let slot0 = WXG_HEADER_LEN + 8 * 7;
+        bytes[slot0..slot0 + 8].copy_from_slice(&99u64.to_le_bytes());
+        rehash(&mut bytes);
+        expect_defect(open_bytes(&bytes, &dir, "t.wxg"), WxgDefect::Structure);
+    }
+
+    #[test]
+    fn self_loop_is_structural() {
+        let dir = test_dir("loop");
+        let mut bytes = wxg_bytes(&sample_graph(), &dir);
+        // vertex 0's first neighbor becomes 0 itself
+        let slot0 = WXG_HEADER_LEN + 8 * 7;
+        bytes[slot0..slot0 + 8].copy_from_slice(&0u64.to_le_bytes());
+        rehash(&mut bytes);
+        expect_defect(open_bytes(&bytes, &dir, "t.wxg"), WxgDefect::Structure);
+    }
+
+    #[test]
+    fn asymmetric_edge_is_structural() {
+        let dir = test_dir("asymmetry");
+        // n = 3, single edge 0-1, vertex 2 isolated
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let mut bytes = wxg_bytes(&g, &dir);
+        // vertex 1's list [0] becomes [2]: sorted, in range, loop-free,
+        // but edge 0-1 loses its reverse entry
+        let slot1 = WXG_HEADER_LEN + 8 * 4 + 8;
+        bytes[slot1..slot1 + 8].copy_from_slice(&2u64.to_le_bytes());
+        rehash(&mut bytes);
+        expect_defect(open_bytes(&bytes, &dir, "t.wxg"), WxgDefect::Structure);
+    }
+
+    #[test]
+    fn non_monotone_offsets_are_structural() {
+        let dir = test_dir("offsets");
+        let mut bytes = wxg_bytes(&sample_graph(), &dir);
+        // offsets[1] jumps past 2m
+        let off1 = WXG_HEADER_LEN + 8;
+        bytes[off1..off1 + 8].copy_from_slice(&1000u64.to_le_bytes());
+        rehash(&mut bytes);
+        expect_defect(open_bytes(&bytes, &dir, "t.wxg"), WxgDefect::Structure);
+    }
+
+    #[test]
+    fn absurd_header_counts_do_not_panic() {
+        let dir = test_dir("overflow");
+        let mut bytes = wxg_bytes(&sample_graph(), &dir);
+        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        expect_defect(open_bytes(&bytes, &dir, "t.wxg"), WxgDefect::Structure);
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics() {
+        let dir = test_dir("garbage");
+        // deterministic pseudo-garbage of assorted lengths
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for (i, len) in [0usize, 7, 39, 40, 41, 64, 127, 1024]
+            .into_iter()
+            .enumerate()
+        {
+            let mut bytes = Vec::with_capacity(len);
+            for _ in 0..len {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                bytes.push((state >> 33) as u8);
+            }
+            let name = format!("garbage-{i}.wxg");
+            assert!(open_bytes(&bytes, &dir, &name).is_err());
+        }
+    }
+}

@@ -22,6 +22,18 @@
 //!   computed on the fly from a closed-form family rule
 //!   ([`ImplicitFamily`]): Boolean hypercubes, cycle powers and 2-D tori at
 //!   sizes far beyond what a CSR materialization could hold in RAM.
+//! * [`crate::mmap::MmapGraph`] — an **out-of-core backend**: the same CSR
+//!   layout frozen into a `.wxg` file (see [`crate::disk`]) and served
+//!   zero-copy through a memory mapping, for graphs larger than RAM.
+//!
+//! # Backend matrix
+//!
+//! | backend                  | storage                  | construction        | own state ([`GraphView::memory_bytes`]) |
+//! |--------------------------|--------------------------|---------------------|-----------------------------------------|
+//! | [`Graph`] (CSR)          | heap arrays              | build / parse       | struct + both CSR arrays                |
+//! | [`SubgraphView`]         | borrows base + set       | O(1)                | struct only (base counted elsewhere)    |
+//! | [`ImplicitGraph`]        | closed-form rule         | O(1)                | struct only                             |
+//! | [`crate::mmap::MmapGraph`] | memory-mapped `.wxg`   | open + validate     | struct + the mapped file                |
 //!
 //! # Measuring expansion on an unmaterialized hypercube
 //!
@@ -169,6 +181,16 @@ pub trait GraphView {
     {
         VertexSet::from_iter(self.num_vertices(), vs)
     }
+
+    /// Resident bytes attributable to this backend's **own** state: the
+    /// struct itself plus any storage it owns (CSR arrays, a memory
+    /// mapping). Borrowed data — the base graph behind a [`SubgraphView`] —
+    /// is not counted here; it is owned, and therefore reported, elsewhere.
+    /// O(1) for every backend (exact for the CSR and mmap backends, struct
+    /// size for views and implicit families).
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
 }
 
 /// A reference to a view is a view.
@@ -208,6 +230,9 @@ impl<G: GraphView + ?Sized> GraphView for &G {
     fn is_regular(&self, d: usize) -> bool {
         (**self).is_regular(d)
     }
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
 }
 
 impl GraphView for Graph {
@@ -245,6 +270,12 @@ impl GraphView for Graph {
     }
     fn is_regular(&self, d: usize) -> bool {
         Graph::is_regular(self, d)
+    }
+    fn memory_bytes(&self) -> usize {
+        let (offsets, neighbors) = self.csr_parts();
+        std::mem::size_of::<Graph>()
+            + std::mem::size_of_val(offsets)
+            + std::mem::size_of_val(neighbors)
     }
 }
 
@@ -788,5 +819,25 @@ mod tests {
         assert_eq!(q.num_vertices(), 1 << 30);
         assert_eq!(q.degree((1 << 30) - 1), 30);
         assert!(q.has_edge(123_456_789, 123_456_789 ^ (1 << 20)));
+    }
+
+    #[test]
+    fn memory_bytes_is_exact_for_csr_and_o1_for_views() {
+        let g = cycle(9);
+        // CSR: struct + offsets (n + 1 usizes) + neighbors (2m Vertex)
+        let expected = std::mem::size_of::<Graph>()
+            + 10 * std::mem::size_of::<usize>()
+            + 18 * std::mem::size_of::<Vertex>();
+        assert_eq!(g.memory_bytes(), expected);
+        // forwarding through a reference reports the referent
+        let by_ref: &Graph = &g;
+        assert_eq!(GraphView::memory_bytes(&by_ref), expected);
+
+        // views and implicit families report only their own O(1) state
+        let set = g.full_vertex_set();
+        let view = SubgraphView::new(&g, &set);
+        assert_eq!(view.memory_bytes(), std::mem::size_of_val(&view));
+        let q = ImplicitGraph::hypercube(20).unwrap();
+        assert!(q.memory_bytes() <= 64, "implicit state must stay tiny");
     }
 }

@@ -12,13 +12,15 @@
 //! wx sweep     (--all | NAME...) [--quick] [--seed N] [--out PATH]
 //! wx bench     [--smoke] [--n N] [--d D] [--trials N] [--seed N]
 //!              [--max-rounds N] [--protocols a,b] [--lanes 1,8,64]
-//!              [--out PATH]
+//!              [--materialize] [--out PATH]
+//! wx convert   <input.edges|.col> <output.wxg> [--chunk-capacity EDGES]
 //! wx list
 //! wx validate <report.json | trace.json>
 //! ```
 //!
 //! `SRC` is either inline JSON (`'{"RandomRegular": {"n": 64, "d": 4}}'`) or
-//! a graph file path (extension picks edge-list vs DIMACS). The ad-hoc
+//! a graph file path (extension picks edge-list vs DIMACS vs mmap-served
+//! `.wxg` — build the latter with `wx convert`). The ad-hoc
 //! subcommands (`measure`/`profile`/`spokesman`/`radio`) are sugar: each
 //! assembles a [`ScenarioSpec`] and feeds it to the same [`Runner`] that
 //! `wx run` uses, so a flag combination can always be frozen into a JSON
@@ -69,6 +71,7 @@ fn dispatch(args: &[String]) -> Result<i32> {
         "measure" | "profile" | "spokesman" | "radio" => cmd_adhoc(command, rest),
         "sweep" => cmd_sweep(rest),
         "bench" => cmd_bench(rest),
+        "convert" => cmd_convert(rest),
         "list" => cmd_list(),
         "validate" => cmd_validate(rest),
         "help" | "--help" | "-h" => {
@@ -97,16 +100,23 @@ USAGE:
   wx sweep     (--all | NAME...) [--quick] [--seed N] [--out PATH]
   wx bench     [--smoke] [--n N] [--d D] [--trials N] [--seed N]
                [--max-rounds N] [--protocols a,b] [--lanes 1,8,64]
-               [--out PATH]
+               [--materialize] [--out PATH]
+  wx convert   <input.edges|.col> <output.wxg> [--chunk-capacity EDGES]
   wx list
   wx validate <report.json | trace.json>
 
 SRC is inline JSON like '{\"RandomRegular\": {\"n\": 64, \"d\": 4}}' or a
-graph file path (.edges/.txt = edge list, .col/.dimacs/.clq = DIMACS).
-`wx sweep --all` reproduces every registered paper experiment (e1..e11)
-plus the demo scenarios; `wx bench` races broadcast protocols on a
-production-scale random regular graph and records trials/sec into
+graph file path (.edges/.txt = edge list, .col/.dimacs/.clq = DIMACS,
+.wxg = out-of-core CSR image served through a read-only memory map).
+`wx convert` builds a `.wxg` from a text graph file with a
+bounded-memory external sort, so SNAP-scale corpora convert without
+materializing in RAM (--chunk-capacity caps the in-memory run size, in
+edges). `wx sweep --all` reproduces every registered paper experiment
+(e1..e11) plus the demo scenarios; `wx bench` races broadcast protocols
+on a production-scale random regular graph and records trials/sec into
 BENCH_radio_throughput.json (--smoke for the CI-sized variant);
+`wx bench --materialize` instead sweeps the zero-copy-view vs
+materialized-subgraph crossover into BENCH_materialize_policy.json;
 `wx list` shows everything available. `--trace PATH` writes a Chrome
 trace-event JSON (load in Perfetto); `wx profile` prints a phase-time
 table and `--folded PATH` emits folded stacks for flamegraphs. Tracing
@@ -448,8 +458,55 @@ fn cmd_sweep(args: &[String]) -> Result<i32> {
 /// `BENCH_*.json` trajectory files).
 const BENCH_DEFAULT_OUT: &str = "BENCH_radio_throughput.json";
 
+/// Default output path for `wx bench --materialize` reports.
+const BENCH_MATERIALIZE_OUT: &str = "BENCH_materialize_policy.json";
+
+/// `wx bench --materialize`: sweeps the zero-copy-view vs
+/// materialized-subgraph crossover that backs the measurement engine's
+/// `MaterializePolicy::Auto` default. Shares `--smoke`, `--n`, `--d`,
+/// `--seed`, `--trials` (timed repeats per cell) and `--out` with the
+/// throughput bench.
+fn cmd_bench_materialize(mut flags: Flags) -> Result<i32> {
+    let smoke = flags.take_flag("--smoke");
+    let mut config = if smoke {
+        wx_bench::materialize::MaterializeConfig::smoke()
+    } else {
+        wx_bench::materialize::MaterializeConfig::full()
+    };
+    if let Some(n) = flags.take_parsed::<usize>("--n")? {
+        config.n = n;
+    }
+    if let Some(d) = flags.take_parsed::<usize>("--d")? {
+        config.d = d;
+    }
+    if let Some(repeats) = flags.take_parsed::<usize>("--trials")? {
+        config.repeats = repeats;
+    }
+    if let Some(seed) = flags.take_parsed::<u64>("--seed")? {
+        config.seed = seed;
+    }
+    let out = flags
+        .take_value("--out")?
+        .unwrap_or_else(|| BENCH_MATERIALIZE_OUT.to_string());
+    flags.finish_no_positionals()?;
+
+    eprintln!(
+        "wx bench --materialize: random_regular({}, {}), |U| sweep {:?} ...",
+        config.n, config.d, config.subset_sizes
+    );
+    let report = wx_bench::materialize::run(&config)?;
+    std::fs::write(&out, report.to_json())
+        .map_err(|e| LabError::Io(format!("writing {out}: {e}")))?;
+    eprintln!("bench report written to {out}");
+    eprintln!("{}", report.summary_table());
+    Ok(0)
+}
+
 fn cmd_bench(args: &[String]) -> Result<i32> {
     let mut flags = Flags::new(args);
+    if flags.take_flag("--materialize") {
+        return cmd_bench_materialize(flags);
+    }
     let smoke = flags.take_flag("--smoke");
     let mut config = if smoke {
         wx_bench::throughput::ThroughputConfig::smoke()
@@ -516,6 +573,33 @@ fn cmd_bench(args: &[String]) -> Result<i32> {
     Ok(0)
 }
 
+/// `wx convert`: streams a text graph file into the `.wxg` on-disk CSR
+/// format through the bounded-memory external-sort builder, printing the
+/// conversion statistics. The output is ready for mmap-served scenarios
+/// (`wx measure --source out.wxg`, or `{"EdgeListFile": {"path": ...,
+/// "mmap": true}}` in a spec).
+fn cmd_convert(args: &[String]) -> Result<i32> {
+    let mut flags = Flags::new(args);
+    let chunk = flags.take_parsed::<usize>("--chunk-capacity")?;
+    let positional = flags.finish()?;
+    let [input, output] = positional.as_slice() else {
+        return Err(LabError::invalid(
+            "usage: wx convert <input.edges|.col> <output.wxg> [--chunk-capacity EDGES]",
+        ));
+    };
+    let mut options = wx_core::graph::ConvertOptions::default();
+    if let Some(capacity) = chunk {
+        options.chunk_capacity = capacity;
+    }
+    let stats = wx_core::graph::convert_to_wxg(input, output, &options)?;
+    eprintln!(
+        "wrote {output}: {} vertices, {} unique edges ({} input edge lines), \
+         {} spill chunk(s), {} bytes",
+        stats.vertices, stats.edges_unique, stats.edges_in, stats.spill_chunks, stats.bytes_written
+    );
+    Ok(0)
+}
+
 fn cmd_list() -> Result<i32> {
     println!("built-in scenarios (run with `wx sweep NAME` or `wx sweep --all`):");
     for entry in registry::builtins() {
@@ -548,6 +632,12 @@ fn cmd_list() -> Result<i32> {
         "DimacsFile", "path"
     );
     println!("\nview backends (zero-copy / implicit sources):");
+    println!(
+        "  {:<16} ({:<14}) out-of-core .wxg CSR image served through a \
+         read-only memory map (build with `wx convert`; any *File source \
+         with \"mmap\": true, or just pass a .wxg path)",
+        "MmapGraph", "path, mmap"
+    );
     println!(
         "  {:<16} ({:<14}) unmaterialized family backend: Hypercube(dim), \
          CyclePower(n, power), Torus(rows, cols)",
@@ -998,6 +1088,116 @@ mod tests {
         assert_eq!(main_with_args(&strs(&["bench", "--lanes", "0"])), 2);
         assert_eq!(main_with_args(&strs(&["bench", "--lanes", "65"])), 2);
         assert_eq!(main_with_args(&strs(&["bench", "--lanes", "wide"])), 2);
+    }
+
+    #[test]
+    fn convert_then_mmap_measure_matches_the_in_memory_path() {
+        let dir = std::env::temp_dir().join("wx-lab-cli-convert-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = GraphSource::Margulis { m: 4 }.build(0).unwrap();
+        let edges = dir.join("g.edges");
+        wx_core::graph::io::save_graph(&g, &edges).unwrap();
+        let wxg = dir.join("g.wxg");
+
+        // usage errors: missing positionals
+        assert_eq!(main_with_args(&strs(&["convert"])), 2);
+        // a tiny chunk capacity forces the external-sort spill path
+        assert_eq!(
+            main_with_args(&strs(&[
+                "convert",
+                edges.to_str().unwrap(),
+                wxg.to_str().unwrap(),
+                "--chunk-capacity",
+                "8",
+            ])),
+            0
+        );
+        // the image it wrote is byte-identical to the in-memory writer's
+        let mut direct = wxg.clone();
+        direct.set_extension("direct.wxg");
+        g.write_wxg(&direct).unwrap();
+        assert_eq!(
+            std::fs::read(&wxg).unwrap(),
+            std::fs::read(&direct).unwrap()
+        );
+
+        // measure through the mmap backend and through the text loader:
+        // identical reports except the source label and the backend's
+        // resident-footprint telemetry (which is the point of the policy)
+        let measure = |src: &std::path::Path, out: &std::path::Path| {
+            let code = main_with_args(&strs(&[
+                "measure",
+                "--source",
+                src.to_str().unwrap(),
+                "--notion",
+                "ordinary",
+                "--trials",
+                "2",
+                "--seed",
+                "5",
+                "--name",
+                "convert-e2e",
+                "--out",
+                out.to_str().unwrap(),
+            ]));
+            assert_eq!(code, 0);
+            std::fs::read_to_string(out).unwrap()
+        };
+        let via_mmap = measure(&wxg, &dir.join("mmap.json"));
+        let via_text = measure(&edges, &dir.join("text.json"));
+        assert!(via_mmap.contains("wxg-mmap("), "{via_mmap}");
+        let strip = |report: &str| -> String {
+            report
+                .lines()
+                .filter(|l| !l.contains("\"source\"") && !l.contains("graph.memory_bytes"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&via_mmap), strip(&via_text));
+        // both backends put their footprint into telemetry
+        assert!(via_mmap.contains("graph.memory_bytes"), "{via_mmap}");
+        assert!(via_text.contains("graph.memory_bytes"), "{via_text}");
+        // and the mmap path is deterministic byte-for-byte
+        let again = measure(&wxg, &dir.join("mmap2.json"));
+        assert_eq!(via_mmap, again);
+
+        // graph-layer convert failures surface as runtime errors (exit 1)
+        assert_eq!(
+            main_with_args(&strs(&[
+                "convert",
+                "/definitely/not/there.edges",
+                wxg.to_str().unwrap(),
+            ])),
+            1
+        );
+    }
+
+    #[test]
+    fn bench_materialize_writes_a_crossover_report() {
+        let dir = std::env::temp_dir().join("wx-lab-cli-bench-materialize-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_materialize_policy.json");
+        let code = main_with_args(&strs(&[
+            "bench",
+            "--materialize",
+            "--smoke",
+            "--n",
+            "256",
+            "--d",
+            "4",
+            "--trials",
+            "1",
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"bench\": \"materialize_policy\""), "{json}");
+        assert!(json.contains("\"crossover_threshold\""), "{json}");
+        assert_eq!(
+            main_with_args(&strs(&["validate", out.to_str().unwrap()])),
+            0
+        );
     }
 
     #[test]

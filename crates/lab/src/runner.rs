@@ -288,6 +288,13 @@ impl Runner {
                 let run_batch = |batch: &[TrialSpec]| -> WorkUnit {
                     wx_trace::with_counters(|| {
                         let _span = wx_trace::span("lab.simulate");
+                        // One footprint sample per trial, matching what the
+                        // generic path records — lane and scalar telemetry
+                        // stay byte-identical.
+                        wx_trace::count(
+                            wx_trace::CounterId::GraphMemoryBytes,
+                            (batch.len() as u64) * g.memory_bytes() as u64,
+                        );
                         let mut proto = protocol.build_lanes();
                         let mut seeds = [0u64; MAX_LANES];
                         for (j, trial) in batch.iter().enumerate() {
@@ -454,6 +461,10 @@ macro_rules! with_graph_view {
                 let $g = base;
                 $body
             }
+            BuiltGraph::Mmap(base) => {
+                let $g = &**base;
+                $body
+            }
             BuiltGraph::InducedCsr { base, set } => {
                 let view = SubgraphView::new(base, set);
                 let $g = &view;
@@ -461,6 +472,11 @@ macro_rules! with_graph_view {
             }
             BuiltGraph::InducedImplicit { base, set } => {
                 let view = SubgraphView::new(base, set);
+                let $g = &view;
+                $body
+            }
+            BuiltGraph::InducedMmap { base, set } => {
+                let view = SubgraphView::new(&**base, set);
                 let $g = &view;
                 $body
             }
@@ -495,6 +511,13 @@ fn run_task_with_meta<G: GraphView + Sync + ?Sized>(
     radio_reachable: Option<usize>,
     meta: Option<GraphMeta>,
 ) -> Result<BTreeMap<String, f64>> {
+    // One resident-footprint sample per trial: O(1) on every backend
+    // (CSR and mmap know their sizes; views report their own state), so
+    // telemetry shows what the chosen backend actually keeps in memory.
+    wx_trace::count(
+        wx_trace::CounterId::GraphMemoryBytes,
+        g.memory_bytes() as u64,
+    );
     let mut metrics = execute_task(g, task, seed, radio_reachable)?;
     let (n, m, max_degree) = meta.unwrap_or_else(|| graph_meta(g));
     metrics.insert("graph_n".to_string(), n);
@@ -1066,6 +1089,60 @@ mod tests {
         // distinct lanes draw distinct RNG streams: across 70 trials the
         // round counts must not all collapse to one value
         assert!(report.metrics["rounds"].min < report.metrics["rounds"].max);
+    }
+
+    #[test]
+    fn mmap_sources_measure_identically_to_the_csr_path() {
+        let dir = std::env::temp_dir().join("wx-lab-runner-mmap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("g.edges");
+        let wxg = dir.join("g.wxg");
+        let g = GraphSource::Margulis { m: 4 }.build(0).unwrap();
+        wx_core::graph::io::save_graph(&g, &edges).unwrap();
+        g.write_wxg(&wxg).unwrap();
+        let spec = |source: GraphSource| ScenarioSpec {
+            name: "mmap-vs-csr".to_string(),
+            description: String::new(),
+            source,
+            task: Task::Measure {
+                notion: NotionKind::Wireless,
+                alpha: Some(0.5),
+                exact_up_to: Some(10),
+                fast: Some(true),
+            },
+            trials: 2,
+            seed: 17,
+        };
+        let mmap_source = GraphSource::from_file_path(wxg.to_str().unwrap());
+        let text_source = GraphSource::from_file_path(edges.to_str().unwrap());
+        let on_mmap = Runner::new().run(&spec(mmap_source.clone())).unwrap();
+        let on_text = Runner::new().run(&spec(text_source)).unwrap();
+        // identical measurement content: aggregates and raw trial records
+        assert_eq!(on_mmap.metrics, on_text.metrics);
+        assert_eq!(
+            serde_json::to_string(&on_mmap.per_trial).unwrap(),
+            serde_json::to_string(&on_text.per_trial).unwrap()
+        );
+        // telemetry agrees except the resident footprint, which reports
+        // what each backend actually holds: trials × memory_bytes
+        let mapped = wx_core::graph::MmapGraph::open(&wxg).unwrap();
+        assert_eq!(
+            on_mmap.telemetry["graph.memory_bytes"],
+            2 * mapped.memory_bytes() as u64
+        );
+        assert_eq!(
+            on_text.telemetry["graph.memory_bytes"],
+            2 * g.memory_bytes() as u64
+        );
+        let strip = |t: &BTreeMap<String, u64>| {
+            let mut t = t.clone();
+            t.remove("graph.memory_bytes");
+            t
+        };
+        assert_eq!(strip(&on_mmap.telemetry), strip(&on_text.telemetry));
+        // byte-identical across reruns and across thread counts
+        let again = Runner::new().sequential().run(&spec(mmap_source)).unwrap();
+        assert_eq!(on_mmap.to_json(), again.to_json());
     }
 
     #[test]

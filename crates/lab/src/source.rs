@@ -24,10 +24,13 @@
 //!   source, replacing the `O(n + m)` induced-subgraph materialization.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use wx_core::constructions::families;
 use wx_core::graph::random::{random_subset_of_size_sparse, rng_from_seed};
 use wx_core::graph::view::materialize;
-use wx_core::graph::{io as graph_io, Graph, GraphError, ImplicitFamily, ImplicitGraph, VertexSet};
+use wx_core::graph::{
+    io as graph_io, Graph, GraphError, ImplicitFamily, ImplicitGraph, MmapGraph, VertexSet,
+};
 
 /// A declarative graph source: family generators, random generators and
 /// file loaders behind one serializable enum.
@@ -86,11 +89,23 @@ pub enum GraphSource {
     EdgeListFile {
         /// Path, relative to the working directory.
         path: String,
+        /// Serve the file as a memory-mapped `.wxg` CSR image instead of
+        /// parsing text: the path must be a `.wxg` built by `wx convert`
+        /// (or [`Graph::write_wxg`]); trials then run on the zero-copy
+        /// [`MmapGraph`] backend and never
+        /// materialize the graph in RAM. Defaults to `false`.
+        #[serde(default)]
+        mmap: bool,
     },
     /// DIMACS file (`c` / `p edge n m` / `e u v`, 1-based).
     DimacsFile {
         /// Path, relative to the working directory.
         path: String,
+        /// Serve the file as a memory-mapped `.wxg` CSR image instead of
+        /// parsing text (see [`GraphSource::EdgeListFile`]). Defaults to
+        /// `false`.
+        #[serde(default)]
+        mmap: bool,
     },
     /// An implicit graph backend: neighborhoods computed on the fly from a
     /// closed-form family rule, never materialized. Tasks run directly on
@@ -136,14 +151,19 @@ pub(crate) fn induced_subset_for_seed(
 }
 
 /// A graph built by [`GraphSource::build_backend`]: the CSR default, the
-/// implicit family backend, or a base-plus-subset pair the runner wraps in a
-/// zero-copy [`SubgraphView`](wx_core::graph::SubgraphView) at task time.
+/// implicit family backend, the out-of-core mmap backend, or a
+/// base-plus-subset pair the runner wraps in a zero-copy
+/// [`SubgraphView`](wx_core::graph::SubgraphView) at task time.
 #[derive(Clone, Debug)]
 pub enum BuiltGraph {
     /// A materialized CSR graph.
     Csr(Graph),
     /// An implicit family backend.
     Implicit(ImplicitGraph),
+    /// An out-of-core `.wxg` backend: the CSR arrays stay in the page
+    /// cache behind a read-only memory mapping. The `Arc` keeps
+    /// [`BuiltGraph`] cheaply cloneable without remapping the file.
+    Mmap(Arc<MmapGraph>),
     /// An induced view over a materialized base.
     InducedCsr {
         /// The base graph.
@@ -155,6 +175,13 @@ pub enum BuiltGraph {
     InducedImplicit {
         /// The base backend.
         base: ImplicitGraph,
+        /// The inducing subset (universe = base's vertex count).
+        set: VertexSet,
+    },
+    /// An induced view over a memory-mapped base.
+    InducedMmap {
+        /// The base backend.
+        base: Arc<MmapGraph>,
         /// The inducing subset (universe = base's vertex count).
         set: VertexSet,
     },
@@ -170,9 +197,13 @@ impl GraphSource {
         match self.build_backend(seed)? {
             BuiltGraph::Csr(g) => Ok(g),
             BuiltGraph::Implicit(g) => Ok(materialize(&g)),
+            BuiltGraph::Mmap(g) => Ok(materialize(&*g)),
             BuiltGraph::InducedCsr { base, set } => Ok(base.induced_subgraph(&set).0),
             BuiltGraph::InducedImplicit { base, set } => {
                 Ok(materialize(&base).induced_subgraph(&set).0)
+            }
+            BuiltGraph::InducedMmap { base, set } => {
+                Ok(materialize(&*base).induced_subgraph(&set).0)
             }
         }
     }
@@ -198,8 +229,12 @@ impl GraphSource {
                 csr(families::complete_k_ary_tree(*arity, *levels))
             }
             GraphSource::RandomTree { n } => csr(families::random_tree(*n, seed)),
-            GraphSource::EdgeListFile { path } | GraphSource::DimacsFile { path } => {
-                csr(graph_io::load_graph(path))
+            GraphSource::EdgeListFile { path, mmap } | GraphSource::DimacsFile { path, mmap } => {
+                if *mmap {
+                    MmapGraph::open(path).map(|g| BuiltGraph::Mmap(Arc::new(g)))
+                } else {
+                    csr(graph_io::load_graph(path))
+                }
             }
             GraphSource::Implicit { family } => {
                 ImplicitGraph::new(*family).map(BuiltGraph::Implicit)
@@ -216,7 +251,13 @@ impl GraphSource {
                         use wx_core::graph::GraphView;
                         g.num_vertices()
                     }
-                    BuiltGraph::InducedCsr { .. } | BuiltGraph::InducedImplicit { .. } => {
+                    BuiltGraph::Mmap(g) => {
+                        use wx_core::graph::GraphView;
+                        g.num_vertices()
+                    }
+                    BuiltGraph::InducedCsr { .. }
+                    | BuiltGraph::InducedImplicit { .. }
+                    | BuiltGraph::InducedMmap { .. } => {
                         return Err(GraphError::invalid(
                             "induced sources cannot nest another induced source",
                         ))
@@ -246,11 +287,14 @@ impl GraphSource {
                 match built {
                     BuiltGraph::Csr(base) => Ok(BuiltGraph::InducedCsr { base, set }),
                     BuiltGraph::Implicit(base) => Ok(BuiltGraph::InducedImplicit { base, set }),
+                    BuiltGraph::Mmap(base) => Ok(BuiltGraph::InducedMmap { base, set }),
                     // Nested induced bases were rejected when `n` was taken
                     // above; propagate rather than panic if that ever drifts.
-                    BuiltGraph::InducedCsr { .. } | BuiltGraph::InducedImplicit { .. } => Err(
-                        GraphError::invalid("induced sources cannot nest another induced source"),
-                    ),
+                    BuiltGraph::InducedCsr { .. }
+                    | BuiltGraph::InducedImplicit { .. }
+                    | BuiltGraph::InducedMmap { .. } => Err(GraphError::invalid(
+                        "induced sources cannot nest another induced source",
+                    )),
                 }
             }
         }
@@ -281,8 +325,10 @@ impl GraphSource {
                 format!("k-ary-tree(arity={arity}, levels={levels})")
             }
             GraphSource::RandomTree { n } => format!("random-tree(n={n})"),
-            GraphSource::EdgeListFile { path } => format!("edge-list({path})"),
-            GraphSource::DimacsFile { path } => format!("dimacs({path})"),
+            GraphSource::EdgeListFile { path, mmap: false } => format!("edge-list({path})"),
+            GraphSource::DimacsFile { path, mmap: false } => format!("dimacs({path})"),
+            GraphSource::EdgeListFile { path, mmap: true }
+            | GraphSource::DimacsFile { path, mmap: true } => format!("wxg-mmap({path})"),
             GraphSource::Implicit { family } => format!("implicit:{}", family.label()),
             GraphSource::Induced {
                 base,
@@ -331,15 +377,27 @@ impl GraphSource {
         }
     }
 
-    /// Builds a file source from a path, dispatching on the extension the
-    /// same way [`graph_io::GraphFileFormat::from_path`] does.
+    /// Builds a file source from a path: `.wxg` paths become a memory-mapped
+    /// out-of-core source (`mmap: true`), everything else dispatches on the
+    /// extension the same way [`graph_io::GraphFileFormat::from_path`] does.
     pub fn from_file_path(path: &str) -> GraphSource {
+        if std::path::Path::new(path)
+            .extension()
+            .is_some_and(|ext| ext.eq_ignore_ascii_case("wxg"))
+        {
+            return GraphSource::EdgeListFile {
+                path: path.to_string(),
+                mmap: true,
+            };
+        }
         match graph_io::GraphFileFormat::from_path(std::path::Path::new(path)) {
             graph_io::GraphFileFormat::Dimacs => GraphSource::DimacsFile {
                 path: path.to_string(),
+                mmap: false,
             },
             graph_io::GraphFileFormat::EdgeList => GraphSource::EdgeListFile {
                 path: path.to_string(),
+                mmap: false,
             },
         }
     }
@@ -541,5 +599,68 @@ mod tests {
         let from_dimacs = GraphSource::from_file_path(dimacs.to_str().unwrap());
         assert!(matches!(from_dimacs, GraphSource::DimacsFile { .. }));
         assert_eq!(from_dimacs.build(0).unwrap(), g);
+    }
+
+    #[test]
+    fn wxg_paths_build_the_mmap_backend() {
+        let g = GraphSource::Hypercube { dim: 4 }.build(0).unwrap();
+        let dir = std::env::temp_dir().join("wx-lab-source-wxg-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let wxg = dir.join("g.wxg");
+        g.write_wxg(&wxg).unwrap();
+        let path = wxg.to_str().unwrap();
+
+        // `.wxg` paths dispatch to the out-of-core mmap backend
+        let src = GraphSource::from_file_path(path);
+        assert!(
+            matches!(&src, GraphSource::EdgeListFile { mmap: true, .. }),
+            "{src:?}"
+        );
+        assert!(!src.is_randomized());
+        assert_eq!(src.label(), format!("wxg-mmap({path})"));
+        let BuiltGraph::Mmap(backend) = src.build_backend(0).unwrap() else {
+            panic!("a .wxg source must build the mmap backend");
+        };
+        use wx_core::graph::GraphView;
+        assert_eq!(backend.num_vertices(), 16);
+        // the materialized fallback round-trips to the original graph
+        assert_eq!(src.build(0).unwrap(), g);
+
+        // induced sources run zero-copy over the mmap base
+        let induced = GraphSource::Induced {
+            base: Box::new(src.clone()),
+            size: None,
+            vertices: Some(vec![0, 1, 2, 3, 4, 5]),
+        };
+        let BuiltGraph::InducedMmap { set, .. } = induced.build_backend(0).unwrap() else {
+            panic!("induced-of-mmap must keep the base mapped");
+        };
+        assert_eq!(set.len(), 6);
+        assert_eq!(
+            induced.build(0).unwrap(),
+            g.induced_subgraph(&g.vertex_set(vec![0, 1, 2, 3, 4, 5])).0
+        );
+
+        // specs that predate the flag still parse (serde default = false)
+        let legacy: GraphSource =
+            serde_json::from_str(r#"{"EdgeListFile": {"path": "g.edges"}}"#).unwrap();
+        assert!(matches!(
+            legacy,
+            GraphSource::EdgeListFile { mmap: false, .. }
+        ));
+        // an mmap source round-trips through JSON
+        let json = serde_json::to_string(&src).unwrap();
+        let back: GraphSource = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, src);
+
+        // a text file behind `mmap: true` is rejected by the open-time
+        // validation (bad magic), never parsed as garbage
+        let edges = dir.join("g.edges");
+        wx_core::graph::io::save_graph(&g, &edges).unwrap();
+        let bogus = GraphSource::EdgeListFile {
+            path: edges.to_str().unwrap().to_string(),
+            mmap: true,
+        };
+        assert!(bogus.build_backend(0).is_err());
     }
 }

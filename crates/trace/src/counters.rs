@@ -39,6 +39,11 @@ pub enum CounterId {
     EnginePoolSets,
     /// Candidate sets submitted for evaluation by `minimize`/`evaluate_pool`.
     EngineSetsEvaluated,
+    /// Induced-subgraph measurements that materialized a CSR copy
+    /// (`measure_induced` under its `MaterializePolicy`).
+    EngineInducedMaterialized,
+    /// Induced-subgraph measurements served through the zero-copy view.
+    EngineInducedViewed,
     /// Candidate sets drawn by the sampler (`CandidateSets::generate`).
     SamplerDraws,
     /// Vertices promoted by the greedy spokesman solver.
@@ -56,10 +61,16 @@ pub enum CounterId {
     RadioLaneRounds,
     /// Lanes that reached their completion target and retired.
     RadioLanesCompleted,
+    /// Resident bytes of the graph backend each trial measured against
+    /// (summed over trials; one [`GraphView::memory_bytes`] sample per
+    /// trial, so `/ trials` recovers the per-trial footprint).
+    ///
+    /// [`GraphView::memory_bytes`]: https://docs.rs/wx-graph
+    GraphMemoryBytes,
 }
 
 /// Number of distinct counters (the length of [`CounterId::ALL`]).
-pub const NUM_COUNTERS: usize = 12;
+pub const NUM_COUNTERS: usize = 15;
 
 impl CounterId {
     /// Every counter, in `repr` order.
@@ -68,6 +79,8 @@ impl CounterId {
         CounterId::EngineStrategySampled,
         CounterId::EnginePoolSets,
         CounterId::EngineSetsEvaluated,
+        CounterId::EngineInducedMaterialized,
+        CounterId::EngineInducedViewed,
         CounterId::SamplerDraws,
         CounterId::SpokesmanGreedyPicks,
         CounterId::SpokesmanFlipsAccepted,
@@ -76,6 +89,7 @@ impl CounterId {
         CounterId::RadioInformedFinal,
         CounterId::RadioLaneRounds,
         CounterId::RadioLanesCompleted,
+        CounterId::GraphMemoryBytes,
     ];
 
     /// The dotted name under which this counter appears in telemetry.
@@ -86,6 +100,8 @@ impl CounterId {
             CounterId::EngineStrategySampled => "engine.strategy_sampled",
             CounterId::EnginePoolSets => "engine.pool_sets",
             CounterId::EngineSetsEvaluated => "engine.sets_evaluated",
+            CounterId::EngineInducedMaterialized => "engine.induced_materialized",
+            CounterId::EngineInducedViewed => "engine.induced_viewed",
             CounterId::SamplerDraws => "sampler.draws",
             CounterId::SpokesmanGreedyPicks => "spokesman.greedy_picks",
             CounterId::SpokesmanFlipsAccepted => "spokesman.flips_accepted",
@@ -94,6 +110,7 @@ impl CounterId {
             CounterId::RadioInformedFinal => "radio.informed_final",
             CounterId::RadioLaneRounds => "radio.lane_rounds",
             CounterId::RadioLanesCompleted => "radio.lanes_completed",
+            CounterId::GraphMemoryBytes => "graph.memory_bytes",
         }
     }
 }

@@ -1,0 +1,184 @@
+//! Offline API-compatible shim for the `memmap2` crate, reduced to the one
+//! capability the workspace needs: **read-only, private file mappings**.
+//!
+//! The real `memmap2` exposes `Mmap::map` as an `unsafe fn` because a mapped
+//! file can be truncated or mutated behind the mapping's back by another
+//! process. This shim keeps the same type and method names but makes the
+//! constructor safe: the workspace only maps immutable `.wxg` artifacts it
+//! wrote itself, and every reader revalidates lengths and checksums before
+//! trusting the bytes (a torn read surfaces as a checksum error, not UB in
+//! any path the workspace exercises). Swapping in the real crate means
+//! wrapping the call sites in `unsafe { .. }` and nothing else.
+//!
+//! Like the other shims, this crate is the designated home for the `unsafe`
+//! it needs (the workspace crates all `forbid(unsafe_code)`): two
+//! `extern "C"` declarations for libc's `mmap`/`munmap`, which `std`
+//! already links.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::os::fd::AsRawFd;
+use std::os::raw::{c_int, c_void};
+
+const PROT_READ: c_int = 1;
+const MAP_PRIVATE: c_int = 2;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        length: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, length: usize) -> c_int;
+}
+
+/// A read-only memory mapping of an entire file.
+///
+/// Dereferences to `[u8]`; the mapping is released on drop. Zero-length
+/// files are represented without a kernel mapping (POSIX `mmap` rejects
+/// `length == 0`), so mapping an empty file succeeds and yields `&[]`.
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *mut c_void,
+    len: usize,
+}
+
+// The mapping is immutable (PROT_READ, MAP_PRIVATE) for its whole lifetime,
+// so shared references to it are as sendable as any `&[u8]`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// Deviation from the real crate: safe instead of `unsafe fn` — see the
+    /// crate docs for the argument and the migration note.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: the fd is valid for the duration of the call, length is
+        // nonzero, and we request a plain read-only private mapping. The
+        // returned region is owned by `Mmap` and unmapped exactly once in
+        // `Drop`.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// The mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the mapped file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` came from a successful PROT_READ mapping of exactly
+        // `len` bytes that stays alive until `Drop`; u8 has no alignment or
+        // validity requirements.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: `ptr`/`len` describe a live mapping created in `map`;
+            // after this call nothing dereferences it (we are in Drop).
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("wx-memmap2-shim-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let path = temp_path("contents.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert!(!map.is_empty());
+        assert_eq!(&map[..], &payload[..]);
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty.bin");
+        std::fs::File::create(&path).unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+        assert_eq!(&map[..], &[] as &[u8]);
+    }
+
+    #[test]
+    fn mapping_survives_file_unlink() {
+        // The Linux semantics the lab relies on for temp `.wxg` files:
+        // unlink after open keeps the mapping readable.
+        let path = temp_path("unlinked.bin");
+        std::fs::write(&path, b"still here").unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        drop(file);
+        assert_eq!(&map[..], b"still here");
+    }
+
+    #[test]
+    fn drop_releases_the_mapping() {
+        let path = temp_path("dropped.bin");
+        std::fs::write(&path, vec![7u8; 4096]).unwrap();
+        for _ in 0..64 {
+            let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+            assert_eq!(map[0], 7);
+        }
+    }
+}

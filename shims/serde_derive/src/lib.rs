@@ -1,8 +1,10 @@
 //! Derive macros for the offline `serde` shim.
 //!
 //! Supports the subset of shapes this workspace derives on:
-//! plain structs with named fields (optionally `#[serde(skip)]` per field)
-//! and enums whose variants are all unit variants. No generics.
+//! plain structs with named fields, and enums mixing unit variants with
+//! externally-tagged struct variants. Fields (struct or variant) may carry
+//! `#[serde(skip)]`, `#[serde(default)]`, or `#[serde(default = "path")]`.
+//! No generics.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -142,6 +144,21 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             if f.skip {
                                 inner.push_str(&format!(
                                     "{}: ::core::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else if let Some(default) = &f.default {
+                                let default_expr = match default {
+                                    None => "::core::default::Default::default()".to_string(),
+                                    Some(path) => format!("{path}()"),
+                                };
+                                inner.push_str(&format!(
+                                    "{0}: {{\n\
+                                     let __f = __inner.take(\"{0}\");\n\
+                                     if ::core::matches!(__f, ::serde::Value::Null) {{ {default_expr} }}\n\
+                                     else {{ ::serde::from_value(__f).map_err(|__e| \
+                                     <__D::Error as ::serde::de::Error>::custom(\
+                                     ::std::format!(\"field `{0}` of {name}::{vname}: {{}}\", __e)))? }}\n\
+                                     }},\n",
                                     f.name
                                 ));
                             } else {
