@@ -48,6 +48,7 @@ impl Config {
                 "spokesman",
                 "radio",
                 "trace",
+                "serve",
             ]),
             // The sanctioned clock lives in wx-trace; everything else —
             // including the bench harnesses, which used to carry a
@@ -62,9 +63,9 @@ impl Config {
                 "crates/radio/src/protocols/",
                 "crates/radio/src/bitslice.rs",
             ]),
-            hygiene_allowed: s(&["crates/lab/src/cli.rs"]),
+            hygiene_allowed: s(&["crates/lab/src/cli.rs", "crates/serve/src/cli.rs"]),
             constructor_names: s(&["new", "default", "build", "empty"]),
-            panic_free_crates: s(&["lab", "core", "trace"]),
+            panic_free_crates: s(&["lab", "core", "trace", "serve"]),
         }
     }
 }
@@ -159,6 +160,19 @@ mod tests {
         assert!(!matches_any_prefix(
             "crates/radio/src/simulator.rs",
             &cfg.hot_path_modules
+        ));
+        // the serving layer feeds report bytes straight to clients, so it
+        // carries the determinism + panic-freedom contracts; its CLI file
+        // is the presentation layer
+        assert!(cfg.hash_container_crates.iter().any(|c| c == "serve"));
+        assert!(cfg.panic_free_crates.iter().any(|c| c == "serve"));
+        assert!(matches_any_prefix(
+            "crates/serve/src/cli.rs",
+            &cfg.hygiene_allowed
+        ));
+        assert!(!matches_any_prefix(
+            "crates/serve/src/service.rs",
+            &cfg.hygiene_allowed
         ));
     }
 }

@@ -124,13 +124,16 @@ never changes report bytes. `wx validate` checks reports and traces."
 }
 
 /// A tiny flag parser: consumes `--flag value` pairs and boolean flags from
-/// an argument list, leaving positional arguments behind.
-struct Flags {
+/// an argument list, leaving positional arguments behind. Public so the
+/// `wx-serve` front end parses its own subcommands with identical
+/// semantics and error shapes.
+pub struct Flags {
     rest: Vec<String>,
 }
 
 impl Flags {
-    fn new(args: &[String]) -> Flags {
+    /// Wraps an argument list for flag extraction.
+    pub fn new(args: &[String]) -> Flags {
         Flags {
             rest: args.to_vec(),
         }
@@ -139,7 +142,7 @@ impl Flags {
     /// Removes `--name <value>` and returns the value. A following token
     /// that is itself a `--flag` counts as a missing value, not a value, so
     /// `--out --sequential` errors instead of writing to `--sequential`.
-    fn take_value(&mut self, name: &str) -> Result<Option<String>> {
+    pub fn take_value(&mut self, name: &str) -> Result<Option<String>> {
         if let Some(i) = self.rest.iter().position(|a| a == name) {
             match self.rest.get(i + 1) {
                 None => Err(LabError::invalid(format!("{name} needs a value"))),
@@ -158,7 +161,7 @@ impl Flags {
     }
 
     /// Removes `--name <value>` and parses it.
-    fn take_parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>> {
+    pub fn take_parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>> {
         match self.take_value(name)? {
             None => Ok(None),
             Some(raw) => raw
@@ -169,7 +172,7 @@ impl Flags {
     }
 
     /// Removes a boolean `--name` flag.
-    fn take_flag(&mut self, name: &str) -> bool {
+    pub fn take_flag(&mut self, name: &str) -> bool {
         if let Some(i) = self.rest.iter().position(|a| a == name) {
             self.rest.remove(i);
             true
@@ -179,7 +182,7 @@ impl Flags {
     }
 
     /// The remaining positional arguments; errors on leftover `--flags`.
-    fn finish(self) -> Result<Vec<String>> {
+    pub fn finish(self) -> Result<Vec<String>> {
         if let Some(flag) = self.rest.iter().find(|a| a.starts_with("--")) {
             return Err(LabError::invalid(format!("unknown flag `{flag}`")));
         }
@@ -188,7 +191,7 @@ impl Flags {
 
     /// Like [`Flags::finish`] but for commands that take no positionals:
     /// any leftover argument is an error rather than silently ignored.
-    fn finish_no_positionals(self) -> Result<()> {
+    pub fn finish_no_positionals(self) -> Result<()> {
         let rest = self.finish()?;
         if let Some(arg) = rest.first() {
             return Err(LabError::invalid(format!(

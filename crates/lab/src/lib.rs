@@ -19,6 +19,13 @@
 //!   into mean/median/min/max/p95 — emitting a JSON
 //!   [`runner::ScenarioReport`] that is byte-identical
 //!   across runs of the same spec.
+//! * [`canon`] — canonical JSON serialization and the FNV-1a content
+//!   addresses (spec keys, graph-instance keys, solution keys) the
+//!   artifact cache and `wx serve` coalescing are keyed by.
+//! * [`cache`] — the [`cache::GraphStore`]/[`cache::SolutionStore`] seam
+//!   [`runner::Runner::run_ctx`] threads through trial execution, plus
+//!   [`cache::ArtifactCache`], the byte-budgeted LRU implementation with
+//!   in-flight build coalescing and optional on-disk solution artifacts.
 //! * [`registry`] — named built-in scenarios, including the eleven
 //!   `e1`..`e11` paper experiments, so `wx sweep --all` reproduces the
 //!   whole paper in one command.
@@ -52,6 +59,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod canon;
 pub mod cli;
 pub mod error;
 pub mod registry;
@@ -59,6 +68,7 @@ pub mod runner;
 pub mod source;
 pub mod spec;
 
+pub use cache::{ArtifactCache, CacheConfig, CacheStats, RunContext};
 pub use error::{LabError, Result};
 pub use runner::{Runner, ScenarioReport, TrialPlan};
 pub use source::GraphSource;

@@ -15,6 +15,7 @@
 //! serializable [`SweepReport`] whose exit status callers can trust: an
 //! entry passes only if it ran to completion and produced a report.
 
+use crate::cache::{ArtifactCache, CacheConfig, RunContext};
 use crate::error::{LabError, Result};
 use crate::runner::{Runner, ScenarioReport};
 use crate::source::GraphSource;
@@ -253,10 +254,22 @@ impl SweepReport {
 
 /// Executes one built-in entry.
 pub fn run_builtin(entry: &BuiltinScenario, runner: &Runner, opts: SweepOptions) -> SweepEntry {
+    run_builtin_ctx(entry, runner, opts, &RunContext::default())
+}
+
+/// [`run_builtin`] against a shared artifact cache: sweep cells whose
+/// sources coincide (same family, same derived build seeds) reuse built
+/// graphs and spokesman solutions instead of regenerating them per cell.
+pub fn run_builtin_ctx(
+    entry: &BuiltinScenario,
+    runner: &Runner,
+    opts: SweepOptions,
+    ctx: &RunContext<'_>,
+) -> SweepEntry {
     match entry.kind {
         BuiltinKind::Scenario(build) => {
             let spec = build(opts.quick, opts.seed);
-            match runner.run(&spec) {
+            match runner.run_ctx(&spec, ctx) {
                 Ok(report) => SweepEntry {
                     name: entry.name.to_string(),
                     title: entry.title.to_string(),
@@ -313,9 +326,19 @@ pub fn run_sweep(names: &[String], runner: &Runner, opts: SweepOptions) -> Resul
             })
             .collect::<Result<_>>()?
     };
+    // One artifact cache spans the whole sweep: cells that draw the same
+    // (source, seed) instances — e.g. the expander wireless and spokesman
+    // demos both sample random_regular(32, 4) from the sweep seed — build
+    // each graph once and share it via `Arc` instead of rebuilding per
+    // cell, the redundant-rebuild fix `wx serve` generalizes.
+    let cache = ArtifactCache::new(CacheConfig::default());
+    let ctx = RunContext {
+        graphs: Some(&cache),
+        solutions: Some(&cache),
+    };
     let entries: Vec<SweepEntry> = selected
         .iter()
-        .map(|entry| run_builtin(entry, runner, opts))
+        .map(|entry| run_builtin_ctx(entry, runner, opts, &ctx))
         .collect();
     let passed = entries.iter().filter(|e| e.passed).count();
     Ok(SweepReport {

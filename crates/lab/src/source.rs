@@ -187,6 +187,29 @@ pub enum BuiltGraph {
     },
 }
 
+impl BuiltGraph {
+    /// The resident-memory footprint of this backend, used by the artifact
+    /// cache's byte-budget accounting. Mirrors each backend's
+    /// `GraphView::memory_bytes` (so mmap-backed graphs report only their
+    /// header/metadata residency, not the page-cached file), plus the
+    /// inducing subset's storage for induced variants.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        use wx_core::graph::GraphView;
+        fn set_bytes(set: &VertexSet) -> usize {
+            std::mem::size_of_val(set.as_words()) + std::mem::size_of_val(set.as_slice())
+        }
+        match self {
+            BuiltGraph::Csr(g) => g.memory_bytes(),
+            BuiltGraph::Implicit(g) => g.memory_bytes(),
+            BuiltGraph::Mmap(g) => g.memory_bytes(),
+            BuiltGraph::InducedCsr { base, set } => base.memory_bytes() + set_bytes(set),
+            BuiltGraph::InducedImplicit { base, set } => base.memory_bytes() + set_bytes(set),
+            BuiltGraph::InducedMmap { base, set } => base.memory_bytes() + set_bytes(set),
+        }
+    }
+}
+
 impl GraphSource {
     /// Builds the graph as a materialized CSR [`Graph`]. Deterministic
     /// sources ignore `seed`; randomized ones derive their instance from it,

@@ -1,0 +1,178 @@
+//! `wx bench --serve` — measures what the artifact cache buys.
+//!
+//! Three measurements on one spokesman scenario (a production-scale
+//! random regular graph; `--smoke` shrinks it to CI size):
+//!
+//! 1. **cold** — first request on a fresh service: graph build + solver.
+//! 2. **warm** — the identical request again: cached graph + cached
+//!    solution, so the request pays view extraction and rehydration.
+//! 3. **burst** — N identical requests submitted back-to-back: the
+//!    in-flight ones coalesce, so N responses cost ~1 execution.
+//!
+//! The run also replays the spec through the batch [`Runner`] and
+//! records whether every report (batch, cold, warm, burst) is
+//! byte-identical — the serving determinism contract, checked on the
+//! real bench workload. Results go to `BENCH_serve_cache.json`; the
+//! timings are measured wall-clock, so the file is a recorded artifact,
+//! not a deterministic output.
+
+use serde::{Number, Value};
+use wx_core::spokesman::SolverKind;
+use wx_lab::runner::Runner;
+use wx_lab::source::GraphSource;
+use wx_lab::spec::{ScenarioSpec, Task};
+use wx_lab::{LabError, Result};
+use wx_trace::Clock;
+
+use crate::service::{Response, ServeConfig, Service};
+
+struct Params {
+    n: usize,
+    d: usize,
+    set_size: usize,
+    trials: usize,
+    burst: usize,
+}
+
+fn bench_spec(p: &Params) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "serve-cache-bench".to_string(),
+        description: "cold vs warm artifact-cache latency for a spokesman scenario".to_string(),
+        source: GraphSource::RandomRegular { n: p.n, d: p.d },
+        task: Task::Spokesman {
+            set_size: p.set_size,
+            solvers: Some(vec![SolverKind::Portfolio]),
+        },
+        trials: p.trials,
+        seed: 7,
+    }
+}
+
+fn report_of(response: &Response) -> Result<String> {
+    response
+        .outcome
+        .clone()
+        .map_err(|e| LabError::Io(format!("bench request failed: {e}")))
+}
+
+/// Runs the serve-cache benchmark and returns the pretty-JSON report
+/// destined for `BENCH_serve_cache.json`.
+pub fn run(smoke: bool) -> Result<String> {
+    let p = if smoke {
+        Params {
+            n: 256,
+            d: 4,
+            set_size: 64,
+            trials: 2,
+            burst: 8,
+        }
+    } else {
+        Params {
+            n: 100_000,
+            d: 8,
+            set_size: 50_000,
+            trials: 1,
+            burst: 8,
+        }
+    };
+    let spec = bench_spec(&p);
+    spec.validate()?;
+
+    // The reference bytes: the batch pipeline, no cache anywhere.
+    let batch_report = Runner::new().run(&spec)?.to_json();
+
+    let service = Service::start(&ServeConfig::default());
+
+    let clock = Clock::start();
+    let (cold, _) = service.run(spec.clone())?;
+    let cold_seconds = clock.elapsed_seconds();
+    let cold_report = report_of(&cold)?;
+
+    let clock = Clock::start();
+    let (warm, _) = service.run(spec.clone())?;
+    let warm_seconds = clock.elapsed_seconds();
+    let warm_report = report_of(&warm)?;
+
+    // Burst: submit N identical requests back-to-back; in-flight ones
+    // coalesce. The cache is warm, so this measures response fan-out,
+    // not solving.
+    let executed_before = service.executed();
+    let coalesced_before = service.coalesced();
+    let clock = Clock::start();
+    let mut jobs = Vec::with_capacity(p.burst);
+    for _ in 0..p.burst {
+        jobs.push(service.submit(spec.clone())?);
+    }
+    let mut burst_reports = Vec::with_capacity(p.burst);
+    for (job, _) in &jobs {
+        burst_reports.push(report_of(&service.wait(job))?);
+    }
+    let burst_seconds = clock.elapsed_seconds();
+    let burst_executed = service.executed() - executed_before;
+    let burst_coalesced = service.coalesced() - coalesced_before;
+    service.stop();
+
+    let reports_identical = burst_reports
+        .iter()
+        .chain([&cold_report, &warm_report])
+        .all(|r| *r == batch_report);
+
+    let num_u = |n: u64| Value::Num(Number::U64(n));
+    let num_f = |x: f64| Value::Num(Number::F64(x));
+    let stats = service.cache_stats();
+    let doc = Value::Map(vec![
+        ("bench".to_string(), Value::Str("serve_cache".to_string())),
+        ("smoke".to_string(), Value::Bool(smoke)),
+        (
+            "config".to_string(),
+            Value::Map(vec![
+                ("n".to_string(), num_u(p.n as u64)),
+                ("d".to_string(), num_u(p.d as u64)),
+                ("set_size".to_string(), num_u(p.set_size as u64)),
+                ("trials".to_string(), num_u(p.trials as u64)),
+                ("burst".to_string(), num_u(p.burst as u64)),
+                ("solver".to_string(), Value::Str("portfolio".to_string())),
+                ("seed".to_string(), num_u(7)),
+            ]),
+        ),
+        ("cold_seconds".to_string(), num_f(cold_seconds)),
+        ("warm_seconds".to_string(), num_f(warm_seconds)),
+        (
+            "cold_over_warm_speedup".to_string(),
+            num_f(if warm_seconds > 0.0 {
+                cold_seconds / warm_seconds
+            } else {
+                0.0
+            }),
+        ),
+        (
+            "burst".to_string(),
+            Value::Map(vec![
+                ("requests".to_string(), num_u(p.burst as u64)),
+                ("executed".to_string(), num_u(burst_executed)),
+                ("coalesced".to_string(), num_u(burst_coalesced)),
+                ("seconds".to_string(), num_f(burst_seconds)),
+                (
+                    "requests_per_second".to_string(),
+                    num_f(if burst_seconds > 0.0 {
+                        p.burst as f64 / burst_seconds
+                    } else {
+                        0.0
+                    }),
+                ),
+            ]),
+        ),
+        (
+            "reports_identical_to_batch".to_string(),
+            Value::Bool(reports_identical),
+        ),
+        (
+            "cache".to_string(),
+            serde::to_value(&stats).unwrap_or(Value::Null),
+        ),
+    ]);
+    let mut text = serde_json::to_string_pretty(&doc)
+        .map_err(|e| LabError::Io(format!("serializing bench report: {e}")))?;
+    text.push('\n');
+    Ok(text)
+}

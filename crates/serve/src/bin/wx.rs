@@ -1,0 +1,4 @@
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(wx_serve::cli::main_with_args(&args));
+}

@@ -1,0 +1,266 @@
+//! A minimal, dependency-free HTTP/1.1 front end for the service.
+//!
+//! Deliberately tiny: just enough of HTTP/1.1 to serve local tooling —
+//! request line + headers + `Content-Length` body, no chunked encoding,
+//! no keep-alive (every response closes the connection). Routes:
+//!
+//! | Route           | Behaviour                                          |
+//! |-----------------|----------------------------------------------------|
+//! | `POST /run`     | Body is a [`ScenarioSpec`]; replies 200 with the   |
+//! |                 | exact `wx run` report bytes, or 400 with the error |
+//! | `GET /healthz`  | `200 ok`                                           |
+//! | `GET /stats`    | Cumulative service counters as JSON                |
+//!
+//! Serving telemetry rides in `X-Wx-*` response headers (queue/run
+//! microseconds, coalesced flag, cache-hit deltas), keeping the body
+//! byte-identical to the batch CLI across cache states.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use serde::Value;
+use wx_lab::spec::ScenarioSpec;
+use wx_lab::{LabError, Result};
+
+use crate::service::Service;
+
+/// Hard cap on request bodies (16 MiB) — a local-tooling guard, not a
+/// security boundary.
+const MAX_BODY_BYTES: usize = 16 << 20;
+
+/// A bound listener plus the service it fronts.
+pub struct HttpServer {
+    listener: TcpListener,
+    service: Service,
+}
+
+struct ParsedRequest {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<ParsedRequest>> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let path = parts.next().unwrap_or("").to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Ok(Some(ParsedRequest {
+            method,
+            path,
+            body: Vec::new(),
+        }));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(ParsedRequest { method, path, body }))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn stats_body(service: &Service) -> Vec<u8> {
+    let num = |n: u64| Value::Num(serde::Number::U64(n));
+    let cache = serde::to_value(&service.cache_stats()).unwrap_or(Value::Null);
+    let doc = Value::Map(vec![
+        ("executed".to_string(), num(service.executed())),
+        ("coalesced".to_string(), num(service.coalesced())),
+        ("cache".to_string(), cache),
+    ]);
+    let mut body = serde_json::to_string_pretty(&doc).unwrap_or_default();
+    body.push('\n');
+    body.into_bytes()
+}
+
+fn handle_run(service: &Service, stream: &mut TcpStream, body: &[u8]) -> std::io::Result<()> {
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => {
+            return write_response(
+                stream,
+                "400 Bad Request",
+                "text/plain",
+                &[],
+                b"request body is not UTF-8\n",
+            );
+        }
+    };
+    let spec = match ScenarioSpec::from_json(text, "http request body") {
+        Ok(spec) => spec,
+        Err(error) => {
+            let message = format!("{error}\n");
+            return write_response(
+                stream,
+                "400 Bad Request",
+                "text/plain",
+                &[],
+                message.as_bytes(),
+            );
+        }
+    };
+    match service.run(spec) {
+        Ok((response, coalesced)) => {
+            let headers = vec![
+                ("X-Wx-Queue-Us".to_string(), response.queue_us.to_string()),
+                ("X-Wx-Run-Us".to_string(), response.run_us.to_string()),
+                ("X-Wx-Coalesced".to_string(), coalesced.to_string()),
+                (
+                    "X-Wx-Graph-Hits".to_string(),
+                    response.cache.graph_hits.to_string(),
+                ),
+                (
+                    "X-Wx-Solution-Hits".to_string(),
+                    response.cache.solution_hits.to_string(),
+                ),
+            ];
+            match &response.outcome {
+                Ok(report) => write_response(
+                    stream,
+                    "200 OK",
+                    "application/json",
+                    &headers,
+                    report.as_bytes(),
+                ),
+                Err(error) => {
+                    let message = format!("{error}\n");
+                    write_response(
+                        stream,
+                        "400 Bad Request",
+                        "text/plain",
+                        &headers,
+                        message.as_bytes(),
+                    )
+                }
+            }
+        }
+        Err(error) => {
+            let message = format!("{error}\n");
+            write_response(
+                stream,
+                "400 Bad Request",
+                "text/plain",
+                &[],
+                message.as_bytes(),
+            )
+        }
+    }
+}
+
+fn handle_connection(service: &Service, stream: &mut TcpStream) -> std::io::Result<()> {
+    let Some(request) = read_request(stream)? else {
+        return Ok(());
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/run") => handle_run(service, stream, &request.body),
+        ("GET", "/healthz") => write_response(stream, "200 OK", "text/plain", &[], b"ok\n"),
+        ("GET", "/stats") => write_response(
+            stream,
+            "200 OK",
+            "application/json",
+            &[],
+            &stats_body(service),
+        ),
+        ("POST" | "GET", _) => {
+            write_response(stream, "404 Not Found", "text/plain", &[], b"not found\n")
+        }
+        _ => write_response(
+            stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            &[],
+            b"method not allowed\n",
+        ),
+    }
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:8080`, or port `0` for an
+    /// OS-assigned port in tests) in front of `service`.
+    pub fn bind(service: Service, addr: &str) -> Result<HttpServer> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| LabError::Io(format!("binding {addr}: {e}")))?;
+        Ok(HttpServer { listener, service })
+    }
+
+    /// The locally bound address (useful with port `0`).
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr> {
+        self.listener
+            .local_addr()
+            .map_err(|e| LabError::Io(format!("reading local addr: {e}")))
+    }
+
+    /// Accept loop: one thread per connection, forever (until the
+    /// process exits). Per-connection I/O errors are reported to stderr
+    /// and do not take the server down.
+    pub fn serve_forever(&self) -> Result<()> {
+        loop {
+            let (mut stream, _peer) = self
+                .listener
+                .accept()
+                .map_err(|e| LabError::Io(format!("accepting connection: {e}")))?;
+            let service = self.service.clone();
+            std::thread::spawn(move || {
+                if let Err(e) = handle_connection(&service, &mut stream) {
+                    // wx-allow(hygiene): a dead connection has nowhere else to report
+                    eprintln!("wx serve: connection error: {e}");
+                }
+            });
+        }
+    }
+
+    /// Handles exactly `n` connections on the calling thread, then
+    /// returns — the deterministic accept loop the integration tests
+    /// drive.
+    pub fn serve_n(&self, n: usize) -> Result<()> {
+        for _ in 0..n {
+            let (mut stream, _peer) = self
+                .listener
+                .accept()
+                .map_err(|e| LabError::Io(format!("accepting connection: {e}")))?;
+            handle_connection(&self.service, &mut stream)
+                .map_err(|e| LabError::Io(format!("handling connection: {e}")))?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,233 @@
+//! The stdin-jsonl protocol: one request per input line, one response
+//! envelope per output line, responses in request order.
+//!
+//! # Request lines
+//!
+//! Each non-blank line is either a bare [`ScenarioSpec`] document or an
+//! envelope `{"id": <u64>, "spec": {...}}`. Bare specs get the 1-based
+//! line number as their id. Blank lines and lines starting with `#` are
+//! skipped (so request files can carry comments).
+//!
+//! # Response envelopes
+//!
+//! One compact-JSON line per request, in request order:
+//!
+//! ```json
+//! {"id":1,"ok":true,"name":"...","coalesced":false,
+//!  "queue_us":12,"run_us":3456,"cache":{...},"report":"<pretty JSON>"}
+//! ```
+//!
+//! The `report` field holds the *exact* bytes `wx run` would print,
+//! JSON-escaped into a string; `--out-dir DIR` additionally writes those
+//! raw bytes to `DIR/<id>.json` so they can be compared with `cmp`.
+//! Failures produce `{"id":N,"ok":false,"error":"..."}`. Everything
+//! wall-clock-dependent stays in the envelope; the report bytes are
+//! byte-deterministic.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use serde::Value;
+use wx_lab::spec::ScenarioSpec;
+use wx_lab::{LabError, Result};
+
+use crate::service::{Job, Response, Service};
+
+/// A parsed request line: the id it will answer under plus its spec.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Envelope id (explicit `"id"` field, else the 1-based line number).
+    pub id: u64,
+    /// The scenario to execute.
+    pub spec: ScenarioSpec,
+}
+
+/// Parses one request line (see the module docs for the two shapes).
+/// `line_no` is 1-based and doubles as the default id.
+pub fn parse_request(line: &str, line_no: u64) -> Result<Request> {
+    let context = format!("request line {line_no}");
+    let value: Value = serde_json::from_str(line).map_err(|e| LabError::json(&context, e))?;
+    let (id, spec_value) = match value.get("spec") {
+        Some(spec) => {
+            let id = match value.get("id") {
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    LabError::json(&context, "\"id\" must be a non-negative integer")
+                })?,
+                None => line_no,
+            };
+            (id, spec.clone())
+        }
+        None => (line_no, value),
+    };
+    let spec: ScenarioSpec =
+        serde::from_value(spec_value).map_err(|e| LabError::json(&context, e))?;
+    spec.validate()?;
+    Ok(Request { id, spec })
+}
+
+fn stats_value(stats: &wx_lab::CacheStats) -> Value {
+    serde::to_value(stats).unwrap_or(Value::Null)
+}
+
+/// Renders the response envelope for one completed request (compact
+/// JSON, no trailing newline).
+#[must_use]
+pub fn envelope(id: u64, coalesced: bool, response: &Response) -> String {
+    let num = |n: u64| Value::Num(serde::Number::U64(n));
+    let mut fields = vec![("id".to_string(), num(id))];
+    match &response.outcome {
+        Ok(report) => {
+            fields.push(("ok".to_string(), Value::Bool(true)));
+            fields.push(("name".to_string(), Value::Str(response.name.clone())));
+            fields.push(("coalesced".to_string(), Value::Bool(coalesced)));
+            fields.push(("queue_us".to_string(), num(response.queue_us)));
+            fields.push(("run_us".to_string(), num(response.run_us)));
+            fields.push(("cache".to_string(), stats_value(&response.cache)));
+            fields.push(("report".to_string(), Value::Str(report.clone())));
+        }
+        Err(error) => {
+            fields.push(("ok".to_string(), Value::Bool(false)));
+            fields.push(("error".to_string(), Value::Str(error.clone())));
+        }
+    }
+    serde_json::to_string(&Value::Map(fields)).unwrap_or_default()
+}
+
+/// The error envelope for a line that never became a job (parse or
+/// validation failure).
+#[must_use]
+pub fn error_envelope(id: u64, error: &LabError) -> String {
+    let fields = vec![
+        ("id".to_string(), Value::Num(serde::Number::U64(id))),
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(error.to_string())),
+    ];
+    serde_json::to_string(&Value::Map(fields)).unwrap_or_default()
+}
+
+enum Pending {
+    Job {
+        id: u64,
+        coalesced: bool,
+        job: Arc<Job>,
+    },
+    Failed {
+        id: u64,
+        error: LabError,
+    },
+}
+
+/// Drives the full stdin-jsonl session: reads request lines from
+/// `input`, submits them all (so identical back-to-back requests
+/// coalesce), then writes one envelope per request to `output` in
+/// request order. With `out_dir`, each successful report's raw bytes
+/// also land in `out_dir/<id>.json`.
+///
+/// Returns the number of failed requests (parse failures count).
+pub fn run_session(
+    service: &Service,
+    input: &mut dyn BufRead,
+    output: &mut dyn Write,
+    out_dir: Option<&Path>,
+) -> Result<u64> {
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| LabError::Io(format!("creating {}: {e}", dir.display())))?;
+    }
+    let mut pending = Vec::new();
+    let mut line = String::new();
+    let mut line_no = 0u64;
+    loop {
+        line.clear();
+        let read = input
+            .read_line(&mut line)
+            .map_err(|e| LabError::Io(format!("reading request line: {e}")))?;
+        if read == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match parse_request(trimmed, line_no) {
+            Ok(request) => match service.submit(request.spec) {
+                Ok((job, coalesced)) => pending.push(Pending::Job {
+                    id: request.id,
+                    coalesced,
+                    job,
+                }),
+                Err(error) => pending.push(Pending::Failed {
+                    id: request.id,
+                    error,
+                }),
+            },
+            Err(error) => pending.push(Pending::Failed { id: line_no, error }),
+        }
+    }
+    let mut failures = 0u64;
+    for entry in pending {
+        let envelope_line = match entry {
+            Pending::Job { id, coalesced, job } => {
+                let response = service.wait(&job);
+                if response.outcome.is_err() {
+                    failures += 1;
+                }
+                if let (Some(dir), Ok(report)) = (out_dir, &response.outcome) {
+                    let path = dir.join(format!("{id}.json"));
+                    std::fs::write(&path, report)
+                        .map_err(|e| LabError::Io(format!("writing {}: {e}", path.display())))?;
+                }
+                envelope(id, coalesced, &response)
+            }
+            Pending::Failed { id, error } => {
+                failures += 1;
+                error_envelope(id, &error)
+            }
+        };
+        writeln!(output, "{envelope_line}")
+            .map_err(|e| LabError::Io(format!("writing response: {e}")))?;
+    }
+    output
+        .flush()
+        .map_err(|e| LabError::Io(format!("flushing responses: {e}")))?;
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_json(name: &str) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"source\":{{\"Hypercube\":{{\"dim\":3}}}},",
+                "\"task\":{{\"Measure\":{{\"notion\":\"Wireless\",\"fast\":true}}}},",
+                "\"trials\":1,\"seed\":7}}"
+            ),
+            name
+        )
+    }
+
+    #[test]
+    fn bare_spec_gets_line_number_id() {
+        let request = parse_request(&spec_json("a"), 3).unwrap();
+        assert_eq!(request.id, 3);
+        assert_eq!(request.spec.name, "a");
+    }
+
+    #[test]
+    fn envelope_wrapper_overrides_id() {
+        let line = format!("{{\"id\": 42, \"spec\": {}}}", spec_json("b"));
+        let request = parse_request(&line, 1).unwrap();
+        assert_eq!(request.id, 42);
+        assert_eq!(request.spec.name, "b");
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(parse_request("{not json", 1).is_err());
+        assert!(parse_request("{\"id\": \"x\", \"spec\": {}}", 1).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! End-to-end tests for the scenario service: the serving determinism
+//! contract (serve bytes == batch bytes, cold and warm, any worker
+//! count), request coalescing, eviction-pressure determinism, the
+//! stdin-jsonl session protocol, and the HTTP front end.
+
+use std::io::{Cursor, Read, Write};
+use std::net::TcpStream;
+
+use wx_core::spokesman::SolverKind;
+use wx_lab::runner::Runner;
+use wx_lab::source::GraphSource;
+use wx_lab::spec::{ScenarioSpec, Task};
+use wx_lab::CacheConfig;
+use wx_serve::jsonl;
+use wx_serve::{HttpServer, ServeConfig, Service};
+
+fn spokesman_spec(name: &str, n: usize, seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.to_string(),
+        description: String::new(),
+        source: GraphSource::RandomRegular { n, d: 4 },
+        task: Task::Spokesman {
+            set_size: n / 4,
+            solvers: Some(vec![SolverKind::GreedyMinDegree, SolverKind::Partition]),
+        },
+        trials: 3,
+        seed,
+    }
+}
+
+fn measure_spec(name: &str, seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.to_string(),
+        description: String::new(),
+        source: GraphSource::Hypercube { dim: 4 },
+        task: Task::Measure {
+            notion: wx_core::expansion::engine::NotionKind::Wireless,
+            alpha: None,
+            exact_up_to: None,
+            fast: Some(true),
+        },
+        trials: 2,
+        seed,
+    }
+}
+
+fn report(service: &Service, spec: &ScenarioSpec) -> String {
+    let (response, _) = service.run(spec.clone()).unwrap();
+    response.outcome.clone().unwrap()
+}
+
+#[test]
+fn serve_bytes_match_batch_cold_and_warm_across_worker_counts() {
+    let spec = spokesman_spec("serve-vs-batch", 48, 11);
+    let batch = Runner::new().run(&spec).unwrap().to_json();
+    for workers in [1usize, 4] {
+        let service = Service::start(&ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        });
+        let cold = report(&service, &spec);
+        let warm = report(&service, &spec);
+        service.stop();
+        assert_eq!(cold, batch, "cold serve bytes diverged (workers={workers})");
+        assert_eq!(warm, batch, "warm serve bytes diverged (workers={workers})");
+        let stats = service.cache_stats();
+        assert!(stats.graph_hits > 0, "warm run should hit the graph cache");
+        assert!(
+            stats.solution_hits > 0,
+            "warm run should hit the solution cache"
+        );
+    }
+}
+
+#[test]
+fn identical_inflight_requests_coalesce_to_one_execution() {
+    let spec = measure_spec("coalesce", 5);
+    // No workers yet: all submissions happen while the first is
+    // in-flight, making the coalescing deterministic.
+    let service = Service::new(&ServeConfig::default());
+    let jobs: Vec<_> = (0..6)
+        .map(|_| service.submit(spec.clone()).unwrap())
+        .collect();
+    assert!(!jobs[0].1, "first submission cannot coalesce");
+    assert!(
+        jobs[1..].iter().all(|(_, coalesced)| *coalesced),
+        "later identical submissions must coalesce"
+    );
+    service.start_workers(1);
+    let reports: Vec<String> = jobs
+        .iter()
+        .map(|(job, _)| service.wait(job).outcome.clone().unwrap())
+        .collect();
+    service.stop();
+    assert_eq!(service.executed(), 1, "one execution serves all requests");
+    assert_eq!(service.coalesced(), 5);
+    assert!(reports.iter().all(|r| r == &reports[0]));
+    assert_eq!(reports[0], Runner::new().run(&spec).unwrap().to_json());
+}
+
+#[test]
+fn distinct_requests_do_not_coalesce() {
+    let service = Service::new(&ServeConfig::default());
+    let (_, c1) = service.submit(measure_spec("a", 5)).unwrap();
+    let (_, c2) = service.submit(measure_spec("b", 5)).unwrap();
+    let (_, c3) = service.submit(measure_spec("a", 6)).unwrap();
+    assert!(!c1 && !c2 && !c3);
+    service.start_workers(2);
+    service.stop();
+}
+
+#[test]
+fn eviction_pressure_does_not_change_report_bytes() {
+    // Budgets far below one graph / one solution: every request evicts,
+    // nothing is ever warm — bytes must not care.
+    let spec = spokesman_spec("evict", 32, 3);
+    let batch = Runner::new().run(&spec).unwrap().to_json();
+    let service = Service::start(&ServeConfig {
+        workers: 2,
+        sequential: false,
+        cache: CacheConfig {
+            graph_budget_bytes: Some(64),
+            solution_budget_bytes: Some(64),
+            persist_dir: None,
+        },
+    });
+    let first = report(&service, &spec);
+    let second = report(&service, &spec);
+    service.stop();
+    assert_eq!(first, batch);
+    assert_eq!(second, batch);
+    let stats = service.cache_stats();
+    assert!(
+        stats.graph_evictions > 0 || stats.solution_evictions > 0,
+        "tiny budgets should force evictions (got {stats:?})"
+    );
+}
+
+#[test]
+fn jsonl_session_answers_in_order_and_writes_raw_reports() {
+    let spec_a = measure_spec("jsonl-a", 9);
+    let spec_b = measure_spec("jsonl-b", 10);
+    let batch_a = Runner::new().run(&spec_a).unwrap().to_json();
+    let batch_b = Runner::new().run(&spec_b).unwrap().to_json();
+
+    let input = format!(
+        "# two identical requests, then a distinct one, then garbage\n\
+         {{\"id\": 1, \"spec\": {}}}\n\
+         {{\"id\": 2, \"spec\": {}}}\n\
+         {{\"id\": 3, \"spec\": {}}}\n\
+         not json at all\n",
+        serde_json::to_string(&spec_a).unwrap(),
+        serde_json::to_string(&spec_a).unwrap(),
+        serde_json::to_string(&spec_b).unwrap(),
+    );
+    let out_dir = std::env::temp_dir().join("wx_serve_jsonl_test");
+    let _ = std::fs::remove_dir_all(&out_dir);
+
+    let service = Service::start(&ServeConfig::default());
+    let mut output = Vec::new();
+    let failures = jsonl::run_session(
+        &service,
+        &mut Cursor::new(input.into_bytes()),
+        &mut output,
+        Some(&out_dir),
+    )
+    .unwrap();
+    service.stop();
+    assert_eq!(failures, 1, "the garbage line fails, nothing else");
+
+    let text = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4);
+    for (line, id) in lines.iter().zip([1u64, 2, 3, 5]) {
+        let envelope: serde::Value = serde_json::from_str(line).unwrap();
+        assert_eq!(envelope.get("id").and_then(|v| v.as_u64()), Some(id));
+    }
+    let ok_of = |line: &str| {
+        let envelope: serde::Value = serde_json::from_str(line).unwrap();
+        envelope.get("ok").and_then(|v| v.as_bool()).unwrap()
+    };
+    assert!(ok_of(lines[0]) && ok_of(lines[1]) && ok_of(lines[2]));
+    assert!(!ok_of(lines[3]));
+
+    // Raw report files carry the exact batch bytes.
+    let raw_1 = std::fs::read_to_string(out_dir.join("1.json")).unwrap();
+    let raw_2 = std::fs::read_to_string(out_dir.join("2.json")).unwrap();
+    let raw_3 = std::fs::read_to_string(out_dir.join("3.json")).unwrap();
+    assert_eq!(raw_1, batch_a);
+    assert_eq!(raw_2, batch_a);
+    assert_eq!(raw_3, batch_b);
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn http_round_trip_serves_batch_bytes_and_telemetry_headers() {
+    let spec = measure_spec("http", 21);
+    let batch = Runner::new().run(&spec).unwrap().to_json();
+
+    let service = Service::start(&ServeConfig::default());
+    let server = HttpServer::bind(service, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve_n(4).unwrap());
+
+    let request = |method: &str, path: &str, body: &str| -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, response_body) = raw.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), response_body.to_string())
+    };
+
+    let (head, body) = request("GET", "/healthz", "");
+    assert!(head.starts_with("HTTP/1.1 200"), "healthz head: {head}");
+    assert_eq!(body, "ok\n");
+
+    let spec_json = serde_json::to_string(&spec).unwrap();
+    let (head, body) = request("POST", "/run", &spec_json);
+    assert!(head.starts_with("HTTP/1.1 200"), "run head: {head}");
+    assert!(head.contains("X-Wx-Run-Us:"), "missing telemetry: {head}");
+    assert!(head.contains("X-Wx-Coalesced: false"));
+    assert_eq!(body, batch, "HTTP body must be the exact batch bytes");
+
+    // Warm repeat: identical bytes again, now with cache hits.
+    let (head, body) = request("POST", "/run", &spec_json);
+    assert!(head.starts_with("HTTP/1.1 200"));
+    assert_eq!(body, batch);
+
+    let (head, body) = request("GET", "/stats", "");
+    assert!(head.starts_with("HTTP/1.1 200"), "stats head: {head}");
+    let stats: serde::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(stats.get("executed").and_then(|v| v.as_u64()), Some(2));
+
+    handle.join().unwrap();
+}
+
+#[test]
+fn http_rejects_bad_routes_and_bodies() {
+    let service = Service::start(&ServeConfig::default());
+    let server = HttpServer::bind(service, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve_n(3).unwrap());
+
+    let request = |payload: String| -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(payload.as_bytes()).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        raw
+    };
+
+    let raw = request("GET /nope HTTP/1.1\r\n\r\n".to_string());
+    assert!(raw.starts_with("HTTP/1.1 404"), "got: {raw}");
+
+    let raw = request("DELETE /run HTTP/1.1\r\n\r\n".to_string());
+    assert!(raw.starts_with("HTTP/1.1 405"), "got: {raw}");
+
+    let body = "{\"name\": \"broken\"}";
+    let raw = request(format!(
+        "POST /run HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    ));
+    assert!(raw.starts_with("HTTP/1.1 400"), "got: {raw}");
+
+    handle.join().unwrap();
+}

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod bounds;
 pub mod chlamtac_weinstein;
 pub mod degree_class;
@@ -38,6 +39,7 @@ pub mod partition;
 pub mod random_decay;
 pub mod solver;
 
+pub use artifact::SolutionArtifact;
 pub use solver::{PortfolioSolver, SolverKind, SpokesmanResult, SpokesmanSolver};
 
 pub use chlamtac_weinstein::ChlamtacWeinsteinSolver;

@@ -113,6 +113,17 @@ impl CounterId {
             CounterId::GraphMemoryBytes => "graph.memory_bytes",
         }
     }
+
+    /// The inverse of [`CounterId::name`]: resolves a dotted telemetry
+    /// name back to its counter. Cached artifacts (the serve-layer
+    /// solution cache) persist captured counters by name so that a warm
+    /// cache replay can re-credit exactly the work the cold execution
+    /// counted; unknown names return `None` and are dropped rather than
+    /// miscounted.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<CounterId> {
+        CounterId::ALL.into_iter().find(|id| id.name() == name)
+    }
 }
 
 /// A fixed-size tally of every counter. Cheap to create, merge, and
@@ -227,6 +238,14 @@ pub fn shield<R>(f: impl FnOnce() -> R) -> R {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_name_round_trips_every_counter() {
+        for id in CounterId::ALL {
+            assert_eq!(CounterId::from_name(id.name()), Some(id));
+        }
+        assert_eq!(CounterId::from_name("no.such.counter"), None);
+    }
 
     #[test]
     fn count_without_scope_is_dropped() {
